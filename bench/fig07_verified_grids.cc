@@ -1,0 +1,26 @@
+// Figure 7: performance cost vs. the number of verified grid cells
+// (paper Section VII.A). Sweeps the fraction of cells SSA / DSA visit
+// (8 %, 16 %, 32 %, 64 %, 100 %); BA ignores the grid and stays flat.
+
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ptar::bench;
+  PrintBanner("Figure 7", "cost vs. number of verified grid cells (%)");
+
+  BenchConfig base;
+  Harness harness(base);
+
+  PrintCostHeader("verified(%)");
+  for (const double fraction : {0.08, 0.16, 0.32, 0.64, 1.0}) {
+    BenchConfig cfg = base;
+    cfg.verified_grid_fraction = fraction;
+    const std::string label = std::to_string(static_cast<int>(
+        fraction * 100.0 + 0.5));
+    const BenchRow row = harness.Run(cfg, label);
+    PrintCostRow(label, row);
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 8: performance cost vs. the waiting time w (paper sweeps 2-6 min).
+
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ptar::bench;
+  PrintBanner("Figure 8", "cost vs. waiting time w (minutes)");
+
+  BenchConfig base;
+  Harness harness(base);
+
+  PrintCostHeader("w(min)");
+  for (const double w : {2.0, 3.0, 4.0, 5.0, 6.0}) {
+    BenchConfig cfg = base;
+    cfg.waiting_minutes = w;
+    const std::string label = std::to_string(static_cast<int>(w));
+    PrintCostRow(label, harness.Run(cfg, label));
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 9: performance cost vs. the service constraint epsilon
+// (paper sweeps 0.2-0.6).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ptar::bench;
+  PrintBanner("Figure 9", "cost vs. service constraint epsilon");
+
+  BenchConfig base;
+  Harness harness(base);
+
+  PrintCostHeader("epsilon");
+  for (const double eps : {0.2, 0.3, 0.4, 0.5, 0.6}) {
+    BenchConfig cfg = base;
+    cfg.epsilon = eps;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", eps);
+    PrintCostRow(label, harness.Run(cfg, label));
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 10: performance cost vs. vehicle capacity (paper sweeps 2-6 seats).
+
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ptar::bench;
+  PrintBanner("Figure 10", "cost vs. vehicle capacity");
+
+  BenchConfig base;
+  base.riders = 2;  // rider groups of two make the capacity sweep bite
+  Harness harness(base);
+
+  PrintCostHeader("capacity");
+  for (const int capacity : {2, 3, 4, 5, 6}) {
+    BenchConfig cfg = base;
+    cfg.vehicle_capacity = capacity;
+    const std::string label = std::to_string(capacity);
+    PrintCostRow(label, harness.Run(cfg, label));
+  }
+  return 0;
+}

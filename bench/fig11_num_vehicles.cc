@@ -1,0 +1,24 @@
+// Figure 11: performance cost vs. the number of vehicles. The paper sweeps
+// 12K-20K taxis on the 122k-vertex Shanghai network; we keep the same
+// 0.6x-1.0x ratios on the scaled city.
+
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ptar::bench;
+  PrintBanner("Figure 11", "cost vs. number of vehicles (paper: 12K-20K)");
+
+  BenchConfig base;
+  Harness harness(base);
+
+  PrintCostHeader("vehicles");
+  for (const int vehicles : {240, 280, 320, 360, 400}) {
+    BenchConfig cfg = base;
+    cfg.num_vehicles = vehicles;
+    const std::string label = std::to_string(vehicles);
+    PrintCostRow(label, harness.Run(cfg, label));
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 12: performance cost vs. the grid cell size. The paper sweeps
+// 3333 m down to 909 m on the ~40 km Shanghai box (12x12 to 44x44 grids);
+// we sweep the same grid granularities on the scaled city.
+
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ptar::bench;
+  PrintBanner("Figure 12", "cost vs. grid cell size (meters)");
+
+  BenchConfig base;
+  Harness harness(base);
+
+  PrintCostHeader("cell(m)");
+  for (const double cell : {1200.0, 600.0, 300.0, 160.0, 100.0}) {
+    BenchConfig cfg = base;
+    cfg.cell_size_meters = cell;
+    const std::string label = std::to_string(static_cast<int>(cell));
+    PrintCostRow(label, harness.Run(cfg, label));
+  }
+  return 0;
+}

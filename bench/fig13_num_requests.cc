@@ -1,0 +1,31 @@
+// Figure 13: performance cost and sharing rate vs. the number of requests.
+// The paper sweeps 1000-9000 requests from the Shanghai trace; we keep the
+// same 1x-9x ratios on the scaled stream and report the sharing rate
+// (fraction of served requests that rode with others) alongside.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ptar::bench;
+  PrintBanner("Figure 13",
+              "cost and sharing rate vs. number of requests (paper: 1K-9K)");
+
+  BenchConfig base;
+  Harness harness(base);
+
+  PrintCostHeader("requests");
+  for (const std::size_t n : {30u, 90u, 150u, 210u, 270u}) {
+    BenchConfig cfg = base;
+    cfg.num_requests = n;
+    const std::string label = std::to_string(n);
+    const BenchRow row = harness.Run(cfg, label);
+    PrintCostRow(label, row);
+    std::printf("%-14s sharing rate %.3f (served %llu / %zu)\n\n",
+                label.c_str(), row.stats.SharingRate(),
+                static_cast<unsigned long long>(row.stats.served), n);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+
+#include "rideshare/baseline_matcher.h"
+#include "rideshare/dsa_matcher.h"
+#include "rideshare/ssa_matcher.h"
+
+namespace ptar::bench {
+
+Harness::Harness(const BenchConfig& base) : base_(base) {
+  GridCityOptions copts;
+  copts.rows = base.city_rows;
+  copts.cols = base.city_cols;
+  copts.spacing_meters = base.spacing_meters;
+  copts.seed = base.city_seed;
+  auto g = MakeGridCity(copts);
+  PTAR_CHECK(g.ok()) << g.status();
+  graph_ = std::move(g).value();
+}
+
+const GridIndex& Harness::GridFor(double cell_size) {
+  const long long key = static_cast<long long>(cell_size * 1000.0);
+  auto it = grids_.find(key);
+  if (it == grids_.end()) {
+    auto built = GridIndex::Build(&graph_, {.cell_size_meters = cell_size});
+    PTAR_CHECK(built.ok()) << built.status();
+    it = grids_
+             .emplace(key, std::make_unique<GridIndex>(
+                               std::move(built).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+BenchRow Harness::Run(const BenchConfig& cfg, const std::string& label) {
+  BaselineMatcher ba;
+  SsaMatcher ssa(cfg.verified_grid_fraction);
+  DsaMatcher dsa(cfg.verified_grid_fraction);
+  std::vector<Matcher*> matchers = {&ba, &ssa, &dsa};
+  return RunWith(cfg, label, matchers);
+}
+
+BenchRow Harness::RunWith(const BenchConfig& cfg, const std::string& label,
+                          std::span<ptar::Matcher* const> matchers) {
+  PTAR_CHECK(cfg.city_rows == base_.city_rows &&
+             cfg.city_cols == base_.city_cols &&
+             cfg.city_seed == base_.city_seed)
+      << "the city shape is fixed per harness";
+
+  const GridIndex& grid = GridFor(cfg.cell_size_meters);
+
+  WorkloadOptions wopts;
+  wopts.num_requests = cfg.num_requests;
+  wopts.duration_seconds = cfg.duration_seconds;
+  wopts.riders = cfg.riders;
+  wopts.waiting_minutes = cfg.waiting_minutes;
+  wopts.epsilon = cfg.epsilon;
+  wopts.seed = cfg.workload_seed;
+  auto requests = GenerateWorkload(graph_, wopts);
+  PTAR_CHECK(requests.ok()) << requests.status();
+
+  EngineOptions eopts;
+  eopts.num_vehicles = cfg.num_vehicles;
+  eopts.vehicle_capacity = cfg.vehicle_capacity;
+  eopts.seed = cfg.engine_seed;
+  Engine engine(&graph_, &grid, eopts);
+
+  BenchRow row;
+  row.label = label;
+  row.stats = engine.Run(*requests, matchers);
+  row.grid_memory_bytes = grid.MemoryBytes();
+  row.tree_memory_bytes = engine.KineticTreeMemoryBytes();
+  return row;
+}
+
+void PrintCostHeader(const std::string& param_name) {
+  std::printf("%-14s %-5s %12s %10s %12s %9s\n", param_name.c_str(), "algo",
+              "time(ms)", "verified", "compdists", "options");
+}
+
+void PrintCostRow(const std::string& param_value, const BenchRow& row) {
+  for (const MatcherAggregate& agg : row.stats.matchers) {
+    std::printf("%-14s %-5s %12.3f %10.1f %12.1f %9.2f\n",
+                param_value.c_str(), agg.name.c_str(), agg.MeanMillis(),
+                agg.MeanVerified(), agg.MeanCompdists(), agg.MeanOptions());
+  }
+}
+
+void PrintBanner(const std::string& experiment, const std::string& what) {
+  std::printf("=== %s: %s ===\n", experiment.c_str(), what.c_str());
+  std::printf(
+      "(scaled reproduction; shapes and relative orderings match the "
+      "paper, absolute numbers do not — see EXPERIMENTS.md)\n\n");
+}
+
+}  // namespace ptar::bench

@@ -1,0 +1,92 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Every bench binary (one per table / figure of Section VII) drives the same
+// pipeline: synthetic city -> grid index -> fleet engine -> request stream
+// -> shadow evaluation of BA / SSA / DSA on identical state. The harness
+// caches the city and the per-cell-size grid indexes so a parameter sweep
+// only rebuilds what the swept parameter actually changes.
+//
+// Scaling note (see DESIGN.md): the paper's testbed is the Shanghai network
+// (122k vertices) with 12K-20K taxis and 1000-9000 requests; this harness
+// keeps the paper's ratios on a single-core-friendly city. Absolute numbers
+// differ; the qualitative relationships are what the benches reproduce.
+
+#ifndef PTAR_BENCH_HARNESS_H_
+#define PTAR_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "grid/grid_index.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+
+namespace ptar::bench {
+
+struct BenchConfig {
+  // City shape (fixed per harness instance).
+  int city_rows = 40;
+  int city_cols = 40;
+  double spacing_meters = 120.0;
+  std::uint64_t city_seed = 42;
+
+  // Swept parameters (paper Table II, scaled).
+  double cell_size_meters = 300.0;
+  int num_vehicles = 400;
+  int vehicle_capacity = 4;
+  std::size_t num_requests = 100;
+  double duration_seconds = 1200.0;
+  double waiting_minutes = 2.0;
+  double epsilon = 0.2;
+  int riders = 1;
+  double verified_grid_fraction = 0.16;
+  std::uint64_t workload_seed = 7;
+  std::uint64_t engine_seed = 13;
+};
+
+struct BenchRow {
+  std::string label;
+  RunStats stats;                 ///< Per-matcher aggregates (BA, SSA, DSA).
+  std::size_t grid_memory_bytes = 0;
+  std::size_t tree_memory_bytes = 0;
+};
+
+class Harness {
+ public:
+  explicit Harness(const BenchConfig& base);
+
+  /// Runs one parameter point with the standard BA / SSA / DSA trio. Only
+  /// the swept fields of `cfg` may differ from the base config; the city
+  /// shape must match.
+  BenchRow Run(const BenchConfig& cfg, const std::string& label);
+
+  /// Same, with a caller-supplied matcher list (the first matcher commits
+  /// and is the precision/recall reference). Used by the ablation bench.
+  BenchRow RunWith(const BenchConfig& cfg, const std::string& label,
+                   std::span<ptar::Matcher* const> matchers);
+
+  const RoadNetwork& graph() const { return graph_; }
+
+ private:
+  const GridIndex& GridFor(double cell_size);
+
+  BenchConfig base_;
+  RoadNetwork graph_;
+  std::map<long long, std::unique_ptr<GridIndex>> grids_;  // key: size in mm
+};
+
+/// Prints the standard per-row report: one line per algorithm with mean
+/// running time, verified vehicles, compdists, and options per request.
+void PrintCostHeader(const std::string& param_name);
+void PrintCostRow(const std::string& param_value, const BenchRow& row);
+
+/// Frees benches from duplicating the figure banner boilerplate.
+void PrintBanner(const std::string& experiment, const std::string& what);
+
+}  // namespace ptar::bench
+
+#endif  // PTAR_BENCH_HARNESS_H_

@@ -1,0 +1,73 @@
+// Micro-benchmark: grid-guided A* vs. plain Dijkstra for point-to-point
+// queries (the optional oracle accelerator; see grid/astar.h).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "grid/astar.h"
+
+namespace {
+
+const ptar::RoadNetwork& City() {
+  static const ptar::RoadNetwork* g = [] {
+    ptar::GridCityOptions opts;
+    opts.rows = 40;
+    opts.cols = 40;
+    opts.seed = 11;
+    auto built = ptar::MakeGridCity(opts);
+    PTAR_CHECK(built.ok());
+    return new ptar::RoadNetwork(std::move(built).value());
+  }();
+  return *g;
+}
+
+const ptar::GridIndex& Index() {
+  static const ptar::GridIndex* index = [] {
+    auto built = ptar::GridIndex::Build(&City(), {.cell_size_meters = 300.0});
+    PTAR_CHECK(built.ok());
+    return new ptar::GridIndex(std::move(built).value());
+  }();
+  return *index;
+}
+
+void BM_DijkstraP2P(benchmark::State& state) {
+  ptar::DijkstraEngine engine(&City());
+  ptar::Rng rng(1);
+  const std::size_t n = City().num_vertices();
+  std::size_t settled = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    const auto s = static_cast<ptar::VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<ptar::VertexId>(rng.UniformIndex(n));
+    benchmark::DoNotOptimize(engine.PointToPoint(s, t));
+    settled += engine.last_settled_count();
+    ++runs;
+  }
+  state.counters["settled/query"] =
+      runs ? static_cast<double>(settled) / runs : 0;
+}
+BENCHMARK(BM_DijkstraP2P);
+
+void BM_AStarP2P(benchmark::State& state) {
+  ptar::AStarEngine engine(&City(), &Index());
+  ptar::Rng rng(1);  // same query stream as the Dijkstra benchmark
+  const std::size_t n = City().num_vertices();
+  std::size_t settled = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    const auto s = static_cast<ptar::VertexId>(rng.UniformIndex(n));
+    const auto t = static_cast<ptar::VertexId>(rng.UniformIndex(n));
+    benchmark::DoNotOptimize(engine.PointToPoint(s, t));
+    settled += engine.last_settled_count();
+    ++runs;
+  }
+  state.counters["settled/query"] =
+      runs ? static_cast<double>(settled) / runs : 0;
+}
+BENCHMARK(BM_AStarP2P);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Micro-benchmarks for the shortest-path substrate (Section IV's cost
+// building block): point-to-point with early stop vs. full single-source,
+// and the oracle's cache effect.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "graph/distance_oracle.h"
+#include "graph/generators.h"
+
+namespace {
+
+const ptar::RoadNetwork& City() {
+  static const ptar::RoadNetwork* g = [] {
+    ptar::GridCityOptions opts;
+    opts.rows = 40;
+    opts.cols = 40;
+    opts.seed = 11;
+    auto built = ptar::MakeGridCity(opts);
+    PTAR_CHECK(built.ok());
+    return new ptar::RoadNetwork(std::move(built).value());
+  }();
+  return *g;
+}
+
+void BM_PointToPoint(benchmark::State& state) {
+  const ptar::RoadNetwork& g = City();
+  ptar::DijkstraEngine engine(&g);
+  ptar::Rng rng(1);
+  for (auto _ : state) {
+    const auto s = static_cast<ptar::VertexId>(
+        rng.UniformIndex(g.num_vertices()));
+    const auto t = static_cast<ptar::VertexId>(
+        rng.UniformIndex(g.num_vertices()));
+    benchmark::DoNotOptimize(engine.PointToPoint(s, t));
+  }
+}
+BENCHMARK(BM_PointToPoint);
+
+void BM_SingleSourceFull(benchmark::State& state) {
+  const ptar::RoadNetwork& g = City();
+  ptar::DijkstraEngine engine(&g);
+  ptar::Rng rng(2);
+  for (auto _ : state) {
+    engine.SingleSource(
+        static_cast<ptar::VertexId>(rng.UniformIndex(g.num_vertices())));
+    benchmark::DoNotOptimize(engine.last_settled_count());
+  }
+}
+BENCHMARK(BM_SingleSourceFull);
+
+void BM_OracleCached(benchmark::State& state) {
+  const ptar::RoadNetwork& g = City();
+  ptar::DistanceOracle oracle(&g);
+  // Warm a working set of pairs, then measure cached lookups.
+  ptar::Rng warm(3);
+  std::vector<std::pair<ptar::VertexId, ptar::VertexId>> pairs;
+  for (int i = 0; i < 256; ++i) {
+    pairs.emplace_back(
+        static_cast<ptar::VertexId>(warm.UniformIndex(g.num_vertices())),
+        static_cast<ptar::VertexId>(warm.UniformIndex(g.num_vertices())));
+    oracle.Dist(pairs.back().first, pairs.back().second);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 255];
+    benchmark::DoNotOptimize(oracle.Dist(a, b));
+  }
+}
+BENCHMARK(BM_OracleCached);
+
+}  // namespace
+
+BENCHMARK_MAIN();

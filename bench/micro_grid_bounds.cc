@@ -1,0 +1,86 @@
+// Micro-benchmarks for the grid-index bounds: the O(1) ldist and the
+// O(|BV|) udist that replace full shortest-path computations during pruning
+// (Section IV.A), plus index construction cost per cell size.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "grid/grid_index.h"
+
+namespace {
+
+const ptar::RoadNetwork& City() {
+  static const ptar::RoadNetwork* g = [] {
+    ptar::GridCityOptions opts;
+    opts.rows = 40;
+    opts.cols = 40;
+    opts.seed = 11;
+    auto built = ptar::MakeGridCity(opts);
+    PTAR_CHECK(built.ok());
+    return new ptar::RoadNetwork(std::move(built).value());
+  }();
+  return *g;
+}
+
+const ptar::GridIndex& Index() {
+  static const ptar::GridIndex* index = [] {
+    auto built = ptar::GridIndex::Build(&City(), {.cell_size_meters = 300.0});
+    PTAR_CHECK(built.ok());
+    return new ptar::GridIndex(std::move(built).value());
+  }();
+  return *index;
+}
+
+void BM_LowerBound(benchmark::State& state) {
+  const ptar::GridIndex& index = Index();
+  ptar::Rng rng(5);
+  const std::size_t n = City().num_vertices();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.LowerBound(
+        static_cast<ptar::VertexId>(rng.UniformIndex(n)),
+        static_cast<ptar::VertexId>(rng.UniformIndex(n))));
+  }
+}
+BENCHMARK(BM_LowerBound);
+
+void BM_UpperBound(benchmark::State& state) {
+  const ptar::GridIndex& index = Index();
+  ptar::Rng rng(6);
+  const std::size_t n = City().num_vertices();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.UpperBound(
+        static_cast<ptar::VertexId>(rng.UniformIndex(n)),
+        static_cast<ptar::VertexId>(rng.UniformIndex(n))));
+  }
+}
+BENCHMARK(BM_UpperBound);
+
+void BM_LowerBoundToCell(benchmark::State& state) {
+  const ptar::GridIndex& index = Index();
+  ptar::Rng rng(7);
+  const std::size_t n = City().num_vertices();
+  const auto cells = index.active_cells();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.LowerBoundToCell(
+        static_cast<ptar::VertexId>(rng.UniformIndex(n)),
+        cells[rng.UniformIndex(cells.size())]));
+  }
+}
+BENCHMARK(BM_LowerBoundToCell);
+
+void BM_BuildIndex(benchmark::State& state) {
+  const double cell_size = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto built =
+        ptar::GridIndex::Build(&City(), {.cell_size_meters = cell_size});
+    PTAR_CHECK(built.ok());
+    benchmark::DoNotOptimize(built->num_active_cells());
+  }
+}
+BENCHMARK(BM_BuildIndex)->Arg(600)->Arg(300)->Arg(160)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

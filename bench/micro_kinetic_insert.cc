@@ -1,0 +1,74 @@
+// Micro-benchmark for kinetic-tree insertion (Section IV.B): enumerating
+// all valid insertions of a new request into trees carrying 0-3 requests.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "graph/distance_oracle.h"
+#include "graph/generators.h"
+#include "kinetic/kinetic_tree.h"
+
+namespace {
+
+const ptar::RoadNetwork& City() {
+  static const ptar::RoadNetwork* g = [] {
+    ptar::GridCityOptions opts;
+    opts.rows = 30;
+    opts.cols = 30;
+    opts.seed = 19;
+    auto built = ptar::MakeGridCity(opts);
+    PTAR_CHECK(built.ok());
+    return new ptar::RoadNetwork(std::move(built).value());
+  }();
+  return *g;
+}
+
+ptar::Request RandomRequest(ptar::Rng& rng, ptar::RequestId id) {
+  const std::size_t n = City().num_vertices();
+  ptar::Request r;
+  r.id = id;
+  r.start = static_cast<ptar::VertexId>(rng.UniformIndex(n));
+  do {
+    r.destination = static_cast<ptar::VertexId>(rng.UniformIndex(n));
+  } while (r.destination == r.start);
+  r.riders = 1;
+  r.max_wait_dist = 5000.0;
+  r.epsilon = 0.8;
+  return r;
+}
+
+void BM_EnumerateInsertions(benchmark::State& state) {
+  const int preload = static_cast<int>(state.range(0));
+  ptar::DistanceOracle oracle(&City());
+  auto dist = [&oracle](ptar::VertexId a, ptar::VertexId b) {
+    return oracle.Dist(a, b);
+  };
+  ptar::Rng rng(23 + preload);
+
+  // Preload the tree with `preload` committed requests.
+  ptar::KineticTree tree(
+      0, static_cast<ptar::VertexId>(rng.UniformIndex(City().num_vertices())),
+      6);
+  ptar::RequestId next = 1;
+  while (static_cast<int>(tree.assigned().size()) < preload) {
+    const ptar::Request r = RandomRequest(rng, next++);
+    const ptar::Distance direct = oracle.Dist(r.start, r.destination);
+    const auto candidates =
+        tree.EnumerateInsertions(r, direct, dist, ptar::InsertionHooks{});
+    if (candidates.empty()) continue;
+    PTAR_CHECK_OK(tree.Commit(r, direct, candidates[0].pickup_dist, dist));
+  }
+
+  const ptar::Request probe = RandomRequest(rng, 999);
+  const ptar::Distance direct = oracle.Dist(probe.start, probe.destination);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.EnumerateInsertions(
+        probe, direct, dist, ptar::InsertionHooks{}));
+  }
+  state.counters["branches"] = static_cast<double>(tree.schedules().size());
+}
+BENCHMARK(BM_EnumerateInsertions)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Table III: SSA / DSA precision and recall vs. the number of verified grid
+// cells, measured against the exact (BA) option set on identical state.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ptar::bench;
+  PrintBanner("Table III", "precision / recall vs. verified grid cells (%)");
+
+  BenchConfig base;
+  Harness harness(base);
+
+  std::printf("%-14s %-5s %10s %10s\n", "verified(%)", "algo", "precision",
+              "recall");
+  for (const double fraction : {0.08, 0.16, 0.32, 0.64, 1.0}) {
+    BenchConfig cfg = base;
+    cfg.verified_grid_fraction = fraction;
+    const std::string label =
+        std::to_string(static_cast<int>(fraction * 100.0 + 0.5));
+    const BenchRow row = harness.Run(cfg, label);
+    // Matcher 0 is BA (the reference); report SSA and DSA.
+    for (std::size_t m = 1; m < row.stats.matchers.size(); ++m) {
+      const ptar::MatcherAggregate& agg = row.stats.matchers[m];
+      std::printf("%-14s %-5s %10.4f %10.4f\n", label.c_str(),
+                  agg.name.c_str(), agg.MeanPrecision(), agg.MeanRecall());
+    }
+  }
+  return 0;
+}

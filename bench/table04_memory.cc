@@ -1,0 +1,32 @@
+// Table IV: memory cost of the grid index and the kinetic trees vs. the
+// grid cell size. The paper reports the grid index growing steeply as the
+// cells shrink while the kinetic trees stay essentially flat; the road
+// network itself is a fixed cost.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ptar::bench;
+  PrintBanner("Table IV", "memory cost vs. grid cell size");
+
+  BenchConfig base;
+  Harness harness(base);
+
+  std::printf("fixed road-network memory: %.2f MB\n\n",
+              harness.graph().MemoryBytes() / 1048576.0);
+  std::printf("%-14s %16s %16s\n", "cell(m)", "grid index(MB)",
+              "kinetic trees(MB)");
+  for (const double cell : {1200.0, 600.0, 300.0, 160.0, 100.0}) {
+    BenchConfig cfg = base;
+    cfg.cell_size_meters = cell;
+    const std::string label = std::to_string(static_cast<int>(cell));
+    const BenchRow row = harness.Run(cfg, label);
+    std::printf("%-14s %16.3f %16.3f\n", label.c_str(),
+                row.grid_memory_bytes / 1048576.0,
+                row.tree_memory_bytes / 1048576.0);
+  }
+  return 0;
+}

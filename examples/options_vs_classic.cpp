@@ -1,0 +1,126 @@
+// Options vs. classic dispatch: what does the price-and-time-aware skyline
+// buy riders? Replays the identical demand trace through two systems:
+//
+//   classic   every rider is assigned the single system-optimal vehicle
+//             (minimal travel increase — what T-share-style dispatchers do)
+//   options   every rider sees the non-dominated (time, price) skyline and
+//             picks by their own preference (cheapest here)
+//
+// and compares rider-facing outcomes: mean fare, mean pickup time, sharing.
+//
+//   $ ./options_vs_classic
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "graph/generators.h"
+#include "rideshare/baseline_matcher.h"
+#include "rideshare/classic_dispatcher.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+
+using namespace ptar;
+
+namespace {
+
+struct Outcome {
+  SampleSummary fares;
+  SampleSummary pickup_minutes;
+  double sharing_rate = 0.0;
+  std::uint64_t served = 0;
+};
+
+Outcome Replay(const RoadNetwork& graph, const GridIndex& grid,
+               const std::vector<Request>& requests, Matcher* matcher,
+               ChoicePolicy policy) {
+  EngineOptions eopts;
+  eopts.num_vehicles = 150;
+  eopts.seed = 21;
+  eopts.policy = policy;
+  Engine engine(&graph, &grid, eopts);
+  std::vector<Matcher*> matchers = {matcher};
+
+  Outcome outcome;
+  std::uint64_t served = 0;
+  for (const Request& request : requests) {
+    const auto result = engine.ProcessRequest(request, matchers);
+    if (!result.served) continue;
+    ++served;
+    outcome.fares.Add(result.chosen.price);
+    outcome.pickup_minutes.Add(result.chosen.pickup_dist /
+                               kDefaultSpeedMetersPerSec / 60.0);
+  }
+  // Let every trip finish.
+  engine.AdvanceTo(engine.now() + 7200.0);
+  outcome.served = served;
+  return outcome;
+}
+
+void Print(const char* label, const Outcome& o) {
+  std::printf("%-8s served %3llu | fare mean %8.1f p50 %8.1f p95 %8.1f | "
+              "pickup mean %5.2f min p95 %5.2f min\n",
+              label, static_cast<unsigned long long>(o.served),
+              o.fares.Mean(), o.fares.Percentile(50), o.fares.Percentile(95),
+              o.pickup_minutes.Mean(), o.pickup_minutes.Percentile(95));
+}
+
+}  // namespace
+
+int main() {
+  GridCityOptions copts;
+  copts.rows = 25;
+  copts.cols = 25;
+  copts.spacing_meters = 150.0;
+  copts.seed = 404;
+  auto graph = MakeGridCity(copts);
+  PTAR_CHECK_OK(graph.status());
+  auto grid = GridIndex::Build(&*graph, {.cell_size_meters = 400.0});
+  PTAR_CHECK_OK(grid.status());
+
+  WorkloadOptions wopts;
+  wopts.num_requests = 120;
+  wopts.duration_seconds = 1500.0;
+  wopts.epsilon = 0.5;
+  wopts.waiting_minutes = 5.0;
+  wopts.seed = 11;
+  auto requests = GenerateWorkload(*graph, wopts);
+  PTAR_CHECK_OK(requests.status());
+
+  std::printf("replaying %zu requests through both systems...\n\n",
+              requests->size());
+
+  ClassicDispatcher classic;
+  const Outcome classic_outcome =
+      Replay(*graph, *grid, *requests, &classic, ChoicePolicy::kMinPrice);
+
+  BaselineMatcher skyline;  // exact option set; riders choose cheapest
+  const Outcome cheap_outcome =
+      Replay(*graph, *grid, *requests, &skyline, ChoicePolicy::kMinPrice);
+
+  BaselineMatcher skyline2;  // riders choose fastest pickup instead
+  const Outcome fast_outcome =
+      Replay(*graph, *grid, *requests, &skyline2, ChoicePolicy::kMinTime);
+
+  Print("classic", classic_outcome);
+  Print("cheap", cheap_outcome);
+  Print("fast", fast_outcome);
+
+  // Under the paper's price model, price = f_n * (travel increase +
+  // direct), so the classic minimal-increase assignment coincides with the
+  // cheapest option (the first two rows match). What riders gain from the
+  // skyline is the *time* side of the trade-off.
+  const double fare_premium =
+      fast_outcome.fares.Mean() - classic_outcome.fares.Mean();
+  const double p95_saving = classic_outcome.pickup_minutes.Percentile(95) -
+                            fast_outcome.pickup_minutes.Percentile(95);
+  std::printf(
+      "\nClassic dispatch already gives the cheapest ride (its objective "
+      "is the price model's\nnumerator), but it forces everyone onto it: "
+      "the p95 pickup is %.1f minutes. With the\noption skyline, "
+      "time-sensitive riders cut the p95 pickup by %.1f minutes for a "
+      "%.0f%%\nfare premium — one system-optimal assignment cannot serve "
+      "both preferences.\n",
+      classic_outcome.pickup_minutes.Percentile(95), p95_saving,
+      100.0 * fare_premium / classic_outcome.fares.Mean());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Named metric counters used to report the paper's cost measures
+// (compdists, verified vehicles, pruning hits, ...).
+
+#ifndef PTAR_COMMON_COUNTERS_H_
+#define PTAR_COMMON_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ptar {
+
+/// A bag of named monotonically increasing counters. Not thread-safe; each
+/// matcher / engine owns its own set.
+class CounterSet {
+ public:
+  void Add(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  std::uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void Reset() { counters_.clear(); }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  /// Merges another set into this one by summing matching names.
+  void MergeFrom(const CounterSet& other) {
+    for (const auto& [name, value] : other.counters_) {
+      counters_[name] += value;
+    }
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_COMMON_COUNTERS_H_

@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ptar {
+
+namespace {
+
+std::atomic<int> g_log_threshold{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+LogLevel GetLogThreshold() {
+  return static_cast<LogLevel>(g_log_threshold.load(std::memory_order_relaxed));
+}
+
+void SetLogThreshold(LogLevel level) {
+  g_log_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogThreshold() || level_ == LogLevel::kFatal) {
+    stream_ << "\n";
+    const std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace ptar

@@ -1,0 +1,84 @@
+// Lightweight logging and assertion macros.
+//
+// PTAR_LOG(INFO) << ...;        leveled logging to stderr
+// PTAR_CHECK(cond) << ...;      fatal assertion, always on
+// PTAR_DCHECK(cond) << ...;     fatal assertion, debug builds only
+
+#ifndef PTAR_COMMON_LOGGING_H_
+#define PTAR_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ptar {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Minimum level that is actually emitted; defaults to kInfo.
+LogLevel GetLogThreshold();
+void SetLogThreshold(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (and possibly aborts) on
+/// destruction. Not for direct use; see the macros below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed expression into void so it can sit on the right-hand
+/// side of a ternary whose other branch is (void)0. operator& binds looser
+/// than operator<<, so trailing "<< msg" attaches to the stream first.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace ptar
+
+#define PTAR_LOG(severity)                                        \
+  ::ptar::internal::LogMessage(::ptar::LogLevel::k##severity,     \
+                               __FILE__, __LINE__)                \
+      .stream()
+
+#define PTAR_CHECK(cond)                                                    \
+  (cond) ? (void)0                                                          \
+         : ::ptar::internal::LogMessageVoidify() &                          \
+               ::ptar::internal::LogMessage(::ptar::LogLevel::kFatal,       \
+                                            __FILE__, __LINE__)             \
+                       .stream()                                            \
+                   << "Check failed: " #cond " "
+
+#define PTAR_CHECK_OK(expr)                                  \
+  do {                                                       \
+    const auto& _ptar_st = (expr);                           \
+    PTAR_CHECK(_ptar_st.ok()) << _ptar_st.ToString();        \
+  } while (false)
+
+#ifdef NDEBUG
+#define PTAR_DCHECK(cond) \
+  while (false) PTAR_CHECK(cond)
+#else
+#define PTAR_DCHECK(cond) PTAR_CHECK(cond)
+#endif
+
+#endif  // PTAR_COMMON_LOGGING_H_

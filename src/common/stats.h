@@ -1,0 +1,82 @@
+// Small sample-summary helper (mean / percentiles / extrema) for
+// latency-style measurements.
+
+#ifndef PTAR_COMMON_STATS_H_
+#define PTAR_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ptar {
+
+/// Accumulates double samples and answers summary queries. Percentile
+/// queries sort a scratch copy lazily; suitable for thousands of samples,
+/// not millions.
+class SampleSummary {
+ public:
+  void Add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Sum() const {
+    double sum = 0.0;
+    for (const double v : samples_) sum += v;
+    return sum;
+  }
+
+  double Mean() const { return empty() ? 0.0 : Sum() / count(); }
+
+  double Min() const {
+    return empty() ? 0.0
+                   : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    return empty() ? 0.0
+                   : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Nearest-rank percentile; p in [0, 100].
+  double Percentile(double p) const {
+    if (empty()) return 0.0;
+    PTAR_DCHECK(p >= 0.0 && p <= 100.0);
+    EnsureSorted();
+    const double rank = p / 100.0 * (sorted_samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted_samples_.size() - 1);
+    const double frac = rank - lo;
+    return sorted_samples_[lo] * (1.0 - frac) + sorted_samples_[hi] * frac;
+  }
+
+  void MergeFrom(const SampleSummary& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      sorted_samples_ = samples_;
+      std::sort(sorted_samples_.begin(), sorted_samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_COMMON_STATS_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing helper for benches and match statistics.
+
+#ifndef PTAR_COMMON_TIMER_H_
+#define PTAR_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ptar {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_COMMON_TIMER_H_

@@ -1,0 +1,30 @@
+#include "graph/distance_oracle.h"
+
+#include <algorithm>
+
+namespace ptar {
+
+Distance DistanceOracle::Dist(VertexId a, VertexId b) {
+  if (a == b) return 0.0;
+  const std::uint64_t key = Key(a, b);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  // Always search from the smaller id: dist(a, b) and dist(b, a) are equal
+  // mathematically but can differ in the last ulp (different float
+  // summation order), and callers compare prices for exact dominance ties.
+  // A canonical direction makes every caller see bit-identical values.
+  const Distance d = engine_.PointToPoint(std::min(a, b), std::max(a, b));
+  ++compdists_;
+  cache_.emplace(key, d);
+  return d;
+}
+
+std::vector<VertexId> DistanceOracle::Path(VertexId a, VertexId b) {
+  if (a == b) return {a};
+  const Distance d = engine_.PointToPoint(a, b);
+  ++compdists_;
+  cache_[Key(a, b)] = d;
+  return engine_.PathTo(b);
+}
+
+}  // namespace ptar

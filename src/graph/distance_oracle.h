@@ -1,0 +1,63 @@
+// Counting, caching front-end for exact shortest-path distance queries.
+//
+// The paper's main cost measure besides wall-clock time is "compdists": the
+// number of shortest-path distance computations an algorithm performs. Every
+// matcher draws distances exclusively through a DistanceOracle so the count
+// is uniform across BA / SSA / DSA. A per-oracle memo cache means a pair is
+// computed (and counted) at most once until the cache is cleared; matchers
+// clear it per request.
+
+#ifndef PTAR_GRAPH_DISTANCE_ORACLE_H_
+#define PTAR_GRAPH_DISTANCE_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/dijkstra.h"
+#include "graph/road_network.h"
+#include "graph/types.h"
+
+namespace ptar {
+
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const RoadNetwork* graph)
+      : graph_(graph), engine_(graph) {}
+
+  DistanceOracle(const DistanceOracle&) = delete;
+  DistanceOracle& operator=(const DistanceOracle&) = delete;
+
+  /// Exact shortest-path distance between a and b (undirected, so symmetric).
+  /// Counts one compdist unless the pair is already cached.
+  Distance Dist(VertexId a, VertexId b);
+
+  /// Shortest path (vertex sequence) between a and b. Counts one compdist and
+  /// caches the endpoint distance.
+  std::vector<VertexId> Path(VertexId a, VertexId b);
+
+  /// Number of actual point-to-point computations since construction or the
+  /// last ResetStats().
+  std::uint64_t compdists() const { return compdists_; }
+  void ResetStats() { compdists_ = 0; }
+
+  /// Drops all memoized pairs (typically between requests).
+  void ClearCache() { cache_.clear(); }
+  std::size_t cache_size() const { return cache_.size(); }
+
+  const RoadNetwork& graph() const { return *graph_; }
+
+ private:
+  static std::uint64_t Key(VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  const RoadNetwork* graph_;
+  DijkstraEngine engine_;
+  std::unordered_map<std::uint64_t, Distance> cache_;
+  std::uint64_t compdists_ = 0;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_GRAPH_DISTANCE_ORACLE_H_

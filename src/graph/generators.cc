@@ -1,0 +1,187 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ptar {
+
+namespace {
+
+double Jitter(Rng& rng, double base, double frac) {
+  if (frac <= 0.0) return base;
+  return base * (1.0 + rng.UniformReal(-frac, frac));
+}
+
+}  // namespace
+
+StatusOr<RoadNetwork> MakeGridCity(const GridCityOptions& options) {
+  if (options.rows < 2 || options.cols < 2) {
+    return Status::InvalidArgument("grid city needs at least 2x2 vertices");
+  }
+  if (options.spacing_meters <= 0.0) {
+    return Status::InvalidArgument("spacing must be positive");
+  }
+  Rng rng(options.seed);
+  RoadNetwork::Builder builder;
+
+  const int rows = options.rows;
+  const int cols = options.cols;
+  const double s = options.spacing_meters;
+  const double j = options.coord_jitter * s;
+
+  auto vertex_at = [cols](int r, int c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double x = c * s + (j > 0 ? rng.UniformReal(-j, j) : 0.0);
+      const double y = r * s + (j > 0 ? rng.UniformReal(-j, j) : 0.0);
+      builder.AddVertex(Coord{x, y});
+    }
+  }
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Horizontal and vertical grid edges, each independently removable.
+      if (c + 1 < cols && !rng.Bernoulli(options.removal_prob)) {
+        builder.AddEdge(vertex_at(r, c), vertex_at(r, c + 1),
+                        Jitter(rng, s, options.weight_jitter));
+      }
+      if (r + 1 < rows && !rng.Bernoulli(options.removal_prob)) {
+        builder.AddEdge(vertex_at(r, c), vertex_at(r + 1, c),
+                        Jitter(rng, s, options.weight_jitter));
+      }
+      // Occasional diagonal shortcut.
+      if (r + 1 < rows && c + 1 < cols &&
+          rng.Bernoulli(options.diagonal_prob)) {
+        builder.AddEdge(vertex_at(r, c), vertex_at(r + 1, c + 1),
+                        Jitter(rng, s * std::numbers::sqrt2,
+                               options.weight_jitter));
+      }
+    }
+  }
+
+  auto built = std::move(builder).Build();
+  if (!built.ok()) return built.status();
+  return LargestComponent(*built, nullptr);
+}
+
+StatusOr<RoadNetwork> MakeRingRadialCity(
+    const RingRadialCityOptions& options) {
+  if (options.rings < 1 || options.spokes < 3) {
+    return Status::InvalidArgument(
+        "ring-radial city needs >= 1 ring and >= 3 spokes");
+  }
+  if (options.ring_spacing_meters <= 0.0) {
+    return Status::InvalidArgument("ring spacing must be positive");
+  }
+  Rng rng(options.seed);
+  RoadNetwork::Builder builder;
+
+  const VertexId hub = builder.AddVertex(Coord{0.0, 0.0});
+  auto vertex_at = [&](int ring, int spoke) {
+    // Ring vertices are laid out ring-major right after the hub.
+    return static_cast<VertexId>(1 + ring * options.spokes + spoke);
+  };
+
+  for (int ring = 0; ring < options.rings; ++ring) {
+    const double radius = (ring + 1) * options.ring_spacing_meters;
+    for (int spoke = 0; spoke < options.spokes; ++spoke) {
+      const double angle =
+          2.0 * std::numbers::pi * spoke / options.spokes;
+      builder.AddVertex(
+          Coord{radius * std::cos(angle), radius * std::sin(angle)});
+    }
+  }
+
+  for (int ring = 0; ring < options.rings; ++ring) {
+    const double radius = (ring + 1) * options.ring_spacing_meters;
+    const double arc =
+        2.0 * std::numbers::pi * radius / options.spokes;
+    for (int spoke = 0; spoke < options.spokes; ++spoke) {
+      const int next_spoke = (spoke + 1) % options.spokes;
+      builder.AddEdge(vertex_at(ring, spoke), vertex_at(ring, next_spoke),
+                      Jitter(rng, arc, options.weight_jitter));
+      if (ring == 0) {
+        builder.AddEdge(hub, vertex_at(0, spoke),
+                        Jitter(rng, options.ring_spacing_meters,
+                               options.weight_jitter));
+      } else {
+        builder.AddEdge(vertex_at(ring - 1, spoke), vertex_at(ring, spoke),
+                        Jitter(rng, options.ring_spacing_meters,
+                               options.weight_jitter));
+      }
+    }
+  }
+
+  return std::move(builder).Build();
+}
+
+ComponentLabels ConnectedComponents(const RoadNetwork& graph) {
+  const std::size_t n = graph.num_vertices();
+  ComponentLabels out;
+  out.label.assign(n, -1);
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (out.label[start] != -1) continue;
+    const int id = out.count++;
+    out.label[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const Arc& arc : graph.OutArcs(u)) {
+        if (out.label[arc.head] == -1) {
+          out.label[arc.head] = id;
+          stack.push_back(arc.head);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool IsConnected(const RoadNetwork& graph) {
+  if (graph.num_vertices() == 0) return true;
+  return ConnectedComponents(graph).count == 1;
+}
+
+StatusOr<RoadNetwork> LargestComponent(const RoadNetwork& graph,
+                                       std::vector<VertexId>* old_to_new) {
+  const std::size_t n = graph.num_vertices();
+  if (n == 0) {
+    return Status::InvalidArgument("empty graph has no components");
+  }
+  const ComponentLabels components = ConnectedComponents(graph);
+  std::vector<std::size_t> sizes(components.count, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    ++sizes[components.label[v]];
+  }
+  int best = 0;
+  for (int c = 1; c < components.count; ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+
+  std::vector<VertexId> mapping(n, kInvalidVertex);
+  RoadNetwork::Builder builder;
+  for (VertexId v = 0; v < n; ++v) {
+    if (components.label[v] == best) {
+      mapping[v] = builder.AddVertex(graph.position(v));
+    }
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const VertexId u = graph.EdgeU(e);
+    const VertexId v = graph.EdgeV(e);
+    if (mapping[u] != kInvalidVertex && mapping[v] != kInvalidVertex) {
+      builder.AddEdge(mapping[u], mapping[v], graph.EdgeWeight(e));
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return std::move(builder).Build();
+}
+
+}  // namespace ptar

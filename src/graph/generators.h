@@ -1,0 +1,67 @@
+// Synthetic road-network generators.
+//
+// The paper evaluates on the Shanghai road network (122,319 vertices /
+// 188,426 edges), which is not redistributable. These generators produce
+// connected, planar-ish undirected weighted networks with the same structural
+// role: a dense urban grid with irregularities (missing segments, diagonal
+// shortcuts, jittered geometry) or a ring-radial downtown. All randomness is
+// seed-driven and reproducible.
+
+#ifndef PTAR_GRAPH_GENERATORS_H_
+#define PTAR_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/road_network.h"
+
+namespace ptar {
+
+/// Options for MakeGridCity. Defaults give a ~2.5k-vertex, 5 km x 5 km city.
+struct GridCityOptions {
+  int rows = 50;               ///< Intersection rows.
+  int cols = 50;               ///< Intersection columns.
+  double spacing_meters = 100.0;  ///< Block edge length.
+  double coord_jitter = 0.25;  ///< Vertex position jitter, fraction of spacing.
+  double removal_prob = 0.08;  ///< Probability of deleting a grid edge.
+  double diagonal_prob = 0.05; ///< Probability of adding a diagonal shortcut.
+  double weight_jitter = 0.15; ///< Multiplicative edge-weight jitter.
+  std::uint64_t seed = 42;
+};
+
+/// Perturbed Manhattan grid. Always returns the largest connected component,
+/// so the result may have slightly fewer than rows*cols vertices.
+StatusOr<RoadNetwork> MakeGridCity(const GridCityOptions& options);
+
+/// Options for MakeRingRadialCity (a downtown with ring roads and radial
+/// avenues, denser near the center).
+struct RingRadialCityOptions {
+  int rings = 12;
+  int spokes = 24;
+  double ring_spacing_meters = 250.0;
+  double weight_jitter = 0.1;
+  std::uint64_t seed = 42;
+};
+
+/// Ring-and-radial city; includes a central hub vertex.
+StatusOr<RoadNetwork> MakeRingRadialCity(const RingRadialCityOptions& options);
+
+/// Component id per vertex (0-based) and the number of components.
+struct ComponentLabels {
+  std::vector<int> label;
+  int count = 0;
+};
+ComponentLabels ConnectedComponents(const RoadNetwork& graph);
+
+bool IsConnected(const RoadNetwork& graph);
+
+/// Restricts the graph to its largest connected component. `old_to_new`, if
+/// non-null, receives the vertex mapping (kInvalidVertex for dropped
+/// vertices).
+StatusOr<RoadNetwork> LargestComponent(const RoadNetwork& graph,
+                                       std::vector<VertexId>* old_to_new);
+
+}  // namespace ptar
+
+#endif  // PTAR_GRAPH_GENERATORS_H_

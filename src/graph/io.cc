@@ -1,0 +1,111 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace ptar {
+
+namespace {
+
+constexpr char kMagic[] = "ptar-network";
+constexpr int kVersion = 1;
+
+/// Reads the next non-comment, non-empty line into `line`. Returns false at
+/// EOF.
+bool NextLine(std::istream& in, std::string* line) {
+  while (std::getline(in, *line)) {
+    const std::size_t first = line->find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if ((*line)[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SaveNetwork(const RoadNetwork& graph, std::ostream& out) {
+  out << kMagic << " " << kVersion << "\n";
+  out << graph.num_vertices() << " " << graph.num_edges() << "\n";
+  out << std::setprecision(17);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const Coord& c = graph.position(v);
+    out << "v " << c.x << " " << c.y << "\n";
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    out << "e " << graph.EdgeU(e) << " " << graph.EdgeV(e) << " "
+        << graph.EdgeWeight(e) << "\n";
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status SaveNetworkToFile(const RoadNetwork& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return SaveNetwork(graph, out);
+}
+
+StatusOr<RoadNetwork> LoadNetwork(std::istream& in) {
+  std::string line;
+  if (!NextLine(in, &line)) return Status::IoError("empty input");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic) {
+      return Status::InvalidArgument("bad magic: expected '" +
+                                     std::string(kMagic) + "'");
+    }
+    if (version != kVersion) {
+      return Status::InvalidArgument("unsupported version " +
+                                     std::to_string(version));
+    }
+  }
+
+  if (!NextLine(in, &line)) return Status::IoError("missing size line");
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  {
+    std::istringstream sizes(line);
+    if (!(sizes >> num_vertices >> num_edges)) {
+      return Status::InvalidArgument("bad size line: " + line);
+    }
+  }
+
+  RoadNetwork::Builder builder;
+  for (std::size_t i = 0; i < num_vertices; ++i) {
+    if (!NextLine(in, &line)) return Status::IoError("truncated vertex list");
+    std::istringstream rec(line);
+    char tag = 0;
+    Coord c;
+    if (!(rec >> tag >> c.x >> c.y) || tag != 'v') {
+      return Status::InvalidArgument("bad vertex record: " + line);
+    }
+    builder.AddVertex(c);
+  }
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    if (!NextLine(in, &line)) return Status::IoError("truncated edge list");
+    std::istringstream rec(line);
+    char tag = 0;
+    VertexId u = 0;
+    VertexId v = 0;
+    Distance w = 0;
+    if (!(rec >> tag >> u >> v >> w) || tag != 'e') {
+      return Status::InvalidArgument("bad edge record: " + line);
+    }
+    builder.AddEdge(u, v, w);
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<RoadNetwork> LoadNetworkFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return LoadNetwork(in);
+}
+
+}  // namespace ptar

@@ -1,0 +1,31 @@
+// Text serialization of road networks.
+//
+// Format (one record per line, '#' comments allowed anywhere):
+//   ptar-network 1
+//   <num_vertices> <num_edges>
+//   v <x> <y>              repeated num_vertices times, in vertex-id order
+//   e <u> <v> <weight>     repeated num_edges times
+//
+// The same format can load third-party data (e.g. OSM extracts converted to
+// an edge list) as a substitute for the paper's Shanghai network.
+
+#ifndef PTAR_GRAPH_IO_H_
+#define PTAR_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/road_network.h"
+
+namespace ptar {
+
+Status SaveNetwork(const RoadNetwork& graph, std::ostream& out);
+Status SaveNetworkToFile(const RoadNetwork& graph, const std::string& path);
+
+StatusOr<RoadNetwork> LoadNetwork(std::istream& in);
+StatusOr<RoadNetwork> LoadNetworkFromFile(const std::string& path);
+
+}  // namespace ptar
+
+#endif  // PTAR_GRAPH_IO_H_

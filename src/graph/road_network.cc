@@ -1,0 +1,88 @@
+#include "graph/road_network.h"
+
+#include <cmath>
+#include <string>
+
+namespace ptar {
+
+VertexId RoadNetwork::Builder::AddVertex(Coord position) {
+  coords_.push_back(position);
+  return static_cast<VertexId>(coords_.size() - 1);
+}
+
+EdgeId RoadNetwork::Builder::AddEdge(VertexId u, VertexId v, Distance weight) {
+  edge_us_.push_back(u);
+  edge_vs_.push_back(v);
+  edge_weights_.push_back(weight);
+  return static_cast<EdgeId>(edge_us_.size() - 1);
+}
+
+EdgeId RoadNetwork::Builder::AddEdgeEuclidean(VertexId u, VertexId v) {
+  PTAR_CHECK(u < coords_.size() && v < coords_.size());
+  const double dx = coords_[u].x - coords_[v].x;
+  const double dy = coords_[u].y - coords_[v].y;
+  return AddEdge(u, v, std::sqrt(dx * dx + dy * dy));
+}
+
+StatusOr<RoadNetwork> RoadNetwork::Builder::Build() && {
+  const std::size_t n = coords_.size();
+  const std::size_t m = edge_us_.size();
+
+  for (std::size_t e = 0; e < m; ++e) {
+    if (edge_us_[e] >= n || edge_vs_[e] >= n) {
+      return Status::InvalidArgument("edge " + std::to_string(e) +
+                                     " references an unknown vertex");
+    }
+    if (edge_us_[e] == edge_vs_[e]) {
+      return Status::InvalidArgument("edge " + std::to_string(e) +
+                                     " is a self-loop");
+    }
+    if (!(edge_weights_[e] > 0.0) || !std::isfinite(edge_weights_[e])) {
+      return Status::InvalidArgument("edge " + std::to_string(e) +
+                                     " has non-positive or non-finite weight");
+    }
+  }
+
+  RoadNetwork g;
+  g.coords_ = std::move(coords_);
+  g.edge_us_ = std::move(edge_us_);
+  g.edge_vs_ = std::move(edge_vs_);
+  g.edge_weights_ = std::move(edge_weights_);
+
+  // Counting sort of the 2m arcs into CSR.
+  g.offsets_.assign(n + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++g.offsets_[g.edge_us_[e] + 1];
+    ++g.offsets_[g.edge_vs_[e] + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+  }
+  g.arcs_.resize(2 * m);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const VertexId u = g.edge_us_[e];
+    const VertexId v = g.edge_vs_[e];
+    const Distance w = g.edge_weights_[e];
+    g.arcs_[cursor[u]++] = Arc{v, w, static_cast<EdgeId>(e)};
+    g.arcs_[cursor[v]++] = Arc{u, w, static_cast<EdgeId>(e)};
+  }
+  return g;
+}
+
+double RoadNetwork::EuclideanDistance(VertexId u, VertexId v) const {
+  const double dx = position(u).x - position(v).x;
+  const double dy = position(u).y - position(v).y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::size_t RoadNetwork::MemoryBytes() const {
+  return coords_.capacity() * sizeof(Coord) +
+         offsets_.capacity() * sizeof(std::size_t) +
+         arcs_.capacity() * sizeof(Arc) +
+         edge_us_.capacity() * sizeof(VertexId) +
+         edge_vs_.capacity() * sizeof(VertexId) +
+         edge_weights_.capacity() * sizeof(Distance);
+}
+
+}  // namespace ptar

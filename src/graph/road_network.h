@@ -1,0 +1,112 @@
+// Immutable undirected weighted road network in CSR (compressed sparse row)
+// form, plus a mutable Builder.
+//
+// This is the paper's G = <V, E, W>: vertices are road intersections with
+// planar coordinates, edges are road segments weighted by travel distance
+// (convertible to travel time at constant speed).
+
+#ifndef PTAR_GRAPH_ROAD_NETWORK_H_
+#define PTAR_GRAPH_ROAD_NETWORK_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace ptar {
+
+/// One directed arc in the CSR adjacency structure. Each undirected edge
+/// contributes two arcs that share an EdgeId.
+struct Arc {
+  VertexId head = kInvalidVertex;  ///< Target vertex of this arc.
+  Distance weight = 0.0;           ///< Travel distance in meters.
+  EdgeId edge = kInvalidEdge;      ///< Undirected edge this arc belongs to.
+};
+
+/// Immutable road network. Construct through RoadNetwork::Builder.
+class RoadNetwork {
+ public:
+  /// Incrementally accumulates vertices and undirected edges, then
+  /// validates and freezes them into a RoadNetwork.
+  class Builder {
+   public:
+    /// Adds a vertex at the given planar position and returns its id.
+    VertexId AddVertex(Coord position);
+
+    /// Adds an undirected edge between two existing vertices.
+    /// Returns the edge id. Self-loops and non-positive weights are
+    /// rejected at Build() time.
+    EdgeId AddEdge(VertexId u, VertexId v, Distance weight);
+
+    /// Convenience: adds an edge weighted by the Euclidean distance between
+    /// the endpoint coordinates.
+    EdgeId AddEdgeEuclidean(VertexId u, VertexId v);
+
+    std::size_t num_vertices() const { return coords_.size(); }
+    std::size_t num_edges() const { return edge_us_.size(); }
+
+    /// Validates the accumulated data and produces the immutable network.
+    StatusOr<RoadNetwork> Build() &&;
+
+   private:
+    std::vector<Coord> coords_;
+    std::vector<VertexId> edge_us_;
+    std::vector<VertexId> edge_vs_;
+    std::vector<Distance> edge_weights_;
+  };
+
+  RoadNetwork() = default;
+
+  RoadNetwork(const RoadNetwork&) = default;
+  RoadNetwork& operator=(const RoadNetwork&) = default;
+  RoadNetwork(RoadNetwork&&) = default;
+  RoadNetwork& operator=(RoadNetwork&&) = default;
+
+  std::size_t num_vertices() const { return coords_.size(); }
+  std::size_t num_edges() const { return edge_us_.size(); }
+
+  bool IsValidVertex(VertexId v) const { return v < coords_.size(); }
+
+  const Coord& position(VertexId v) const {
+    PTAR_DCHECK(IsValidVertex(v));
+    return coords_[v];
+  }
+
+  /// Outgoing arcs of v (one per incident undirected edge).
+  std::span<const Arc> OutArcs(VertexId v) const {
+    PTAR_DCHECK(IsValidVertex(v));
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  std::size_t Degree(VertexId v) const { return OutArcs(v).size(); }
+
+  /// Endpoints / weight of an undirected edge.
+  VertexId EdgeU(EdgeId e) const { return edge_us_[e]; }
+  VertexId EdgeV(EdgeId e) const { return edge_vs_[e]; }
+  Distance EdgeWeight(EdgeId e) const { return edge_weights_[e]; }
+
+  /// Straight-line distance between the coordinates of two vertices. This is
+  /// a geometric helper only — never a substitute for network distance.
+  double EuclideanDistance(VertexId u, VertexId v) const;
+
+  /// Approximate resident memory of the CSR structure, in bytes.
+  std::size_t MemoryBytes() const;
+
+ private:
+  friend class Builder;
+
+  std::vector<Coord> coords_;
+  // CSR adjacency: arcs_[offsets_[v] .. offsets_[v+1]) are v's arcs.
+  std::vector<std::size_t> offsets_;
+  std::vector<Arc> arcs_;
+  // Per-undirected-edge data.
+  std::vector<VertexId> edge_us_;
+  std::vector<VertexId> edge_vs_;
+  std::vector<Distance> edge_weights_;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_GRAPH_ROAD_NETWORK_H_

@@ -1,0 +1,46 @@
+// Fundamental identifier and measurement types for the road-network layer.
+
+#ifndef PTAR_GRAPH_TYPES_H_
+#define PTAR_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ptar {
+
+/// Index of a vertex (road intersection) in a RoadNetwork.
+using VertexId = std::uint32_t;
+
+/// Index of an undirected edge (road segment) in a RoadNetwork.
+using EdgeId = std::uint32_t;
+
+/// Network distance in meters. The paper converts between time and distance
+/// with a constant speed; see kDefaultSpeedMetersPerSec.
+using Distance = double;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Sentinel for "unreachable" / "unknown" distances.
+inline constexpr Distance kInfDistance =
+    std::numeric_limits<Distance>::infinity();
+
+/// The paper's constant vehicle speed: 48 km/h.
+inline constexpr double kDefaultSpeedMetersPerSec = 48.0 * 1000.0 / 3600.0;
+
+/// Planar coordinate of a vertex, in meters. Coordinates only drive the grid
+/// partitioning and the synthetic generators; all distances used by the
+/// algorithms are network (shortest-path) distances.
+struct Coord {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Coord& a, const Coord& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_GRAPH_TYPES_H_

@@ -1,0 +1,93 @@
+#include "grid/astar.h"
+
+#include <algorithm>
+
+namespace ptar {
+
+AStarEngine::AStarEngine(const RoadNetwork* graph, const GridIndex* grid)
+    : graph_(graph), grid_(grid) {
+  PTAR_CHECK(graph != nullptr && grid != nullptr);
+  PTAR_CHECK(&grid->graph() == graph)
+      << "grid index was built over a different graph";
+  const std::size_t n = graph->num_vertices();
+  g_.assign(n, kInfDistance);
+  h_.assign(n, 0.0);
+  parent_.assign(n, kInvalidVertex);
+  settled_.assign(n, 0);
+  stamp_.assign(n, 0);
+}
+
+Distance AStarEngine::PointToPoint(VertexId s, VertexId t) {
+  PTAR_DCHECK(graph_->IsValidVertex(s) && graph_->IsValidVertex(t));
+  ++run_stamp_;
+  if (run_stamp_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    run_stamp_ = 1;
+  }
+  heap_.clear();
+  last_target_ = t;
+  last_reached_ = false;
+  last_settled_count_ = 0;
+  if (s == t) {
+    stamp_[s] = run_stamp_;
+    g_[s] = 0.0;
+    parent_[s] = kInvalidVertex;
+    last_reached_ = true;
+    return 0.0;
+  }
+
+  stamp_[s] = run_stamp_;
+  g_[s] = 0.0;
+  h_[s] = grid_->LowerBound(s, t);
+  parent_[s] = kInvalidVertex;
+  settled_[s] = 0;
+  heap_.push_back(QueueEntry{h_[s], s});
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const QueueEntry top = heap_.back();
+    heap_.pop_back();
+    const VertexId u = top.vertex;
+    if (settled_[u] && top.f > g_[u] + h_[u]) {
+      continue;  // stale entry
+    }
+    // The heuristic is admissible but not necessarily consistent, so a
+    // vertex may be re-expanded when a shorter g is discovered; exactness
+    // at the target still holds because h(t) = 0.
+    settled_[u] = 1;
+    ++last_settled_count_;
+    if (u == t) {
+      last_reached_ = true;
+      return g_[t];
+    }
+    for (const Arc& arc : graph_->OutArcs(u)) {
+      const VertexId v = arc.head;
+      const Distance ng = g_[u] + arc.weight;
+      if (stamp_[v] != run_stamp_ || ng < g_[v]) {
+        if (stamp_[v] != run_stamp_) {
+          stamp_[v] = run_stamp_;
+          h_[v] = grid_->LowerBound(v, t);
+        }
+        g_[v] = ng;
+        parent_[v] = u;
+        settled_[v] = 0;
+        heap_.push_back(QueueEntry{ng + h_[v], v});
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+std::vector<VertexId> AStarEngine::LastPath() const {
+  std::vector<VertexId> path;
+  if (!last_reached_ || last_target_ == kInvalidVertex) return path;
+  for (VertexId v = last_target_; v != kInvalidVertex;) {
+    path.push_back(v);
+    v = (stamp_[v] == run_stamp_) ? parent_[v] : kInvalidVertex;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace ptar

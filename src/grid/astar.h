@@ -1,0 +1,68 @@
+// A* point-to-point search guided by the grid index.
+//
+// The grid's ldist(u, v) never exceeds the true shortest-path distance
+// (tested property), so it is an admissible — and, being derived from a
+// single lower-bound matrix, consistent enough in practice — heuristic for
+// goal-directed search. This is an optional accelerator for the distance
+// oracle on large networks; Dijkstra remains the default engine.
+
+#ifndef PTAR_GRID_ASTAR_H_
+#define PTAR_GRID_ASTAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "grid/grid_index.h"
+
+namespace ptar {
+
+/// Reusable A* workspace over a RoadNetwork + GridIndex. Exact: returns the
+/// same distances as Dijkstra, typically settling far fewer vertices.
+class AStarEngine {
+ public:
+  /// Both the graph and the grid must outlive the engine; the grid must
+  /// have been built over the same graph.
+  AStarEngine(const RoadNetwork* graph, const GridIndex* grid);
+
+  AStarEngine(const AStarEngine&) = delete;
+  AStarEngine& operator=(const AStarEngine&) = delete;
+
+  /// Exact shortest-path distance from s to t (kInfDistance if
+  /// unreachable).
+  Distance PointToPoint(VertexId s, VertexId t);
+
+  /// Vertex sequence of the most recent PointToPoint run (empty if the
+  /// target was unreachable).
+  std::vector<VertexId> LastPath() const;
+
+  /// Vertices settled by the most recent run (work measure; compare with
+  /// DijkstraEngine::last_settled_count()).
+  std::size_t last_settled_count() const { return last_settled_count_; }
+
+ private:
+  struct QueueEntry {
+    Distance f;  // g + heuristic
+    VertexId vertex;
+    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+      return a.f > b.f;
+    }
+  };
+
+  const RoadNetwork* graph_;
+  const GridIndex* grid_;
+  std::vector<Distance> g_;
+  std::vector<Distance> h_;  ///< Per-run heuristic cache.
+  std::vector<VertexId> parent_;
+  std::vector<std::uint8_t> settled_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t run_stamp_ = 0;
+  std::vector<QueueEntry> heap_;
+  VertexId last_target_ = kInvalidVertex;
+  bool last_reached_ = false;
+  std::size_t last_settled_count_ = 0;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_GRID_ASTAR_H_

@@ -1,0 +1,418 @@
+#include "grid/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "graph/dijkstra.h"
+
+namespace ptar {
+
+CellId GridGeometry::CellOfPoint(const Coord& p) const {
+  int col = static_cast<int>(std::floor((p.x - min_x_) / cell_size_));
+  int row = static_cast<int>(std::floor((p.y - min_y_) / cell_size_));
+  col = std::clamp(col, 0, cols_ - 1);
+  row = std::clamp(row, 0, rows_ - 1);
+  return static_cast<CellId>(row) * cols_ + col;
+}
+
+namespace {
+
+/// Network bounding box with symmetric accessors.
+struct BoundingBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+};
+
+BoundingBox ComputeBoundingBox(const RoadNetwork& graph) {
+  BoundingBox box;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const Coord& c = graph.position(v);
+    box.min_x = std::min(box.min_x, c.x);
+    box.min_y = std::min(box.min_y, c.y);
+    box.max_x = std::max(box.max_x, c.x);
+    box.max_y = std::max(box.max_y, c.y);
+  }
+  return box;
+}
+
+/// Recursive quadtree split: assigns a leaf id to every vertex. Quadrants
+/// split while they hold more than `max_vertices` vertices and are larger
+/// than `min_size` on a side.
+void QuadtreeAssign(const RoadNetwork& graph,
+                    std::vector<VertexId>& vertices, double min_x,
+                    double min_y, double size, std::size_t max_vertices,
+                    double min_size, std::vector<CellId>* assignment,
+                    CellId* next_leaf) {
+  if (vertices.size() > max_vertices && size > min_size) {
+    const double half = size / 2.0;
+    std::vector<VertexId> quadrant[4];
+    for (const VertexId v : vertices) {
+      const Coord& c = graph.position(v);
+      const int qx = (c.x >= min_x + half) ? 1 : 0;
+      const int qy = (c.y >= min_y + half) ? 1 : 0;
+      quadrant[qy * 2 + qx].push_back(v);
+    }
+    vertices.clear();
+    vertices.shrink_to_fit();
+    for (int q = 0; q < 4; ++q) {
+      if (quadrant[q].empty()) continue;
+      QuadtreeAssign(graph, quadrant[q], min_x + (q % 2) * half,
+                     min_y + (q / 2) * half, half, max_vertices, min_size,
+                     assignment, next_leaf);
+    }
+    return;
+  }
+  const CellId leaf = (*next_leaf)++;
+  for (const VertexId v : vertices) {
+    (*assignment)[v] = leaf;
+  }
+}
+
+}  // namespace
+
+StatusOr<GridIndex> GridIndex::Build(const RoadNetwork* graph,
+                                     const Options& options) {
+  if (graph == nullptr) return Status::InvalidArgument("null graph");
+  if (graph->num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (!(options.cell_size_meters > 0.0)) {
+    return Status::InvalidArgument("cell size must be positive");
+  }
+  const std::size_t n = graph->num_vertices();
+
+  // Geometry from the bounding box (with a hair of padding so boundary
+  // vertices fall strictly inside).
+  const BoundingBox box = ComputeBoundingBox(*graph);
+  const double size = options.cell_size_meters;
+  const int cols = std::max(
+      1, static_cast<int>(std::ceil((box.max_x - box.min_x) / size + 1e-9)));
+  const int rows = std::max(
+      1, static_cast<int>(std::ceil((box.max_y - box.min_y) / size + 1e-9)));
+  const GridGeometry geometry(box.min_x, box.min_y, size, cols, rows);
+
+  std::vector<CellId> assignment(n);
+  for (VertexId v = 0; v < n; ++v) {
+    assignment[v] = geometry.CellOfPoint(graph->position(v));
+  }
+  return BuildFromAssignment(graph, std::move(assignment),
+                             geometry.num_cells(),
+                             PartitionKind::kUniformGrid, geometry);
+}
+
+StatusOr<GridIndex> GridIndex::BuildAdaptive(const RoadNetwork* graph,
+                                             const AdaptiveOptions& options) {
+  if (graph == nullptr) return Status::InvalidArgument("null graph");
+  if (graph->num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (options.max_vertices_per_cell == 0) {
+    return Status::InvalidArgument("max_vertices_per_cell must be positive");
+  }
+  if (!(options.min_cell_size_meters > 0.0)) {
+    return Status::InvalidArgument("min cell size must be positive");
+  }
+  const std::size_t n = graph->num_vertices();
+  const BoundingBox box = ComputeBoundingBox(*graph);
+  // Square root box so quadrants stay square.
+  const double size =
+      std::max({box.max_x - box.min_x, box.max_y - box.min_y, 1.0}) + 1e-6;
+
+  std::vector<VertexId> all(n);
+  for (VertexId v = 0; v < n; ++v) all[v] = v;
+  std::vector<CellId> assignment(n, kInvalidCell);
+  CellId next_leaf = 0;
+  QuadtreeAssign(*graph, all, box.min_x, box.min_y, size,
+                 options.max_vertices_per_cell, options.min_cell_size_meters,
+                 &assignment, &next_leaf);
+
+  // The quadtree has no uniform geometry; store a 1x1 placeholder.
+  const GridGeometry geometry(box.min_x, box.min_y, size, 1, 1);
+  return BuildFromAssignment(graph, std::move(assignment), next_leaf,
+                             PartitionKind::kQuadtree, geometry);
+}
+
+StatusOr<GridIndex> GridIndex::BuildFromAssignment(
+    const RoadNetwork* graph, std::vector<CellId> cell_of_vertex,
+    std::size_t num_raw_cells, PartitionKind kind, GridGeometry geometry) {
+  GridIndex index;
+  index.graph_ = graph;
+  index.geometry_ = geometry;
+  index.partition_kind_ = kind;
+  const std::size_t n = graph->num_vertices();
+
+  // --- Cell assignment and active cells. ---
+  index.cell_of_vertex_ = std::move(cell_of_vertex);
+  std::vector<std::size_t> cell_population(num_raw_cells, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    PTAR_CHECK(index.cell_of_vertex_[v] < num_raw_cells);
+    ++cell_population[index.cell_of_vertex_[v]];
+  }
+  index.active_index_.assign(num_raw_cells, -1);
+  for (CellId cell = 0; cell < num_raw_cells; ++cell) {
+    if (cell_population[cell] > 0) {
+      index.active_index_[cell] =
+          static_cast<std::int32_t>(index.active_cells_.size());
+      index.active_cells_.push_back(cell);
+    }
+  }
+  const std::size_t na = index.active_cells_.size();
+
+  // --- Vertices grouped by (dense) cell. ---
+  index.cell_vertex_offsets_.assign(na + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    ++index.cell_vertex_offsets_[index.DenseIndex(index.cell_of_vertex_[v]) +
+                                 1];
+  }
+  for (std::size_t i = 0; i < na; ++i) {
+    index.cell_vertex_offsets_[i + 1] += index.cell_vertex_offsets_[i];
+  }
+  index.cell_vertices_.resize(n);
+  {
+    std::vector<std::size_t> cursor(index.cell_vertex_offsets_.begin(),
+                                    index.cell_vertex_offsets_.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      index.cell_vertices_[cursor[index.DenseIndex(
+          index.cell_of_vertex_[v])]++] = v;
+    }
+  }
+
+  // --- Border vertices: endpoints of cell-crossing edges. ---
+  std::vector<std::uint8_t> is_border(n, 0);
+  for (EdgeId e = 0; e < graph->num_edges(); ++e) {
+    const VertexId u = graph->EdgeU(e);
+    const VertexId v = graph->EdgeV(e);
+    if (index.cell_of_vertex_[u] != index.cell_of_vertex_[v]) {
+      is_border[u] = 1;
+      is_border[v] = 1;
+    }
+  }
+  index.cell_border_offsets_.assign(na + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_border[v]) {
+      ++index.cell_border_offsets_[index.DenseIndex(
+                                       index.cell_of_vertex_[v]) +
+                                   1];
+    }
+  }
+  for (std::size_t i = 0; i < na; ++i) {
+    index.cell_border_offsets_[i + 1] += index.cell_border_offsets_[i];
+  }
+  index.cell_borders_.resize(index.cell_border_offsets_[na]);
+  {
+    std::vector<std::size_t> cursor(index.cell_border_offsets_.begin(),
+                                    index.cell_border_offsets_.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      if (is_border[v]) {
+        index.cell_borders_[cursor[index.DenseIndex(
+            index.cell_of_vertex_[v])]++] = v;
+      }
+    }
+  }
+
+  DijkstraEngine engine(graph);
+
+  // --- Per-vertex exact distances to own-cell borders. One early-stopping
+  // Dijkstra per border vertex (it halts once the whole cell is settled). ---
+  index.vertex_border_dist_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const int dense = index.DenseIndex(index.cell_of_vertex_[v]);
+    const std::size_t nb = index.cell_border_offsets_[dense + 1] -
+                           index.cell_border_offsets_[dense];
+    index.vertex_border_dist_offsets_[v + 1] =
+        index.vertex_border_dist_offsets_[v] + nb;
+  }
+  index.vertex_border_dists_.assign(index.vertex_border_dist_offsets_[n],
+                                    kInfDistance);
+  index.v_min_.assign(n, kInfDistance);
+  for (std::size_t dense = 0; dense < na; ++dense) {
+    const auto cell_vertices = std::span<const VertexId>(
+        index.cell_vertices_.data() + index.cell_vertex_offsets_[dense],
+        index.cell_vertex_offsets_[dense + 1] -
+            index.cell_vertex_offsets_[dense]);
+    const std::size_t border_begin = index.cell_border_offsets_[dense];
+    const std::size_t border_end = index.cell_border_offsets_[dense + 1];
+    for (std::size_t bi = border_begin; bi < border_end; ++bi) {
+      const VertexId b = index.cell_borders_[bi];
+      engine.SingleSourceToTargets(b, cell_vertices);
+      const std::size_t local = bi - border_begin;
+      for (const VertexId v : cell_vertices) {
+        const Distance d = engine.Dist(v);
+        index.vertex_border_dists_[index.vertex_border_dist_offsets_[v] +
+                                   local] = d;
+        index.v_min_[v] = std::min(index.v_min_[v], d);
+      }
+    }
+  }
+
+  // --- M matrix: D_ij with witness border pairs, via one multi-source
+  // Dijkstra per active cell (sources = its borders, labeled). Rows are
+  // symmetric, so only the upper triangle is computed and then mirrored. ---
+  index.d_matrix_.assign(na * na, kInfDistance);
+  index.witnesses_.assign(na * na, WitnessPair{});
+  std::vector<DijkstraSource> sources;
+  for (std::size_t a = 0; a < na; ++a) {
+    index.d_matrix_[a * na + a] = 0.0;
+    const std::size_t border_begin = index.cell_border_offsets_[a];
+    const std::size_t border_end = index.cell_border_offsets_[a + 1];
+    if (border_begin == border_end) continue;  // borderless cell: D stays inf
+    sources.clear();
+    for (std::size_t bi = border_begin; bi < border_end; ++bi) {
+      sources.push_back(DijkstraSource{
+          index.cell_borders_[bi], 0.0,
+          static_cast<std::uint32_t>(bi - border_begin + 1)});
+    }
+    engine.MultiSource(sources);
+    for (std::size_t b = a + 1; b < na; ++b) {
+      Distance best = kInfDistance;
+      VertexId best_y = kInvalidVertex;
+      for (std::size_t bj = index.cell_border_offsets_[b];
+           bj < index.cell_border_offsets_[b + 1]; ++bj) {
+        const VertexId y = index.cell_borders_[bj];
+        const Distance d = engine.Dist(y);
+        if (d < best) {
+          best = d;
+          best_y = y;
+        }
+      }
+      index.d_matrix_[a * na + b] = best;
+      index.d_matrix_[b * na + a] = best;
+      if (best_y != kInvalidVertex) {
+        const std::uint32_t label = engine.SourceLabel(best_y);
+        PTAR_DCHECK(label >= 1);
+        const VertexId x = index.cell_borders_[border_begin + label - 1];
+        index.witnesses_[a * na + b] = WitnessPair{x, best_y};
+        index.witnesses_[b * na + a] = WitnessPair{best_y, x};
+      }
+    }
+  }
+
+  // --- Per-cell search order: all active cells ascending by D, self first
+  // (D_aa = 0 sorts it to the front; ties broken by raw id for
+  // determinism). ---
+  index.sorted_cells_.resize(na * na);
+  std::vector<std::size_t> order(na);
+  for (std::size_t a = 0; a < na; ++a) {
+    std::iota(order.begin(), order.end(), 0);
+    const Distance* row = index.d_matrix_.data() + a * na;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t lhs, std::size_t rhs) {
+                if (row[lhs] != row[rhs]) return row[lhs] < row[rhs];
+                if ((lhs == a) != (rhs == a)) return lhs == a;
+                return lhs < rhs;
+              });
+    for (std::size_t i = 0; i < na; ++i) {
+      index.sorted_cells_[a * na + i] = index.active_cells_[order[i]];
+    }
+  }
+
+  return index;
+}
+
+std::span<const VertexId> GridIndex::CellVertices(CellId cell) const {
+  const int dense = DenseIndex(cell);
+  return {cell_vertices_.data() + cell_vertex_offsets_[dense],
+          cell_vertex_offsets_[dense + 1] - cell_vertex_offsets_[dense]};
+}
+
+std::span<const VertexId> GridIndex::BorderVertices(CellId cell) const {
+  const int dense = DenseIndex(cell);
+  return {cell_borders_.data() + cell_border_offsets_[dense],
+          cell_border_offsets_[dense + 1] - cell_border_offsets_[dense]};
+}
+
+std::span<const Distance> GridIndex::BorderDistances(VertexId v) const {
+  return {vertex_border_dists_.data() + vertex_border_dist_offsets_[v],
+          vertex_border_dist_offsets_[v + 1] -
+              vertex_border_dist_offsets_[v]};
+}
+
+Distance GridIndex::CellPairLowerBound(CellId a, CellId b) const {
+  const std::size_t na = active_cells_.size();
+  return d_matrix_[static_cast<std::size_t>(DenseIndex(a)) * na +
+                   DenseIndex(b)];
+}
+
+Distance GridIndex::LowerBound(VertexId u, VertexId v) const {
+  const CellId cu = cell_of_vertex_[u];
+  const CellId cv = cell_of_vertex_[v];
+  if (cu == cv) return 0.0;
+  return CellPairLowerBound(cu, cv) + v_min_[u] + v_min_[v];
+}
+
+Distance GridIndex::UpperBound(VertexId u, VertexId v) const {
+  if (u == v) return 0.0;
+  const CellId cu = cell_of_vertex_[u];
+  const CellId cv = cell_of_vertex_[v];
+  const std::size_t na = active_cells_.size();
+  if (cu == cv) {
+    // min over shared borders of dist(u,b) + dist(v,b).
+    const std::span<const Distance> du = BorderDistances(u);
+    const std::span<const Distance> dv = BorderDistances(v);
+    Distance best = kInfDistance;
+    for (std::size_t i = 0; i < du.size(); ++i) {
+      best = std::min(best, du[i] + dv[i]);
+    }
+    return best;
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>(DenseIndex(cu)) * na + DenseIndex(cv);
+  const WitnessPair& w = witnesses_[idx];
+  if (w.x == kInvalidVertex) return kInfDistance;
+  // Locate the witness borders in each endpoint's own border list.
+  const std::span<const VertexId> borders_u = BorderVertices(cu);
+  const std::span<const VertexId> borders_v = BorderVertices(cv);
+  const auto iu = std::find(borders_u.begin(), borders_u.end(), w.x);
+  const auto iv = std::find(borders_v.begin(), borders_v.end(), w.y);
+  PTAR_DCHECK(iu != borders_u.end() && iv != borders_v.end());
+  const Distance du = BorderDistances(u)[iu - borders_u.begin()];
+  const Distance dv = BorderDistances(v)[iv - borders_v.begin()];
+  return d_matrix_[idx] + du + dv;
+}
+
+Distance GridIndex::LowerBoundToCell(VertexId u, CellId cell) const {
+  const CellId cu = cell_of_vertex_[u];
+  if (cu == cell) return 0.0;
+  return v_min_[u] + CellPairLowerBound(cu, cell);
+}
+
+std::span<const CellId> GridIndex::CellsByDistance(CellId cell) const {
+  const std::size_t na = active_cells_.size();
+  return {sorted_cells_.data() + static_cast<std::size_t>(DenseIndex(cell)) *
+                                     na,
+          na};
+}
+
+std::size_t GridIndex::MemoryBytes() const {
+  return cell_of_vertex_.capacity() * sizeof(CellId) +
+         active_cells_.capacity() * sizeof(CellId) +
+         active_index_.capacity() * sizeof(std::int32_t) +
+         cell_vertex_offsets_.capacity() * sizeof(std::size_t) +
+         cell_vertices_.capacity() * sizeof(VertexId) +
+         cell_border_offsets_.capacity() * sizeof(std::size_t) +
+         cell_borders_.capacity() * sizeof(VertexId) +
+         vertex_border_dist_offsets_.capacity() * sizeof(std::size_t) +
+         vertex_border_dists_.capacity() * sizeof(Distance) +
+         v_min_.capacity() * sizeof(Distance) +
+         d_matrix_.capacity() * sizeof(Distance) +
+         witnesses_.capacity() * sizeof(WitnessPair) +
+         sorted_cells_.capacity() * sizeof(CellId);
+}
+
+void GridIndex::CollectCells(std::span<const VertexId> path,
+                             std::vector<CellId>* out) const {
+  std::vector<CellId> cells;
+  cells.reserve(path.size());
+  for (const VertexId v : path) {
+    cells.push_back(cell_of_vertex_[v]);
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  out->insert(out->end(), cells.begin(), cells.end());
+}
+
+}  // namespace ptar

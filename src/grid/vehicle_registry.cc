@@ -1,0 +1,159 @@
+#include "grid/vehicle_registry.h"
+
+#include <algorithm>
+
+namespace ptar {
+
+namespace {
+
+const CellAggregates kEmptyAggregates{};
+
+}  // namespace
+
+VehicleRegistry::VehicleRegistry(const GridIndex* grid) : grid_(grid) {
+  PTAR_CHECK(grid != nullptr);
+}
+
+VehicleRegistry::CellState& VehicleRegistry::StateFor(CellId cell) {
+  return cells_[cell];
+}
+
+const VehicleRegistry::CellState* VehicleRegistry::FindState(
+    CellId cell) const {
+  auto it = cells_.find(cell);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+void VehicleRegistry::AddEmptyVehicle(VehicleId vehicle, VertexId location) {
+  PTAR_CHECK(!empty_vehicle_cell_.contains(vehicle))
+      << "vehicle " << vehicle << " already registered as empty";
+  const CellId cell = grid_->CellOfVertex(location);
+  StateFor(cell).empty_vehicles.push_back(vehicle);
+  empty_vehicle_cell_.emplace(vehicle, cell);
+}
+
+void VehicleRegistry::RemoveEmptyVehicle(VehicleId vehicle) {
+  auto it = empty_vehicle_cell_.find(vehicle);
+  PTAR_CHECK(it != empty_vehicle_cell_.end())
+      << "vehicle " << vehicle << " is not registered as empty";
+  std::vector<VehicleId>& list = StateFor(it->second).empty_vehicles;
+  auto pos = std::find(list.begin(), list.end(), vehicle);
+  PTAR_DCHECK(pos != list.end());
+  *pos = list.back();
+  list.pop_back();
+  empty_vehicle_cell_.erase(it);
+}
+
+void VehicleRegistry::MoveEmptyVehicle(VehicleId vehicle,
+                                       VertexId new_location) {
+  auto it = empty_vehicle_cell_.find(vehicle);
+  PTAR_CHECK(it != empty_vehicle_cell_.end())
+      << "vehicle " << vehicle << " is not registered as empty";
+  const CellId new_cell = grid_->CellOfVertex(new_location);
+  if (it->second == new_cell) return;
+  RemoveEmptyVehicle(vehicle);
+  StateFor(new_cell).empty_vehicles.push_back(vehicle);
+  empty_vehicle_cell_.emplace(vehicle, new_cell);
+}
+
+std::span<const VehicleId> VehicleRegistry::EmptyVehicles(CellId cell) const {
+  const CellState* state = FindState(cell);
+  if (state == nullptr) return {};
+  return state->empty_vehicles;
+}
+
+void VehicleRegistry::SetVehicleEdges(
+    VehicleId vehicle,
+    const std::vector<std::pair<CellId, KineticEdgeEntry>>& entries) {
+  ClearVehicleEdges(vehicle);
+  std::vector<CellId>& cells = vehicle_edge_cells_[vehicle];
+  for (const auto& [cell, entry] : entries) {
+    PTAR_DCHECK(entry.vehicle == vehicle);
+    CellState& state = StateFor(cell);
+    state.edges.push_back(entry);
+    state.aggregates_dirty = true;
+    cells.push_back(cell);
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+}
+
+void VehicleRegistry::ClearVehicleEdges(VehicleId vehicle) {
+  auto it = vehicle_edge_cells_.find(vehicle);
+  if (it == vehicle_edge_cells_.end()) return;
+  for (const CellId cell : it->second) {
+    CellState& state = StateFor(cell);
+    std::erase_if(state.edges, [vehicle](const KineticEdgeEntry& entry) {
+      return entry.vehicle == vehicle;
+    });
+    state.aggregates_dirty = true;
+  }
+  vehicle_edge_cells_.erase(it);
+}
+
+void VehicleRegistry::AdjustVehicleDistTr(VehicleId vehicle,
+                                          Distance driven) {
+  if (driven <= 0.0) return;
+  auto it = vehicle_edge_cells_.find(vehicle);
+  if (it == vehicle_edge_cells_.end()) return;
+  for (const CellId cell : it->second) {
+    CellState& state = StateFor(cell);
+    for (KineticEdgeEntry& entry : state.edges) {
+      if (entry.vehicle == vehicle) {
+        entry.dist_tr = std::max<Distance>(0.0, entry.dist_tr - driven);
+      }
+    }
+    state.aggregates_dirty = true;
+  }
+}
+
+std::span<const KineticEdgeEntry> VehicleRegistry::NonEmptyEntries(
+    CellId cell) const {
+  const CellState* state = FindState(cell);
+  if (state == nullptr) return {};
+  return state->edges;
+}
+
+const CellAggregates& VehicleRegistry::Aggregates(CellId cell) const {
+  const CellState* state = FindState(cell);
+  if (state == nullptr) return kEmptyAggregates;
+  if (state->aggregates_dirty) {
+    CellAggregates agg;
+    for (const KineticEdgeEntry& entry : state->edges) {
+      agg.any = true;
+      agg.has_tail = agg.has_tail || entry.tail;
+      agg.max_capacity = std::max(agg.max_capacity, entry.capacity);
+      agg.max_detour = std::max(agg.max_detour, entry.detour);
+      // Triangle-inequality corrections for endpoints outside this cell
+      // (see the CellAggregates contract in the header).
+      const bool ox_in = grid_->CellOfVertex(entry.ox) == cell;
+      const bool oy_in =
+          !entry.tail && grid_->CellOfVertex(entry.oy) == cell;
+      const Distance adj_dist_tr =
+          entry.dist_tr - (ox_in ? 0.0 : entry.leg_dist);
+      const int endpoints_in = (ox_in ? 1 : 0) + (oy_in ? 1 : 0);
+      const Distance adj_leg = (3 - endpoints_in) * entry.leg_dist;
+      agg.min_dist_tr = std::min(agg.min_dist_tr, adj_dist_tr);
+      agg.max_leg_dist = std::max(agg.max_leg_dist, adj_leg);
+    }
+    state->aggregates = agg;
+    state->aggregates_dirty = false;
+  }
+  return state->aggregates;
+}
+
+std::size_t VehicleRegistry::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [cell, state] : cells_) {
+    bytes += sizeof(cell) + sizeof(state);
+    bytes += state.empty_vehicles.capacity() * sizeof(VehicleId);
+    bytes += state.edges.capacity() * sizeof(KineticEdgeEntry);
+  }
+  for (const auto& [vehicle, cells] : vehicle_edge_cells_) {
+    bytes += sizeof(vehicle) + cells.capacity() * sizeof(CellId);
+  }
+  bytes += empty_vehicle_cell_.size() * (sizeof(VehicleId) + sizeof(CellId));
+  return bytes;
+}
+
+}  // namespace ptar

@@ -1,0 +1,596 @@
+#include "kinetic/kinetic_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace ptar {
+
+namespace {
+
+/// Numeric slack for floating-point distance comparisons.
+constexpr Distance kDistTolerance = 1e-6;
+
+}  // namespace
+
+KineticTree::KineticTree(VehicleId vehicle, VertexId location, int capacity,
+                         std::size_t max_branches)
+    : vehicle_(vehicle),
+      location_(location),
+      capacity_(capacity),
+      max_branches_(max_branches) {
+  PTAR_CHECK(capacity >= 1);
+  PTAR_CHECK(max_branches >= 1);
+  schedules_.push_back(Schedule{});  // the idle (empty) schedule
+}
+
+namespace {
+
+/// Deterministic branch order: shorter total first, ties by stop sequence.
+bool BranchLess(const Schedule& a, const Schedule& b) {
+  const Distance ta = a.total();
+  const Distance tb = b.total();
+  if (ta != tb) return ta < tb;
+  const std::size_t n = std::min(a.stops.size(), b.stops.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Stop& x = a.stops[i];
+    const Stop& y = b.stops[i];
+    if (x.request != y.request) return x.request < y.request;
+    if (x.type != y.type) return x.type < y.type;
+    if (x.location != y.location) return x.location < y.location;
+  }
+  return a.stops.size() < b.stops.size();
+}
+
+}  // namespace
+
+const Schedule& KineticTree::ActiveSchedule() const {
+  PTAR_DCHECK(active_index_ < schedules_.size());
+  return schedules_[active_index_];
+}
+
+VertexId KineticTree::NextStopLocation() const {
+  const Schedule& active = ActiveSchedule();
+  return active.stops.empty() ? kInvalidVertex : active.stops[0].location;
+}
+
+void KineticTree::RecomputeActive() {
+  PTAR_CHECK(!schedules_.empty());
+  active_index_ = 0;
+  Distance best = schedules_[0].total();
+  for (std::size_t i = 1; i < schedules_.size(); ++i) {
+    const Distance t = schedules_[i].total();
+    if (t < best) {
+      best = t;
+      active_index_ = i;
+    }
+  }
+}
+
+const AssignedRequest* KineticTree::FindAssigned(RequestId id) const {
+  for (const AssignedRequest& a : assigned_) {
+    if (a.request.id == id) return &a;
+  }
+  return nullptr;
+}
+
+bool KineticTree::IsValidSchedule(const Schedule& schedule,
+                                  const AssignedRequest* extra) const {
+  PTAR_DCHECK(schedule.stops.size() == schedule.legs.size());
+
+  // Locate every request's stops; reject strays and duplicates.
+  struct StopIndex {
+    int pickup = -1;
+    int dropoff = -1;
+  };
+  std::map<RequestId, StopIndex> positions;
+  for (std::size_t i = 0; i < schedule.stops.size(); ++i) {
+    const Stop& stop = schedule.stops[i];
+    StopIndex& pos = positions[stop.request];
+    if (stop.type == StopType::kPickup) {
+      if (pos.pickup != -1) return false;  // duplicate pickup
+      pos.pickup = static_cast<int>(i);
+    } else {
+      if (pos.dropoff != -1) return false;  // duplicate dropoff
+      pos.dropoff = static_cast<int>(i);
+    }
+  }
+
+  auto check_request = [&](const AssignedRequest& a) {
+    auto it = positions.find(a.request.id);
+    if (it == positions.end()) return false;  // request missing entirely
+    const StopIndex& pos = it->second;
+    if (pos.dropoff == -1) return false;
+    if (a.picked_up) {
+      // Riders on board: only a dropoff may appear.
+      if (pos.pickup != -1) return false;
+      // Service constraint from the actual pickup point.
+      const Distance travelled = odometer_ - a.pickup_odometer;
+      if (travelled + schedule.PrefixDistance(pos.dropoff) >
+          (1.0 + a.request.epsilon) * a.direct_dist + kDistTolerance) {
+        return false;
+      }
+    } else {
+      // Point order: pickup exists and precedes the dropoff.
+      if (pos.pickup == -1 || pos.pickup > pos.dropoff) return false;
+      // Waiting-time constraint (odometer form).
+      if (odometer_ + schedule.PrefixDistance(pos.pickup) >
+          a.deadline_odometer + kDistTolerance) {
+        return false;
+      }
+      // Service constraint.
+      if (schedule.PrefixDistance(pos.dropoff) -
+              schedule.PrefixDistance(pos.pickup) >
+          (1.0 + a.request.epsilon) * a.direct_dist + kDistTolerance) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::size_t expected_stops = 0;
+  for (const AssignedRequest& a : assigned_) {
+    if (!check_request(a)) return false;
+    expected_stops += a.picked_up ? 1 : 2;
+  }
+  if (extra != nullptr) {
+    if (!check_request(*extra)) return false;
+    expected_stops += extra->picked_up ? 1 : 2;
+  }
+  if (schedule.stops.size() != expected_stops) return false;  // strays
+
+  // Capacity along the whole schedule.
+  int onboard = onboard_;
+  for (const Stop& stop : schedule.stops) {
+    const AssignedRequest* a =
+        (extra != nullptr && extra->request.id == stop.request) ? extra
+        : FindAssigned(stop.request);
+    if (a == nullptr) return false;
+    if (stop.type == StopType::kPickup) {
+      onboard += a->request.riders;
+      if (onboard > capacity_) return false;
+    } else {
+      onboard -= a->request.riders;
+      if (onboard < 0) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Distance> KineticTree::GapSlacks(const Schedule& schedule) const {
+  const std::size_t k = schedule.stops.size();
+  std::vector<Distance> prefix(k);
+  {
+    Distance acc = 0;
+    for (std::size_t m = 0; m < k; ++m) {
+      acc += schedule.legs[m];
+      prefix[m] = acc;
+    }
+  }
+  std::vector<Distance> slack(k + 1, kInfDistance);
+
+  for (const AssignedRequest& a : assigned_) {
+    int mp = -1;
+    int mq = -1;
+    for (std::size_t m = 0; m < k; ++m) {
+      if (schedule.stops[m].request == a.request.id) {
+        if (schedule.stops[m].type == StopType::kPickup) {
+          mp = static_cast<int>(m);
+        } else {
+          mq = static_cast<int>(m);
+        }
+      }
+    }
+    if (mq == -1) continue;  // not in this schedule (shouldn't happen)
+    if (!a.picked_up && mp != -1) {
+      // Waiting slack constrains every gap up to and including the pickup.
+      const Distance sw = a.deadline_odometer - odometer_ - prefix[mp];
+      for (int j = 0; j <= mp; ++j) slack[j] = std::min(slack[j], sw);
+      // Service slack constrains gaps strictly after the pickup, up to the
+      // dropoff.
+      const Distance ss = (1.0 + a.request.epsilon) * a.direct_dist -
+                          (prefix[mq] - prefix[mp]);
+      for (int j = mp + 1; j <= mq; ++j) slack[j] = std::min(slack[j], ss);
+    } else if (a.picked_up) {
+      const Distance travelled = odometer_ - a.pickup_odometer;
+      const Distance ss = (1.0 + a.request.epsilon) * a.direct_dist -
+                          travelled - prefix[mq];
+      for (int j = 0; j <= mq; ++j) slack[j] = std::min(slack[j], ss);
+    }
+  }
+  return slack;
+}
+
+std::vector<int> KineticTree::GapFreeSeats(const Schedule& schedule) const {
+  const std::size_t k = schedule.stops.size();
+  std::vector<int> free(k + 1, 0);
+  int onboard = onboard_;
+  free[0] = capacity_ - onboard;
+  for (std::size_t m = 0; m < k; ++m) {
+    const Stop& stop = schedule.stops[m];
+    const AssignedRequest* a = FindAssigned(stop.request);
+    const int riders = (a != nullptr) ? a->request.riders : 0;
+    onboard += (stop.type == StopType::kPickup) ? riders : -riders;
+    free[m + 1] = capacity_ - onboard;
+  }
+  return free;
+}
+
+void KineticTree::EnumerateIntoBranch(
+    const Schedule& branch, const Request& request, Distance direct_dist,
+    const DistFn& dist, const InsertionHooks& hooks,
+    std::vector<InsertionCandidate>* out) const {
+  const std::size_t k = branch.stops.size();
+  const std::vector<Distance> slacks = GapSlacks(branch);
+  const std::vector<int> seats = GapFreeSeats(branch);
+
+  // prefix_point[j]: trip distance from the current location to point j
+  // (point 0 = location, point m = stops[m-1]).
+  std::vector<Distance> prefix_point(k + 1, 0.0);
+  for (std::size_t m = 0; m < k; ++m) {
+    prefix_point[m + 1] = prefix_point[m] + branch.legs[m];
+  }
+  auto point = [&](std::size_t j) -> VertexId {
+    return j == 0 ? location_ : branch.stops[j - 1].location;
+  };
+
+  const VertexId s = request.start;
+  const VertexId d = request.destination;
+
+  // Hypothetical assignment used for exact validation of candidates. The
+  // new request's waiting constraint is trivially satisfied at creation
+  // (planned == actual), hence the unbounded deadline.
+  AssignedRequest extra;
+  extra.request = request;
+  extra.direct_dist = direct_dist;
+  extra.deadline_odometer = kInfDistance;
+
+  for (std::size_t i = 0; i <= k; ++i) {
+    const bool s_tail = (i == k);
+    if (seats[i] < request.riders) continue;  // capacity at the s-gap
+
+    if (hooks.prune_s) {
+      SPositionContext ctx;
+      ctx.ox = point(i);
+      ctx.oy = s_tail ? kInvalidVertex : branch.stops[i].location;
+      ctx.tail = s_tail;
+      ctx.dist_tr_ox = prefix_point[i];
+      ctx.leg_dist = s_tail ? 0.0 : branch.legs[i];
+      ctx.detour_slack = slacks[i];
+      ctx.free_seats = seats[i];
+      if (hooks.prune_s(ctx)) continue;
+    }
+
+    const Distance a = dist(point(i), s);
+    const Distance b = s_tail ? 0.0 : dist(s, branch.stops[i].location);
+    const Distance delta_s =
+        s_tail ? a : a + b - branch.legs[i];
+    if (delta_s > slacks[i] + kDistTolerance) continue;  // exact feasibility
+    const Distance pickup_dist = prefix_point[i] + a;
+
+    for (std::size_t j = i; j <= k; ++j) {
+      const bool d_tail = (j == k);
+      // The new riders occupy every gap from i through j; stop extending
+      // once a gap cannot carry them.
+      if (j > i && seats[j] < request.riders) break;
+
+      if (hooks.prune_d) {
+        DPositionContext ctx;
+        ctx.ox = point(j);
+        ctx.oy = d_tail ? kInvalidVertex : branch.stops[j].location;
+        ctx.tail = d_tail;
+        ctx.dist_tr_ox = (j == i) ? pickup_dist : prefix_point[j] + delta_s;
+        ctx.leg_dist = d_tail ? 0.0 : branch.legs[j];
+        ctx.detour_slack = slacks[j];
+        ctx.pickup_dist = pickup_dist;
+        ctx.delta_s = delta_s;
+        ctx.same_gap = (j == i);
+        ctx.dist_ox_s = a;
+        if (hooks.prune_d(ctx)) continue;
+      }
+
+      // Assemble the candidate schedule by splicing the branch's exact leg
+      // values with the handful of newly computed distances, so no already-
+      // known pair is recomputed.
+      Schedule candidate;
+      candidate.stops.reserve(k + 2);
+      candidate.legs.reserve(k + 2);
+      const Stop s_stop{StopType::kPickup, request.id, s};
+      const Stop d_stop{StopType::kDropoff, request.id, d};
+
+      if (j == i) {
+        const Distance c1 = dist(s, d);
+        const Distance c2 =
+            d_tail ? 0.0 : dist(d, branch.stops[i].location);
+        candidate.stops.assign(branch.stops.begin(),
+                               branch.stops.begin() + i);
+        candidate.legs.assign(branch.legs.begin(), branch.legs.begin() + i);
+        candidate.stops.push_back(s_stop);
+        candidate.legs.push_back(a);
+        candidate.stops.push_back(d_stop);
+        candidate.legs.push_back(c1);
+        if (!d_tail) {
+          candidate.stops.insert(candidate.stops.end(),
+                                 branch.stops.begin() + i,
+                                 branch.stops.end());
+          candidate.legs.push_back(c2);
+          candidate.legs.insert(candidate.legs.end(),
+                                branch.legs.begin() + i + 1,
+                                branch.legs.end());
+        }
+      } else {
+        const Distance e1 = dist(branch.stops[j - 1].location, d);
+        const Distance e2 =
+            d_tail ? 0.0 : dist(d, branch.stops[j].location);
+        candidate.stops.assign(branch.stops.begin(),
+                               branch.stops.begin() + i);
+        candidate.legs.assign(branch.legs.begin(), branch.legs.begin() + i);
+        candidate.stops.push_back(s_stop);
+        candidate.legs.push_back(a);
+        candidate.stops.insert(candidate.stops.end(),
+                               branch.stops.begin() + i,
+                               branch.stops.begin() + j);
+        candidate.legs.push_back(b);
+        candidate.legs.insert(candidate.legs.end(),
+                              branch.legs.begin() + i + 1,
+                              branch.legs.begin() + j);
+        candidate.stops.push_back(d_stop);
+        candidate.legs.push_back(e1);
+        if (!d_tail) {
+          candidate.stops.insert(candidate.stops.end(),
+                                 branch.stops.begin() + j,
+                                 branch.stops.end());
+          candidate.legs.push_back(e2);
+          candidate.legs.insert(candidate.legs.end(),
+                                branch.legs.begin() + j + 1,
+                                branch.legs.end());
+        }
+      }
+      PTAR_DCHECK(candidate.stops.size() == k + 2);
+      PTAR_DCHECK(candidate.legs.size() == k + 2);
+
+      if (!IsValidSchedule(candidate, &extra)) continue;
+
+      InsertionCandidate result;
+      result.pickup_dist = pickup_dist;
+      result.total_dist = candidate.total();
+      result.schedule = std::move(candidate);
+      out->push_back(std::move(result));
+    }
+  }
+}
+
+std::vector<InsertionCandidate> KineticTree::EnumerateInsertions(
+    const Request& request, Distance direct_dist, const DistFn& dist,
+    const InsertionHooks& hooks) const {
+  PTAR_CHECK(!stale_) << "Refresh() the tree before enumerating insertions";
+  std::vector<InsertionCandidate> out;
+  for (const Schedule& branch : schedules_) {
+    EnumerateIntoBranch(branch, request, direct_dist, dist, hooks, &out);
+  }
+  // Deduplicate by stop sequence (identical insertions can arise from
+  // branches sharing prefixes).
+  std::set<std::vector<std::uint64_t>> seen;
+  std::vector<InsertionCandidate> unique;
+  unique.reserve(out.size());
+  for (auto& cand : out) {
+    std::vector<std::uint64_t> key;
+    key.reserve(2 * cand.schedule.stops.size());
+    for (const Stop& stop : cand.schedule.stops) {
+      key.push_back((static_cast<std::uint64_t>(stop.type) << 32) |
+                    stop.request);
+      key.push_back(stop.location);
+    }
+    if (seen.insert(std::move(key)).second) {
+      unique.push_back(std::move(cand));
+    }
+  }
+  return unique;
+}
+
+Status KineticTree::Commit(const Request& request, Distance direct_dist,
+                           Distance planned_pickup_dist, const DistFn& dist) {
+  PTAR_CHECK(!stale_) << "Refresh() the tree before committing";
+  // Per the paper's definition of c.S_tr, the tree keeps *all* valid
+  // schedules, so the commit enumeration runs without pruning hooks.
+  std::vector<InsertionCandidate> candidates =
+      EnumerateInsertions(request, direct_dist, /*dist=*/dist,
+                          InsertionHooks{});
+  // Enforce the new request's own waiting constraint against the planned
+  // pickup the rider was quoted.
+  const Distance deadline = planned_pickup_dist + request.max_wait_dist;
+  std::erase_if(candidates, [&](const InsertionCandidate& c) {
+    return c.pickup_dist > deadline + 1e-6;
+  });
+  if (candidates.empty()) {
+    return Status::FailedPrecondition(
+        "no valid schedule can serve the request within its constraints");
+  }
+  AssignedRequest assigned;
+  assigned.request = request;
+  assigned.direct_dist = direct_dist;
+  assigned.deadline_odometer = odometer_ + deadline;
+  assigned_.push_back(assigned);
+
+  schedules_.clear();
+  schedules_.reserve(candidates.size());
+  for (auto& c : candidates) {
+    schedules_.push_back(std::move(c.schedule));
+  }
+  // Bound the branch set: keep the max_branches_ shortest schedules
+  // (deterministic order). The active branch is by definition among them.
+  if (schedules_.size() > max_branches_) {
+    std::sort(schedules_.begin(), schedules_.end(), BranchLess);
+    schedules_.resize(max_branches_);
+  }
+  RecomputeActive();
+  return Status::OK();
+}
+
+void KineticTree::MoveTo(VertexId new_location, Distance driven) {
+  PTAR_DCHECK(driven >= 0.0);
+  odometer_ += driven;
+  location_ = new_location;
+  Schedule& active = schedules_[active_index_];
+  if (!active.stops.empty()) {
+    active.legs[0] = std::max<Distance>(0.0, active.legs[0] - driven);
+    if (schedules_.size() > 1) stale_ = true;
+  }
+}
+
+StatusOr<KineticTree::StopEvent> KineticTree::ArriveAtNextStop() {
+  Schedule& active = schedules_[active_index_];
+  if (active.stops.empty()) {
+    return Status::FailedPrecondition("vehicle has no scheduled stop");
+  }
+  const Stop served = active.stops[0];
+  if (served.location != location_) {
+    return Status::FailedPrecondition(
+        "vehicle is not at the next scheduled stop");
+  }
+
+  StopEvent event;
+  event.request = served.request;
+  event.type = served.type;
+
+  // Update rider bookkeeping.
+  bool found = false;
+  for (std::size_t idx = 0; idx < assigned_.size(); ++idx) {
+    AssignedRequest& a = assigned_[idx];
+    if (a.request.id != served.request) continue;
+    found = true;
+    event.riders = a.request.riders;
+    if (served.type == StopType::kPickup) {
+      PTAR_CHECK(!a.picked_up);
+      a.picked_up = true;
+      a.pickup_odometer = odometer_;
+      onboard_ += a.request.riders;
+      PTAR_CHECK(onboard_ <= capacity_);
+    } else {
+      PTAR_CHECK(a.picked_up);
+      onboard_ -= a.request.riders;
+      PTAR_CHECK(onboard_ >= 0);
+      assigned_.erase(assigned_.begin() + idx);
+    }
+    break;
+  }
+  PTAR_CHECK(found) << "served stop references an unknown request";
+
+  // Branch surgery: keep only branches that begin with the served stop and
+  // pop their head. The popped first leg was (approximately) zero; the new
+  // first leg dist(stop, stops[1]) was already exact.
+  std::vector<Schedule> survivors;
+  for (Schedule& schedule : schedules_) {
+    if (schedule.stops.empty() || !(schedule.stops[0] == served)) continue;
+    schedule.stops.erase(schedule.stops.begin());
+    schedule.legs.erase(schedule.legs.begin());
+    bool duplicate = false;
+    for (const Schedule& kept : survivors) {
+      if (kept.SameStops(schedule)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) survivors.push_back(std::move(schedule));
+  }
+  PTAR_CHECK(!survivors.empty()) << "active branch must survive its own stop";
+
+  // Re-validate (non-active branches may have drifted out of budget while
+  // the vehicle drove).
+  std::vector<Schedule> valid;
+  for (Schedule& schedule : survivors) {
+    if (IsValidSchedule(schedule, nullptr)) valid.push_back(std::move(schedule));
+  }
+  PTAR_CHECK(!valid.empty()) << "no valid schedule after serving a stop";
+  schedules_ = std::move(valid);
+
+  if (assigned_.empty()) {
+    PTAR_CHECK(schedules_.size() == 1 && schedules_[0].stops.empty());
+  }
+  stale_ = false;
+  RecomputeActive();
+  return event;
+}
+
+void KineticTree::Refresh(const DistFn& dist) {
+  if (!stale_) return;
+  std::vector<Schedule> valid;
+  valid.reserve(schedules_.size());
+  for (std::size_t i = 0; i < schedules_.size(); ++i) {
+    Schedule& schedule = schedules_[i];
+    if (i != active_index_ && !schedule.stops.empty()) {
+      schedule.legs[0] = dist(location_, schedule.stops[0].location);
+    }
+    if (IsValidSchedule(schedule, nullptr)) {
+      valid.push_back(std::move(schedule));
+    } else {
+      PTAR_CHECK(i != active_index_) << "active branch became invalid";
+    }
+  }
+  PTAR_CHECK(!valid.empty());
+  schedules_ = std::move(valid);
+  stale_ = false;
+  RecomputeActive();
+}
+
+std::vector<std::pair<CellId, KineticEdgeEntry>>
+KineticTree::BuildRegistration(const GridIndex& grid) const {
+  // Merge duplicate (cell, o_x, o_y) entries conservatively: max capacity,
+  // max detour, min dist_tr — every merge direction keeps the cell-level
+  // pruning lemmas sound.
+  std::map<std::tuple<CellId, VertexId, VertexId>, KineticEdgeEntry> merged;
+  auto add = [&](CellId cell, const KineticEdgeEntry& entry) {
+    auto [it, inserted] =
+        merged.try_emplace({cell, entry.ox, entry.oy}, entry);
+    if (!inserted) {
+      KineticEdgeEntry& e = it->second;
+      e.capacity = std::max(e.capacity, entry.capacity);
+      e.detour = std::max(e.detour, entry.detour);
+      e.dist_tr = std::min(e.dist_tr, entry.dist_tr);
+    }
+  };
+
+  for (const Schedule& branch : schedules_) {
+    if (branch.stops.empty()) continue;
+    const std::size_t k = branch.stops.size();
+    const std::vector<Distance> slacks = GapSlacks(branch);
+    const std::vector<int> seats = GapFreeSeats(branch);
+    Distance prefix = 0.0;
+    for (std::size_t j = 0; j <= k; ++j) {
+      KineticEdgeEntry entry;
+      entry.vehicle = vehicle_;
+      entry.capacity = seats[j];
+      entry.detour = slacks[j];
+      entry.dist_tr = prefix;
+      entry.tail = (j == k);
+      entry.ox = (j == 0) ? location_ : branch.stops[j - 1].location;
+      entry.oy = entry.tail ? kInvalidVertex : branch.stops[j].location;
+      entry.leg_dist = entry.tail ? 0.0 : branch.legs[j];
+      add(grid.CellOfVertex(entry.ox), entry);
+      if (!entry.tail) add(grid.CellOfVertex(entry.oy), entry);
+      if (j < k) prefix += branch.legs[j];
+    }
+  }
+
+  std::vector<std::pair<CellId, KineticEdgeEntry>> out;
+  out.reserve(merged.size());
+  for (const auto& [key, entry] : merged) {
+    out.emplace_back(std::get<0>(key), entry);
+  }
+  return out;
+}
+
+std::size_t KineticTree::MemoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const Schedule& schedule : schedules_) {
+    bytes += schedule.stops.capacity() * sizeof(Stop) +
+             schedule.legs.capacity() * sizeof(Distance);
+  }
+  bytes += assigned_.capacity() * sizeof(AssignedRequest);
+  return bytes;
+}
+
+}  // namespace ptar

@@ -1,0 +1,232 @@
+// Kinetic tree: the per-vehicle index of all valid trip schedules
+// (paper Section IV.B, after Huang et al. [17]).
+//
+// Representation. The tree is stored as its set of branches — every branch
+// is one valid Schedule. This is semantically identical to the node-sharing
+// tree of [17] (see DESIGN.md) and lets validity be checked against a single
+// authoritative ValidateSchedule routine. The per-node annotations the paper
+// stores (o_x.capacity, o_x.detour, o_x.dist_tr) are derived on demand for
+// pruning hooks and grid registration.
+//
+// Movement model. The vehicle keeps a distance odometer. Each assigned
+// request stores its pickup deadline as an odometer value
+// (odometer-at-assignment + planned-pickup-distance + w), so the paper's
+// waiting-time constraint "actual - planned <= w" becomes
+//   odometer_now + remaining-trip-distance-to-s <= deadline_odometer,
+// which is exact while driving and trivially monotone. The service
+// constraint similarly uses the pickup odometer once riders are on board.
+//
+// While the vehicle drives along the active (shortest total) branch, that
+// branch's first leg shrinks exactly; other branches' first legs go stale
+// and are repaired lazily by Refresh() (through the caller's distance
+// function, so repairs count as compdists exactly like the paper's
+// "update the nodes connected to the root").
+
+#ifndef PTAR_KINETIC_KINETIC_TREE_H_
+#define PTAR_KINETIC_KINETIC_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+#include "grid/grid_index.h"
+#include "grid/vehicle_registry.h"
+#include "kinetic/request.h"
+#include "kinetic/schedule.h"
+
+namespace ptar {
+
+/// A request currently assigned to a vehicle and not yet completed.
+struct AssignedRequest {
+  Request request;
+  Distance direct_dist = 0.0;  ///< dist(s, d), computed at admission.
+  /// Odometer value by which the pickup must happen:
+  /// odometer-at-assignment + planned pickup distance + max_wait_dist.
+  Distance deadline_odometer = 0.0;
+  bool picked_up = false;
+  /// Odometer when the riders boarded (valid once picked_up).
+  Distance pickup_odometer = 0.0;
+};
+
+/// Context handed to the s-insertion pruning hook: one candidate gap
+/// <o_x, o_y> of one branch, before any real distance is computed for it.
+struct SPositionContext {
+  VertexId ox = kInvalidVertex;  ///< Previous point (location or a stop).
+  VertexId oy = kInvalidVertex;  ///< Next point; kInvalidVertex if tail.
+  bool tail = false;             ///< Insertion after the last stop.
+  Distance dist_tr_ox = 0.0;     ///< Trip distance from location to o_x.
+  Distance leg_dist = 0.0;       ///< dist(o_x, o_y); 0 for tail.
+  Distance detour_slack = 0.0;   ///< o_x.detour (kInfDistance if unbounded).
+  int free_seats = 0;            ///< o_x.capacity.
+};
+
+/// Context for the d-insertion pruning hook; s has already been placed with
+/// exact distances.
+struct DPositionContext {
+  VertexId ox = kInvalidVertex;
+  VertexId oy = kInvalidVertex;
+  bool tail = false;
+  Distance dist_tr_ox = 0.0;    ///< Along the new schedule (s inserted).
+  Distance leg_dist = 0.0;      ///< dist(o_x, o_y) in the original branch.
+  Distance detour_slack = 0.0;  ///< Pre-insertion slack (upper bound).
+  Distance pickup_dist = 0.0;   ///< Exact dist_tr'(location, s).
+  Distance delta_s = 0.0;       ///< Exact detour added by placing s.
+  /// True when d targets the same gap s was inserted into (Def. 7 case 2).
+  bool same_gap = false;
+  Distance dist_ox_s = 0.0;  ///< Exact dist(o_x, s) of the s-insertion.
+};
+
+/// Pruning hooks supplied by matchers (lemma evaluations). A hook returning
+/// true means "skip this position without computing real distances". Null
+/// hooks mean full enumeration (used by the baseline and by Commit).
+struct InsertionHooks {
+  std::function<bool(const SPositionContext&)> prune_s;
+  std::function<bool(const DPositionContext&)> prune_d;
+};
+
+/// One feasible way to serve a new request: the full new schedule plus the
+/// metrics that define the rider-facing option.
+struct InsertionCandidate {
+  Schedule schedule;
+  Distance pickup_dist = 0.0;  ///< dist_tr'(location, s): the option's time.
+  Distance total_dist = 0.0;   ///< dist_tr' of the new schedule.
+};
+
+class KineticTree {
+ public:
+  /// Exact shortest-path distance callback (normally a DistanceOracle).
+  using DistFn = std::function<Distance(VertexId, VertexId)>;
+
+  /// Default bound on the number of kept branches. The paper observes the
+  /// worst case is (2 n_r)! but "the actual number of branches is much
+  /// lower ... due to the constraints"; with deliberately loose constraints
+  /// it is not, so the tree keeps only the `max_branches` shortest valid
+  /// schedules (deterministic: ties broken by stop sequence). The active
+  /// (shortest) schedule is always retained.
+  static constexpr std::size_t kDefaultMaxBranches = 64;
+
+  KineticTree(VehicleId vehicle, VertexId location, int capacity,
+              std::size_t max_branches = kDefaultMaxBranches);
+
+  KineticTree(const KineticTree&) = default;
+  KineticTree& operator=(const KineticTree&) = default;
+  KineticTree(KineticTree&&) = default;
+  KineticTree& operator=(KineticTree&&) = default;
+
+  // --- Observers. ---
+
+  VehicleId vehicle() const { return vehicle_; }
+  VertexId location() const { return location_; }
+  int capacity() const { return capacity_; }
+  /// Riders currently inside the vehicle.
+  int onboard() const { return onboard_; }
+  Distance odometer() const { return odometer_; }
+  /// True iff no unfinished request is assigned (paper's "empty vehicle").
+  bool IsEmpty() const { return assigned_.empty(); }
+  const std::vector<AssignedRequest>& assigned() const { return assigned_; }
+  const std::vector<Schedule>& schedules() const { return schedules_; }
+  /// The branch the vehicle actually drives: minimal total distance.
+  const Schedule& ActiveSchedule() const;
+  std::size_t active_index() const { return active_index_; }
+  /// dist_tr of the current (active) schedule — the price baseline.
+  Distance CurrentTotal() const { return ActiveSchedule().total(); }
+  /// True if some non-active branch's first leg may be outdated; call
+  /// Refresh() before relying on exact branch distances.
+  bool stale() const { return stale_; }
+
+  /// First waypoint of the active schedule, or kInvalidVertex if idle.
+  VertexId NextStopLocation() const;
+
+  // --- Matching. ---
+
+  /// Enumerates all valid insertions of `request` into every branch,
+  /// subject to the pruning hooks. Requires !stale(). Candidates are
+  /// deduplicated by stop sequence. `direct_dist` is dist(s, d).
+  std::vector<InsertionCandidate> EnumerateInsertions(
+      const Request& request, Distance direct_dist, const DistFn& dist,
+      const InsertionHooks& hooks) const;
+
+  /// Assigns the request: replaces the branch set with every valid new
+  /// schedule (full, unpruned enumeration per the paper's definition of
+  /// c.S_tr) and records the waiting deadline from `planned_pickup_dist`.
+  /// Fails if no valid schedule exists. Requires !stale().
+  Status Commit(const Request& request, Distance direct_dist,
+                Distance planned_pickup_dist, const DistFn& dist);
+
+  // --- Movement (driven by the simulator). ---
+
+  /// The vehicle moved `driven` meters and is now at `new_location`, which
+  /// must lie on the shortest path of the active branch's first leg (or be
+  /// any vertex if the vehicle is idle). Non-active branches go stale.
+  void MoveTo(VertexId new_location, Distance driven);
+
+  struct StopEvent {
+    RequestId request = kInvalidRequest;
+    StopType type = StopType::kPickup;
+    int riders = 0;
+  };
+
+  /// Serves the active schedule's first stop. The vehicle must be located
+  /// exactly at it. Branches that begin with a different stop are pruned;
+  /// matching branches pop their head. Returns what happened.
+  StatusOr<StopEvent> ArriveAtNextStop();
+
+  /// Repairs stale first legs with exact distances and drops branches that
+  /// became invalid; recomputes the active branch.
+  void Refresh(const DistFn& dist);
+
+  // --- Derived data for the grid index. ---
+
+  /// Builds the (cell, edge entry) registrations for every branch edge
+  /// <o_x, o_y> including the tail edge. Edges are registered in the cells
+  /// of both endpoints; exact duplicates are merged.
+  std::vector<std::pair<CellId, KineticEdgeEntry>> BuildRegistration(
+      const GridIndex& grid) const;
+
+  // --- Validation (also used heavily by tests). ---
+
+  /// Exhaustively checks Definition 2 for `schedule` given the current
+  /// assigned set plus optionally one extra (not yet assigned) request.
+  /// All legs must already be exact.
+  bool IsValidSchedule(const Schedule& schedule,
+                       const AssignedRequest* extra) const;
+
+  /// Detour slack of each insertion gap j (0..stops; gap j sits between
+  /// point j and point j+1 of the branch; the last gap is the tail). This
+  /// is the paper's o_x.detour. Exposed for tests and registration.
+  std::vector<Distance> GapSlacks(const Schedule& schedule) const;
+
+  /// Free seats while traversing each gap j (the paper's o_x.capacity).
+  std::vector<int> GapFreeSeats(const Schedule& schedule) const;
+
+  /// Approximate resident memory of the branch set, in bytes (Table IV's
+  /// "kinetic trees" row).
+  std::size_t MemoryBytes() const;
+
+ private:
+  void RecomputeActive();
+  const AssignedRequest* FindAssigned(RequestId id) const;
+
+  /// Enumeration core shared by EnumerateInsertions and Commit.
+  void EnumerateIntoBranch(const Schedule& branch, const Request& request,
+                           Distance direct_dist, const DistFn& dist,
+                           const InsertionHooks& hooks,
+                           std::vector<InsertionCandidate>* out) const;
+
+  VehicleId vehicle_;
+  VertexId location_;
+  int capacity_;
+  std::size_t max_branches_;
+  int onboard_ = 0;
+  Distance odometer_ = 0.0;
+  std::vector<AssignedRequest> assigned_;
+  std::vector<Schedule> schedules_;
+  std::size_t active_index_ = 0;
+  bool stale_ = false;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_KINETIC_KINETIC_TREE_H_

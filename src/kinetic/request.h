@@ -1,0 +1,36 @@
+// Ridesharing request type (paper Definition 1).
+
+#ifndef PTAR_KINETIC_REQUEST_H_
+#define PTAR_KINETIC_REQUEST_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "graph/types.h"
+
+namespace ptar {
+
+using RequestId = std::uint32_t;
+inline constexpr RequestId kInvalidRequest =
+    std::numeric_limits<RequestId>::max();
+
+/// R = <s, d, n, w, eps>. The waiting-time budget is stored in distance
+/// units (the paper converts time <-> distance at constant speed), so all
+/// constraint arithmetic happens in meters.
+struct Request {
+  RequestId id = kInvalidRequest;
+  VertexId start = kInvalidVertex;        ///< s: pickup location.
+  VertexId destination = kInvalidVertex;  ///< d: dropoff location.
+  int riders = 1;                         ///< n: group size.
+  /// w: maximal waiting distance between planned and actual pickup
+  /// (minutes * 60 * speed when converting from the paper's minutes).
+  Distance max_wait_dist = 0.0;
+  /// eps: the trip from s to d may be at most (1 + eps) * dist(s, d) long.
+  double epsilon = 0.0;
+  /// Submission time in seconds (used by the simulator's arrival stream).
+  double submit_time = 0.0;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_KINETIC_REQUEST_H_

@@ -1,0 +1,63 @@
+// Trip schedules: ordered stop sequences with exact leg distances
+// (paper Definition 2).
+
+#ifndef PTAR_KINETIC_SCHEDULE_H_
+#define PTAR_KINETIC_SCHEDULE_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/types.h"
+#include "kinetic/request.h"
+
+namespace ptar {
+
+enum class StopType : std::uint8_t {
+  kPickup = 0,
+  kDropoff = 1,
+};
+
+/// One scheduled waypoint: pick up or drop off the riders of a request.
+struct Stop {
+  StopType type = StopType::kPickup;
+  RequestId request = kInvalidRequest;
+  VertexId location = kInvalidVertex;
+
+  friend bool operator==(const Stop& a, const Stop& b) {
+    return a.type == b.type && a.request == b.request &&
+           a.location == b.location;
+  }
+};
+
+/// A trip schedule tr = <o_1, ..., o_k>: the vehicle's current location
+/// (implicit, held by the owning KineticTree) followed by `stops`.
+/// legs[i] is the shortest-path distance from the previous point to
+/// stops[i] (legs[0] starts at the current location), so
+/// legs.size() == stops.size() and total() is the paper's dist_tr.
+struct Schedule {
+  std::vector<Stop> stops;
+  std::vector<Distance> legs;
+
+  Distance total() const {
+    return std::accumulate(legs.begin(), legs.end(), Distance{0});
+  }
+
+  /// Trip distance from the current location to stops[stop_index]
+  /// (inclusive).
+  Distance PrefixDistance(std::size_t stop_index) const {
+    PTAR_DCHECK(stop_index < stops.size());
+    Distance d = 0;
+    for (std::size_t i = 0; i <= stop_index; ++i) d += legs[i];
+    return d;
+  }
+
+  bool SameStops(const Schedule& other) const {
+    return stops == other.stops;
+  }
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_KINETIC_SCHEDULE_H_

@@ -1,0 +1,40 @@
+#include "rideshare/baseline_matcher.h"
+
+#include "common/timer.h"
+#include "rideshare/matcher_internal.h"
+#include "rideshare/skyline.h"
+
+namespace ptar {
+
+MatchResult BaselineMatcher::Match(const Request& request, MatchContext& ctx) {
+  Timer timer;
+  ctx.oracle->ClearCache();
+  ctx.oracle->ResetStats();
+
+  internal::RequestEnv env;
+  env.request = &request;
+  env.direct = ctx.oracle->Dist(request.start, request.destination);
+  env.fn = ctx.price_model.Ratio(request.riders);
+
+  SkylineSet skyline;
+  MatchStats stats;
+  const InsertionHooks no_hooks;  // BA never prunes
+
+  for (KineticTree& tree : *ctx.fleet) {
+    if (tree.IsEmpty()) {
+      internal::VerifyEmptyVehicle(tree, env, ctx, skyline, stats);
+    } else {
+      internal::VerifyNonEmptyVehicle(tree, env, ctx, no_hooks, skyline,
+                                      stats);
+    }
+  }
+
+  MatchResult result;
+  result.options = skyline.Sorted();
+  stats.compdists = ctx.oracle->compdists();
+  stats.elapsed_micros = timer.ElapsedMicros();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace ptar

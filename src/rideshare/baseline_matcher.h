@@ -1,0 +1,21 @@
+// Baseline Algorithm (BA, paper Section VI.A): the kinetic-tree algorithm of
+// Huang et al. [17] extended to return all non-dominated (time, price)
+// options. Verifies every vehicle and computes every insertion distance —
+// no index-based filtering, no lazy distance evaluation.
+
+#ifndef PTAR_RIDESHARE_BASELINE_MATCHER_H_
+#define PTAR_RIDESHARE_BASELINE_MATCHER_H_
+
+#include "rideshare/matcher.h"
+
+namespace ptar {
+
+class BaselineMatcher : public Matcher {
+ public:
+  std::string name() const override { return "BA"; }
+  MatchResult Match(const Request& request, MatchContext& ctx) override;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_RIDESHARE_BASELINE_MATCHER_H_

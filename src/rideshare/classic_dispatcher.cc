@@ -1,0 +1,70 @@
+#include "rideshare/classic_dispatcher.h"
+
+#include <limits>
+
+#include "common/timer.h"
+#include "rideshare/matcher_internal.h"
+
+namespace ptar {
+
+MatchResult ClassicDispatcher::Match(const Request& request,
+                                     MatchContext& ctx) {
+  Timer timer;
+  ctx.oracle->ClearCache();
+  ctx.oracle->ResetStats();
+
+  internal::RequestEnv env;
+  env.request = &request;
+  env.direct = ctx.oracle->Dist(request.start, request.destination);
+  env.fn = ctx.price_model.Ratio(request.riders);
+
+  MatchStats stats;
+  const KineticTree::DistFn dist = internal::OracleDistFn(ctx);
+  const InsertionHooks no_hooks;
+
+  bool found = false;
+  Option best;
+  Distance best_increase = std::numeric_limits<Distance>::infinity();
+  auto consider = [&](VehicleId vehicle, Distance increase, Distance pickup,
+                      double price) {
+    if (increase < best_increase ||
+        (increase == best_increase &&
+         (pickup < best.pickup_dist ||
+          (pickup == best.pickup_dist && vehicle < best.vehicle)))) {
+      best_increase = increase;
+      best = Option{vehicle, pickup, price};
+      found = true;
+    }
+  };
+
+  for (KineticTree& tree : *ctx.fleet) {
+    ++stats.verified_vehicles;
+    if (tree.IsEmpty()) {
+      const Distance pickup = ctx.oracle->Dist(tree.location(),
+                                               request.start);
+      if (pickup == kInfDistance) continue;
+      // Travel increase of an empty vehicle: drive to s, then to d.
+      consider(tree.vehicle(), pickup + env.direct, pickup,
+               ctx.price_model.EmptyVehiclePrice(request.riders, pickup,
+                                                 env.direct));
+      continue;
+    }
+    tree.Refresh(dist);
+    const Distance base_total = tree.CurrentTotal();
+    for (const InsertionCandidate& cand :
+         tree.EnumerateInsertions(request, env.direct, dist, no_hooks)) {
+      const Distance increase = cand.total_dist - base_total;
+      consider(tree.vehicle(), increase, cand.pickup_dist,
+               ctx.price_model.Price(request.riders, increase, env.direct));
+    }
+  }
+
+  MatchResult result;
+  if (found) result.options.push_back(best);
+  stats.compdists = ctx.oracle->compdists();
+  stats.elapsed_micros = timer.ElapsedMicros();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace ptar

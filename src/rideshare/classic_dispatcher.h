@@ -1,0 +1,30 @@
+// Classic single-option dispatcher — the "existing systems" strawman from
+// the paper's introduction (T-share / kinetic-tree style): every request
+// gets exactly ONE assignment, the vehicle+insertion minimizing the
+// system-wide travel-distance increase. No rider choice, no skyline.
+//
+// Used as a comparison point in examples and benches to quantify what the
+// price-and-time-aware option set buys riders (see
+// examples/options_vs_classic.cpp); it is not part of the paper's
+// evaluated algorithms.
+
+#ifndef PTAR_RIDESHARE_CLASSIC_DISPATCHER_H_
+#define PTAR_RIDESHARE_CLASSIC_DISPATCHER_H_
+
+#include "rideshare/matcher.h"
+
+namespace ptar {
+
+class ClassicDispatcher : public Matcher {
+ public:
+  std::string name() const override { return "CLASSIC"; }
+
+  /// Returns at most one option: the minimal-travel-increase assignment
+  /// (ties broken by earlier pickup, then vehicle id). Its price is still
+  /// computed with the paper's model so rider costs are comparable.
+  MatchResult Match(const Request& request, MatchContext& ctx) override;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_RIDESHARE_CLASSIC_DISPATCHER_H_

@@ -1,0 +1,94 @@
+#include "rideshare/dsa_matcher.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "rideshare/matcher_internal.h"
+#include "rideshare/skyline.h"
+
+namespace ptar {
+
+MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
+  Timer timer;
+  ctx.oracle->ClearCache();
+  ctx.oracle->ResetStats();
+
+  internal::RequestEnv env;
+  env.request = &request;
+  env.direct = ctx.oracle->Dist(request.start, request.destination);
+  env.fn = ctx.price_model.Ratio(request.riders);
+  env.pruning = pruning_;
+
+  SkylineSet skyline;
+  MatchStats stats;
+  const std::size_t fleet_size = ctx.fleet->size();
+  std::vector<char> emitted_empty(fleet_size, 0);
+  std::vector<char> emitted_s(fleet_size, 0);
+  std::vector<char> emitted_d(fleet_size, 0);
+  std::vector<char> s_candidate(fleet_size, 0);
+  std::vector<char> d_candidate(fleet_size, 0);
+  std::vector<char> verified(fleet_size, 0);
+  const InsertionHooks hooks =
+      internal::MakeLemmaHooks(env, *ctx.grid, skyline);
+
+  const std::span<const CellId> cells_s =
+      ctx.grid->CellsByDistance(ctx.grid->CellOfVertex(request.start));
+  const std::span<const CellId> cells_d =
+      ctx.grid->CellsByDistance(ctx.grid->CellOfVertex(request.destination));
+  const std::size_t limit_s =
+      internal::VerifiedCellLimit(cells_s.size(), fraction_);
+  const std::size_t limit_d =
+      internal::VerifiedCellLimit(cells_d.size(), fraction_);
+
+  std::vector<VehicleId> empty_candidates;
+  std::vector<VehicleId> s_new;
+  std::vector<VehicleId> d_new;
+  std::vector<VehicleId> to_verify;
+  for (std::size_t idx = 0; idx < std::max(limit_s, limit_d); ++idx) {
+    to_verify.clear();
+    if (idx < limit_s) {
+      const CellId g_s = cells_s[idx];
+      ++stats.scanned_cells;
+      empty_candidates.clear();
+      s_new.clear();
+      internal::CollectEmptyCandidates(g_s, env, ctx, skyline, emitted_empty,
+                                       stats, &empty_candidates);
+      internal::CollectStartCandidates(g_s, env, ctx, skyline, emitted_s,
+                                       stats, &s_new);
+      for (const VehicleId v : empty_candidates) {
+        internal::VerifyEmptyVehicle((*ctx.fleet)[v], env, ctx, skyline,
+                                     stats);
+      }
+      for (const VehicleId v : s_new) {
+        s_candidate[v] = 1;
+        if (d_candidate[v] && !verified[v]) to_verify.push_back(v);
+      }
+    }
+    if (idx < limit_d) {
+      const CellId g_d = cells_d[idx];
+      ++stats.scanned_cells;
+      d_new.clear();
+      internal::CollectDestCandidates(g_d, env, ctx, skyline, emitted_d,
+                                      stats, &d_new);
+      for (const VehicleId v : d_new) {
+        d_candidate[v] = 1;
+        if (s_candidate[v] && !verified[v]) to_verify.push_back(v);
+      }
+    }
+    for (const VehicleId v : to_verify) {
+      if (verified[v]) continue;  // could appear twice in one round
+      verified[v] = 1;
+      internal::VerifyNonEmptyVehicle((*ctx.fleet)[v], env, ctx, hooks,
+                                      skyline, stats);
+    }
+  }
+
+  MatchResult result;
+  result.options = skyline.Sorted();
+  stats.compdists = ctx.oracle->compdists();
+  stats.elapsed_micros = timer.ElapsedMicros();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace ptar

@@ -1,0 +1,36 @@
+// Dual-Side Search Algorithm (DSA, paper Algorithm 5).
+//
+// Expands grid cells from the start location and the destination
+// simultaneously. Empty vehicles are verified from the start side
+// (Lemmas 1-2). A non-empty vehicle is verified only once it survives the
+// start-side filters (Lemmas 3-6) in some scanned cell *and* the
+// destination-side filters (Lemmas 7-10) in some scanned cell — the
+// intersection I = S1 u (S_s n S3) u (S_d n S2) of Algorithm 5.
+
+#ifndef PTAR_RIDESHARE_DSA_MATCHER_H_
+#define PTAR_RIDESHARE_DSA_MATCHER_H_
+
+#include "rideshare/matcher.h"
+
+namespace ptar {
+
+class DsaMatcher : public Matcher {
+ public:
+  explicit DsaMatcher(double verified_grid_fraction = 0.16,
+                      const PruningConfig& pruning = PruningConfig{})
+      : fraction_(verified_grid_fraction), pruning_(pruning) {}
+
+  std::string name() const override { return "DSA"; }
+  MatchResult Match(const Request& request, MatchContext& ctx) override;
+
+  double fraction() const { return fraction_; }
+  const PruningConfig& pruning() const { return pruning_; }
+
+ private:
+  double fraction_;
+  PruningConfig pruning_;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_RIDESHARE_DSA_MATCHER_H_

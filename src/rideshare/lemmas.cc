@@ -1,0 +1,186 @@
+#include "rideshare/lemmas.h"
+
+#include <algorithm>
+
+namespace ptar::lemmas {
+
+namespace {
+
+/// a strictly exceeds b beyond floating-point noise.
+inline bool StrictlyAbove(Distance a, Distance b) {
+  return a > b + kPruneTolerance;
+}
+
+}  // namespace
+
+bool EmptyVehiclePrunedBy(Distance ldist_cl_s, const Option& r, double fn,
+                          Distance direct) {
+  // r_j.dist_pt >= ldist and r_j.price >= fn * (ldist + 2 * direct); prune
+  // when both lower bounds already lose to r.
+  const Distance threshold =
+      std::max(r.pickup_dist, r.price / fn - 2.0 * direct);
+  return StrictlyAbove(ldist_cl_s, threshold);
+}
+
+bool EmptyVehiclePruned(Distance ldist_cl_s, std::span<const Option> results,
+                        double fn, Distance direct) {
+  for (const Option& r : results) {
+    if (EmptyVehiclePrunedBy(ldist_cl_s, r, fn, direct)) return true;
+  }
+  return false;
+}
+
+Option EmptyVehicleUpperBoundOption(VehicleId vehicle, Distance udist_cl_s,
+                                    double fn, Distance direct) {
+  Option bound;
+  bound.vehicle = vehicle;
+  bound.pickup_dist = udist_cl_s;
+  bound.price = fn * (udist_cl_s + 2.0 * direct);
+  return bound;
+}
+
+bool StartEdgePrunedBy(Distance ldist_s_ox, Distance ldist_s_oy, Distance leg,
+                       bool tail, Distance dist_tr_ox, const Option& r,
+                       double fn, Distance direct) {
+  // Pick-up lower bound: dist_tr'(c.l, s) = dist_tr(c.l, o_x) + dist(o_x, s).
+  const bool time_lost = StrictlyAbove(ldist_s_ox + dist_tr_ox, r.pickup_dist);
+  if (!time_lost) return false;
+  // Price lower bound on the detour added by s (and, for a tail position,
+  // the d that must follow it).
+  const Distance detour_lb =
+      tail ? ldist_s_ox + direct : ldist_s_ox + ldist_s_oy - leg;
+  return StrictlyAbove(detour_lb, r.price / fn - direct);
+}
+
+bool StartEdgePruned(Distance ldist_s_ox, Distance ldist_s_oy, Distance leg,
+                     bool tail, Distance dist_tr_ox,
+                     std::span<const Option> results, double fn,
+                     Distance direct) {
+  for (const Option& r : results) {
+    if (StartEdgePrunedBy(ldist_s_ox, ldist_s_oy, leg, tail, dist_tr_ox, r,
+                          fn, direct)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StartEdgeInfeasible(int edge_capacity, int riders, Distance edge_detour,
+                         Distance ldist_s_ox, Distance ldist_s_oy,
+                         Distance leg, bool tail) {
+  if (edge_capacity < riders) return true;
+  if (tail) return false;  // the detour clause needs a real o_y
+  return edge_detour + kPruneTolerance < ldist_s_ox + ldist_s_oy - leg;
+}
+
+bool StartCellPruned(Distance ldist_s_g, Distance min_dist_tr,
+                     Distance max_leg, bool has_tail,
+                     std::span<const Option> results, double fn,
+                     Distance direct) {
+  // Sound detour lower bound for every edge in the cell: interior edges
+  // give 2*ldist - max_leg; a tail edge only gives ldist + dist(s, d)
+  // (s appended after the last stop, d after s).
+  Distance detour_lb = 2.0 * ldist_s_g - max_leg;
+  if (has_tail) detour_lb = std::min(detour_lb, ldist_s_g + direct);
+  for (const Option& r : results) {
+    if (StrictlyAbove(ldist_s_g + min_dist_tr, r.pickup_dist) &&
+        StrictlyAbove(detour_lb, r.price / fn - direct)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StartCellInfeasible(int max_capacity, int riders, Distance max_detour,
+                         Distance ldist_s_g, Distance max_leg) {
+  if (max_capacity < riders) return true;
+  return max_detour + kPruneTolerance < 2.0 * ldist_s_g - max_leg;
+}
+
+bool DestEdgeInfeasible(int edge_capacity, int riders, Distance edge_detour,
+                        Distance ldist_d_ox, Distance ldist_d_oy,
+                        Distance leg, bool tail) {
+  if (edge_capacity < riders) return true;
+  if (tail) return false;
+  return edge_detour + kPruneTolerance < ldist_d_ox + ldist_d_oy - leg;
+}
+
+bool DestEdgePrunedBy(Distance dist_tr_ox, Distance ldist_ox_d,
+                      Distance ldist_oy_d, Distance leg, bool tail,
+                      double epsilon, Distance direct, const Option& r,
+                      double fn) {
+  // Service constraint: dist_tr'(c.l, d) <= pickup + (1 + eps) * direct,
+  // and dist_tr'(c.l, d) >= dist_tr(c.l, o_x) + dist(o_x, d); hence the
+  // pick-up distance of any result through this edge is at least:
+  const Distance pickup_lb =
+      dist_tr_ox + ldist_ox_d - (1.0 + epsilon) * direct;
+  if (!StrictlyAbove(pickup_lb, r.pickup_dist)) return false;
+  const Distance detour_lb =
+      tail ? ldist_ox_d : ldist_ox_d + ldist_oy_d - leg;
+  return StrictlyAbove(detour_lb, r.price / fn - direct);
+}
+
+bool DestEdgePruned(Distance dist_tr_ox, Distance ldist_ox_d,
+                    Distance ldist_oy_d, Distance leg, bool tail,
+                    double epsilon, Distance direct,
+                    std::span<const Option> results, double fn) {
+  for (const Option& r : results) {
+    if (DestEdgePrunedBy(dist_tr_ox, ldist_ox_d, ldist_oy_d, leg, tail,
+                         epsilon, direct, r, fn)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DestCellInfeasible(int max_capacity, int riders, Distance max_detour,
+                        Distance ldist_d_g, Distance max_leg) {
+  if (max_capacity < riders) return true;
+  return max_detour + kPruneTolerance < 2.0 * ldist_d_g - max_leg;
+}
+
+bool DestCellPruned(Distance ldist_d_g, Distance min_dist_tr,
+                    Distance max_leg, bool has_tail, double epsilon,
+                    Distance direct, std::span<const Option> results,
+                    double fn) {
+  // A tail edge admits appending d after the last stop with detour just
+  // dist(o_k, d) >= ldist.
+  Distance detour_lb = 2.0 * ldist_d_g - max_leg;
+  if (has_tail) detour_lb = std::min(detour_lb, ldist_d_g);
+  for (const Option& r : results) {
+    if (StrictlyAbove(min_dist_tr + ldist_d_g - (1.0 + epsilon) * direct,
+                      r.pickup_dist) &&
+        StrictlyAbove(detour_lb, r.price / fn - direct)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Distance DetourLowerBound(bool same_gap, bool d_tail, Distance dist_ox_s,
+                          Distance delta_s, Distance ldist_ox_d,
+                          Distance ldist_oy_d, Distance leg,
+                          Distance direct) {
+  if (same_gap) {
+    // Case 2 of Definition 7: <o_m, o_n> == <o_x, o_y>.
+    if (d_tail) return dist_ox_s + direct;
+    return dist_ox_s + ldist_oy_d + direct - leg;
+  }
+  // Case 1: independent gaps; the s part is already exact.
+  if (d_tail) return delta_s + ldist_ox_d;
+  return delta_s + ldist_ox_d + ldist_oy_d - leg;
+}
+
+bool AfterStartPruned(Distance pickup_dist, Distance detour_lower_bound,
+                      std::span<const Option> results, double fn,
+                      Distance direct) {
+  for (const Option& r : results) {
+    if (StrictlyAbove(pickup_dist, r.pickup_dist) &&
+        StrictlyAbove(detour_lower_bound, r.price / fn - direct)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ptar::lemmas

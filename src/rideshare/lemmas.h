@@ -1,0 +1,146 @@
+// Pruning heuristics: Lemmas 1-11 and Definition 7 of the paper, as pure
+// testable predicates.
+//
+// Conventions shared by all functions:
+//  * every "Pruned"/"Infeasible" function returning true means the candidate
+//    (vehicle, grid cell, or insertion position) can be skipped *safely*:
+//    any result it could produce is either invalid or strictly dominated by
+//    a current result;
+//  * `fn` is the price ratio f_n, `direct` is dist(s, d);
+//  * lower-bound distances (ldist) come from the GridIndex; exact distances
+//    are named dist;
+//  * comparisons carry a small tolerance so floating-point noise can only
+//    make pruning more conservative, never unsound.
+//
+// Tail positions (inserting after the last stop, o_y empty) use the sound
+// modifications discussed in Section V: the detour clauses of Lemmas 5 and 7
+// are disabled, and the price lower bounds account for d necessarily
+// following s.
+
+#ifndef PTAR_RIDESHARE_LEMMAS_H_
+#define PTAR_RIDESHARE_LEMMAS_H_
+
+#include <span>
+
+#include "graph/types.h"
+#include "rideshare/option.h"
+
+namespace ptar::lemmas {
+
+inline constexpr Distance kPruneTolerance = 1e-6;
+
+// --------------------------------------------------------------------------
+// Empty vehicles.
+// --------------------------------------------------------------------------
+
+/// Lemma 1 (pruning clause) against one result: the empty vehicle at lower-
+/// bound pickup distance `ldist_cl_s` cannot beat r in either dimension.
+bool EmptyVehiclePrunedBy(Distance ldist_cl_s, const Option& r, double fn,
+                          Distance direct);
+
+/// Lemma 1 against a whole result set (prune if any result dominates).
+bool EmptyVehiclePruned(Distance ldist_cl_s, std::span<const Option> results,
+                        double fn, Distance direct);
+
+/// Lemma 1 (removal clause): a result every option of the empty vehicle is
+/// guaranteed to dominate or equal, built from the upper bound
+/// udist(c.l, s). Feed it to SkylineSet::RemoveDominatedBy.
+Option EmptyVehicleUpperBoundOption(VehicleId vehicle, Distance udist_cl_s,
+                                    double fn, Distance direct);
+
+/// Lemma 2: whole-cell variant; pass ldist(g_j, s) as the bound.
+inline bool EmptyCellPruned(Distance ldist_g_s,
+                            std::span<const Option> results, double fn,
+                            Distance direct) {
+  return EmptyVehiclePruned(ldist_g_s, results, fn, direct);
+}
+
+// --------------------------------------------------------------------------
+// Non-empty vehicles, inserting the start location s.
+// --------------------------------------------------------------------------
+
+/// Lemma 3 against one result: inserting s into edge <o_x, o_y> cannot beat
+/// r. `leg` is dist(o_x, o_y); `tail` marks o_y empty.
+bool StartEdgePrunedBy(Distance ldist_s_ox, Distance ldist_s_oy, Distance leg,
+                       bool tail, Distance dist_tr_ox, const Option& r,
+                       double fn, Distance direct);
+
+bool StartEdgePruned(Distance ldist_s_ox, Distance ldist_s_oy, Distance leg,
+                     bool tail, Distance dist_tr_ox,
+                     std::span<const Option> results, double fn,
+                     Distance direct);
+
+/// Lemma 5: capacity / detour feasibility of inserting s into the edge.
+bool StartEdgeInfeasible(int edge_capacity, int riders, Distance edge_detour,
+                         Distance ldist_s_ox, Distance ldist_s_oy,
+                         Distance leg, bool tail);
+
+/// Lemma 4: the whole cell (aggregates min_dist_tr / max_leg) cannot beat
+/// any current result when inserting s. `has_tail` weakens the price clause
+/// to cover tail edges, whose detour lower bound is ldist + direct rather
+/// than 2*ldist - leg.
+bool StartCellPruned(Distance ldist_s_g, Distance min_dist_tr,
+                     Distance max_leg, bool has_tail,
+                     std::span<const Option> results, double fn,
+                     Distance direct);
+
+/// Lemma 6: cell-level capacity / detour feasibility for inserting s.
+/// (Tail edges carry an infinite detour slack, so a cell containing one is
+/// never detour-infeasible — its max_detour aggregate is infinite.)
+bool StartCellInfeasible(int max_capacity, int riders, Distance max_detour,
+                         Distance ldist_s_g, Distance max_leg);
+
+// --------------------------------------------------------------------------
+// Non-empty vehicles, inserting the destination d.
+// --------------------------------------------------------------------------
+
+/// Lemma 7: capacity / detour feasibility of inserting d into the edge.
+bool DestEdgeInfeasible(int edge_capacity, int riders, Distance edge_detour,
+                        Distance ldist_d_ox, Distance ldist_d_oy,
+                        Distance leg, bool tail);
+
+/// Lemma 9 against one result. `epsilon` is the request's service
+/// constraint.
+bool DestEdgePrunedBy(Distance dist_tr_ox, Distance ldist_ox_d,
+                      Distance ldist_oy_d, Distance leg, bool tail,
+                      double epsilon, Distance direct, const Option& r,
+                      double fn);
+
+bool DestEdgePruned(Distance dist_tr_ox, Distance ldist_ox_d,
+                    Distance ldist_oy_d, Distance leg, bool tail,
+                    double epsilon, Distance direct,
+                    std::span<const Option> results, double fn);
+
+/// Lemma 8: cell-level capacity / detour feasibility for inserting d.
+bool DestCellInfeasible(int max_capacity, int riders, Distance max_detour,
+                        Distance ldist_d_g, Distance max_leg);
+
+/// Lemma 10: cell-level dominance pruning for inserting d. `has_tail`
+/// weakens the price clause to ldist for cells holding tail edges.
+bool DestCellPruned(Distance ldist_d_g, Distance min_dist_tr,
+                    Distance max_leg, bool has_tail, double epsilon,
+                    Distance direct, std::span<const Option> results,
+                    double fn);
+
+// --------------------------------------------------------------------------
+// Definition 7 + Lemma 11 (after s is placed with exact distances).
+// --------------------------------------------------------------------------
+
+/// Definition 7: lower bound on the total detour dist_tr' - dist_tr once s
+/// is exactly placed and d targets edge <o_x, o_y>.
+///  * same_gap: d goes into the same gap as s (case 2); then `dist_ox_s` is
+///    the exact dist(o_x, s).
+///  * otherwise case 1 applies with `delta_s` the exact detour of s.
+Distance DetourLowerBound(bool same_gap, bool d_tail, Distance dist_ox_s,
+                          Distance delta_s, Distance ldist_ox_d,
+                          Distance ldist_oy_d, Distance leg, Distance direct);
+
+/// Lemma 11: with the pickup distance exact and the Def. 7 detour lower
+/// bound, the insertion cannot beat any current result.
+bool AfterStartPruned(Distance pickup_dist, Distance detour_lower_bound,
+                      std::span<const Option> results, double fn,
+                      Distance direct);
+
+}  // namespace ptar::lemmas
+
+#endif  // PTAR_RIDESHARE_LEMMAS_H_

@@ -1,0 +1,81 @@
+// Matcher interface and shared context for the dynamic-ridesharing
+// matching algorithms (paper Section VI).
+
+#ifndef PTAR_RIDESHARE_MATCHER_H_
+#define PTAR_RIDESHARE_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/distance_oracle.h"
+#include "grid/grid_index.h"
+#include "grid/vehicle_registry.h"
+#include "kinetic/kinetic_tree.h"
+#include "kinetic/request.h"
+#include "rideshare/option.h"
+#include "rideshare/price_model.h"
+
+namespace ptar {
+
+/// Per-request cost measures — the metrics every experiment in Section VII
+/// reports.
+struct MatchStats {
+  std::uint64_t verified_vehicles = 0;  ///< Vehicles whose tree was probed.
+  std::uint64_t compdists = 0;  ///< Shortest-path distance computations.
+  std::uint64_t scanned_cells = 0;    ///< Grid cells visited.
+  std::uint64_t pruned_cells = 0;     ///< Cells skipped by Lemmas 2/4/6/8/10.
+  std::uint64_t pruned_vehicles = 0;  ///< Vehicles skipped by Lemmas 1/3/5.
+  double elapsed_micros = 0.0;
+
+  void Accumulate(const MatchStats& other) {
+    verified_vehicles += other.verified_vehicles;
+    compdists += other.compdists;
+    scanned_cells += other.scanned_cells;
+    pruned_cells += other.pruned_cells;
+    pruned_vehicles += other.pruned_vehicles;
+    elapsed_micros += other.elapsed_micros;
+  }
+};
+
+/// The answer to one request: all non-dominated options plus cost stats.
+struct MatchResult {
+  std::vector<Option> options;  ///< Skyline, sorted by pickup distance.
+  MatchStats stats;
+};
+
+/// Everything a matcher needs about the world. The fleet is mutable because
+/// verification repairs stale kinetic-tree legs in place (a semantics-
+/// preserving operation shared by all matchers).
+struct MatchContext {
+  const GridIndex* grid = nullptr;
+  VehicleRegistry* registry = nullptr;
+  std::vector<KineticTree>* fleet = nullptr;  ///< Indexed by VehicleId.
+  DistanceOracle* oracle = nullptr;
+  PriceModel price_model;
+};
+
+/// Which lemma families an index-based matcher applies. Used by the
+/// ablation bench to quantify each family's contribution; production use
+/// keeps everything on.
+struct PruningConfig {
+  /// Whole-cell pruning: Lemmas 2, 4, 6 (and 8, 10 on the DSA d-side).
+  bool cell_level = true;
+  /// Per-vehicle / per-edge filtering: Lemmas 1, 3, 5 (and 7, 9).
+  bool edge_level = true;
+  /// Lazy in-insertion pruning: Lemmas 3, 5, 7, 9, 11 + Definition 7.
+  bool insertion_hooks = true;
+};
+
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+  virtual std::string name() const = 0;
+  /// Computes the full non-dominated option set for the request. Resets the
+  /// oracle's cache and compdists counter for this request.
+  virtual MatchResult Match(const Request& request, MatchContext& ctx) = 0;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_RIDESHARE_MATCHER_H_

@@ -1,0 +1,251 @@
+#include "rideshare/matcher_internal.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "rideshare/lemmas.h"
+
+namespace ptar::internal {
+
+KineticTree::DistFn OracleDistFn(MatchContext& ctx) {
+  DistanceOracle* oracle = ctx.oracle;
+  return [oracle](VertexId a, VertexId b) { return oracle->Dist(a, b); };
+}
+
+InsertionHooks MakeLemmaHooks(const RequestEnv& env, const GridIndex& grid,
+                              const SkylineSet& skyline) {
+  InsertionHooks hooks;
+  if (!env.pruning.insertion_hooks) return hooks;
+  const Request* request = env.request;
+  const Distance direct = env.direct;
+  const double fn = env.fn;
+
+  hooks.prune_s = [request, direct, fn, &grid,
+                   &skyline](const SPositionContext& c) {
+    const VertexId s = request->start;
+    const Distance l_ox = grid.LowerBound(s, c.ox);
+    const Distance l_oy = c.tail ? 0.0 : grid.LowerBound(s, c.oy);
+    if (lemmas::StartEdgeInfeasible(c.free_seats, request->riders,
+                                    c.detour_slack, l_ox, l_oy, c.leg_dist,
+                                    c.tail)) {
+      return true;  // Lemma 5
+    }
+    if (!skyline.empty() &&
+        lemmas::StartEdgePruned(l_ox, l_oy, c.leg_dist, c.tail, c.dist_tr_ox,
+                                skyline.options(), fn, direct)) {
+      return true;  // Lemma 3
+    }
+    return false;
+  };
+
+  hooks.prune_d = [request, direct, fn, &grid,
+                   &skyline](const DPositionContext& c) {
+    const VertexId d = request->destination;
+    const Distance l_ox = grid.LowerBound(d, c.ox);
+    const Distance l_oy = c.tail ? 0.0 : grid.LowerBound(d, c.oy);
+    // Lemma 7 (capacity is enforced exactly by the enumerator, so only the
+    // detour clause applies here).
+    if (lemmas::DestEdgeInfeasible(std::numeric_limits<int>::max(),
+                                   request->riders, c.detour_slack, l_ox,
+                                   l_oy, c.leg_dist, c.tail)) {
+      return true;
+    }
+    if (!skyline.empty()) {
+      // Lemma 9.
+      if (lemmas::DestEdgePruned(c.dist_tr_ox, l_ox, l_oy, c.leg_dist,
+                                 c.tail, request->epsilon, direct,
+                                 skyline.options(), fn)) {
+        return true;
+      }
+      // Lemma 11 with the Definition 7 detour lower bound.
+      const Distance detour_lb = lemmas::DetourLowerBound(
+          c.same_gap, c.tail, c.dist_ox_s, c.delta_s, l_ox, l_oy, c.leg_dist,
+          direct);
+      if (lemmas::AfterStartPruned(c.pickup_dist, detour_lb,
+                                   skyline.options(), fn, direct)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  return hooks;
+}
+
+void VerifyEmptyVehicle(KineticTree& tree, const RequestEnv& env,
+                        MatchContext& ctx, SkylineSet& skyline,
+                        MatchStats& stats) {
+  ++stats.verified_vehicles;
+  if (tree.capacity() < env.request->riders) return;  // group cannot board
+  const Distance pickup = ctx.oracle->Dist(tree.location(),
+                                           env.request->start);
+  if (pickup == kInfDistance) return;  // unreachable vehicle
+  Option option;
+  option.vehicle = tree.vehicle();
+  option.pickup_dist = pickup;
+  option.price = ctx.price_model.EmptyVehiclePrice(env.request->riders,
+                                                   pickup, env.direct);
+  skyline.Insert(option);
+}
+
+void VerifyNonEmptyVehicle(KineticTree& tree, const RequestEnv& env,
+                           MatchContext& ctx, const InsertionHooks& hooks,
+                           SkylineSet& skyline, MatchStats& stats) {
+  ++stats.verified_vehicles;
+  const KineticTree::DistFn dist = OracleDistFn(ctx);
+  tree.Refresh(dist);
+  const Distance base_total = tree.CurrentTotal();
+  const std::vector<InsertionCandidate> candidates =
+      tree.EnumerateInsertions(*env.request, env.direct, dist, hooks);
+  for (const InsertionCandidate& cand : candidates) {
+    Option option;
+    option.vehicle = tree.vehicle();
+    option.pickup_dist = cand.pickup_dist;
+    option.price = ctx.price_model.Price(
+        env.request->riders, cand.total_dist - base_total, env.direct);
+    skyline.Insert(option);
+  }
+}
+
+void CollectEmptyCandidates(CellId cell, const RequestEnv& env,
+                            MatchContext& ctx, const SkylineSet& skyline,
+                            std::vector<char>& emitted, MatchStats& stats,
+                            std::vector<VehicleId>* out) {
+  const std::span<const VehicleId> list = ctx.registry->EmptyVehicles(cell);
+  if (list.empty()) return;
+  const VertexId s = env.request->start;
+  // Lemma 2: prune the whole empty-vehicle list of the cell.
+  if (env.pruning.cell_level && !skyline.empty() &&
+      lemmas::EmptyCellPruned(ctx.grid->LowerBoundToCell(s, cell),
+                              skyline.options(), env.fn, env.direct)) {
+    ++stats.pruned_cells;
+    return;
+  }
+  for (const VehicleId v : list) {
+    if (emitted[v]) continue;
+    const KineticTree& tree = (*ctx.fleet)[v];
+    // Capacity constraint (Definition 2): skip vehicles the group cannot
+    // board at all.
+    if (tree.capacity() < env.request->riders) {
+      ++stats.pruned_vehicles;
+      continue;
+    }
+    // Lemma 1, per vehicle.
+    if (env.pruning.edge_level && !skyline.empty() &&
+        lemmas::EmptyVehiclePruned(ctx.grid->LowerBound(tree.location(), s),
+                                   skyline.options(), env.fn, env.direct)) {
+      ++stats.pruned_vehicles;
+      continue;
+    }
+    emitted[v] = 1;
+    out->push_back(v);
+  }
+}
+
+void CollectStartCandidates(CellId cell, const RequestEnv& env,
+                            MatchContext& ctx, const SkylineSet& skyline,
+                            std::vector<char>& emitted, MatchStats& stats,
+                            std::vector<VehicleId>* out) {
+  const CellAggregates& agg = ctx.registry->Aggregates(cell);
+  if (!agg.any) return;
+  const VertexId s = env.request->start;
+  const int riders = env.request->riders;
+  const Distance ldist_s_g = ctx.grid->LowerBoundToCell(s, cell);
+  // Lemma 6: capacity / detour over the whole cell.
+  if (env.pruning.cell_level &&
+      lemmas::StartCellInfeasible(agg.max_capacity, riders, agg.max_detour,
+                                  ldist_s_g, agg.max_leg_dist)) {
+    ++stats.pruned_cells;
+    return;
+  }
+  // Lemma 4: dominance over the whole cell.
+  if (env.pruning.cell_level && !skyline.empty() &&
+      lemmas::StartCellPruned(ldist_s_g, agg.min_dist_tr, agg.max_leg_dist,
+                              agg.has_tail, skyline.options(), env.fn,
+                              env.direct)) {
+    ++stats.pruned_cells;
+    return;
+  }
+  for (const KineticEdgeEntry& entry : ctx.registry->NonEmptyEntries(cell)) {
+    if (emitted[entry.vehicle]) continue;
+    const Distance l_ox = ctx.grid->LowerBound(s, entry.ox);
+    const Distance l_oy =
+        entry.tail ? 0.0 : ctx.grid->LowerBound(s, entry.oy);
+    // Lemma 5.
+    if (env.pruning.edge_level &&
+        lemmas::StartEdgeInfeasible(entry.capacity, riders, entry.detour,
+                                    l_ox, l_oy, entry.leg_dist, entry.tail)) {
+      ++stats.pruned_vehicles;
+      continue;
+    }
+    // Lemma 3.
+    if (env.pruning.edge_level && !skyline.empty() &&
+        lemmas::StartEdgePruned(l_ox, l_oy, entry.leg_dist, entry.tail,
+                                entry.dist_tr, skyline.options(), env.fn,
+                                env.direct)) {
+      ++stats.pruned_vehicles;
+      continue;
+    }
+    emitted[entry.vehicle] = 1;
+    out->push_back(entry.vehicle);
+  }
+}
+
+void CollectDestCandidates(CellId cell, const RequestEnv& env,
+                           MatchContext& ctx, const SkylineSet& skyline,
+                           std::vector<char>& emitted, MatchStats& stats,
+                           std::vector<VehicleId>* out) {
+  const CellAggregates& agg = ctx.registry->Aggregates(cell);
+  if (!agg.any) return;
+  const VertexId d = env.request->destination;
+  const int riders = env.request->riders;
+  const double epsilon = env.request->epsilon;
+  const Distance ldist_d_g = ctx.grid->LowerBoundToCell(d, cell);
+  // Lemma 8.
+  if (env.pruning.cell_level &&
+      lemmas::DestCellInfeasible(agg.max_capacity, riders, agg.max_detour,
+                                 ldist_d_g, agg.max_leg_dist)) {
+    ++stats.pruned_cells;
+    return;
+  }
+  // Lemma 10.
+  if (env.pruning.cell_level && !skyline.empty() &&
+      lemmas::DestCellPruned(ldist_d_g, agg.min_dist_tr, agg.max_leg_dist,
+                             agg.has_tail, epsilon, env.direct,
+                             skyline.options(), env.fn)) {
+    ++stats.pruned_cells;
+    return;
+  }
+  for (const KineticEdgeEntry& entry : ctx.registry->NonEmptyEntries(cell)) {
+    if (emitted[entry.vehicle]) continue;
+    const Distance l_ox = ctx.grid->LowerBound(d, entry.ox);
+    const Distance l_oy =
+        entry.tail ? 0.0 : ctx.grid->LowerBound(d, entry.oy);
+    // Lemma 7.
+    if (env.pruning.edge_level &&
+        lemmas::DestEdgeInfeasible(entry.capacity, riders, entry.detour,
+                                   l_ox, l_oy, entry.leg_dist, entry.tail)) {
+      ++stats.pruned_vehicles;
+      continue;
+    }
+    // Lemma 9.
+    if (env.pruning.edge_level && !skyline.empty() &&
+        lemmas::DestEdgePruned(entry.dist_tr, l_ox, l_oy, entry.leg_dist,
+                               entry.tail, epsilon, env.direct,
+                               skyline.options(), env.fn)) {
+      ++stats.pruned_vehicles;
+      continue;
+    }
+    emitted[entry.vehicle] = 1;
+    out->push_back(entry.vehicle);
+  }
+}
+
+std::size_t VerifiedCellLimit(std::size_t num_cells, double fraction) {
+  if (num_cells == 0) return 0;
+  const double raw = fraction * static_cast<double>(num_cells);
+  auto limit = static_cast<std::size_t>(raw + 0.999999);
+  return std::clamp<std::size_t>(limit, 1, num_cells);
+}
+
+}  // namespace ptar::internal

@@ -1,0 +1,72 @@
+// Shared machinery for the three matching algorithms: vehicle verification
+// (Algorithm 4, find_result) and the lemma-based insertion hooks.
+
+#ifndef PTAR_RIDESHARE_MATCHER_INTERNAL_H_
+#define PTAR_RIDESHARE_MATCHER_INTERNAL_H_
+
+#include "kinetic/kinetic_tree.h"
+#include "rideshare/matcher.h"
+#include "rideshare/skyline.h"
+
+namespace ptar::internal {
+
+/// Bundle of per-request quantities threaded through verification.
+struct RequestEnv {
+  const Request* request = nullptr;
+  Distance direct = 0.0;  ///< dist(s, d).
+  double fn = 0.0;        ///< Price ratio f_n.
+  PruningConfig pruning;  ///< Which lemma families are active.
+};
+
+/// Exact distance callback bound to the context's oracle.
+KineticTree::DistFn OracleDistFn(MatchContext& ctx);
+
+/// Builds insertion hooks that evaluate Lemmas 3/5 (s side) and
+/// 7/9/11 + Def. 7 (d side) against the evolving skyline. Returns null
+/// hooks (full enumeration) when env.pruning.insertion_hooks is off. The
+/// references must outlive the returned hooks.
+InsertionHooks MakeLemmaHooks(const RequestEnv& env, const GridIndex& grid,
+                              const SkylineSet& skyline);
+
+/// Verifies one empty vehicle: computes its single option exactly and
+/// inserts it (Algorithm 4, lines 1-2).
+void VerifyEmptyVehicle(KineticTree& tree, const RequestEnv& env,
+                        MatchContext& ctx, SkylineSet& skyline,
+                        MatchStats& stats);
+
+/// Verifies one non-empty vehicle: kinetic-tree insertion with the given
+/// hooks, one option per surviving candidate (Algorithm 4, lines 3-4).
+void VerifyNonEmptyVehicle(KineticTree& tree, const RequestEnv& env,
+                           MatchContext& ctx, const InsertionHooks& hooks,
+                           SkylineSet& skyline, MatchStats& stats);
+
+/// Algorithm 2 (find_empty_vehicle): appends the cell's empty vehicles that
+/// survive Lemmas 1 and 2. `emitted[v]` marks vehicles already produced and
+/// is updated for every appended vehicle.
+void CollectEmptyCandidates(CellId cell, const RequestEnv& env,
+                            MatchContext& ctx, const SkylineSet& skyline,
+                            std::vector<char>& emitted, MatchStats& stats,
+                            std::vector<VehicleId>* out);
+
+/// Algorithm 3 (find_nonempty_vehicle): appends non-empty vehicles with at
+/// least one registered edge in the cell surviving Lemmas 3-6.
+void CollectStartCandidates(CellId cell, const RequestEnv& env,
+                            MatchContext& ctx, const SkylineSet& skyline,
+                            std::vector<char>& emitted, MatchStats& stats,
+                            std::vector<VehicleId>* out);
+
+/// Algorithm 5's find_nonempty_vehicle_Dest: destination-side filtering via
+/// Lemmas 7-10.
+void CollectDestCandidates(CellId cell, const RequestEnv& env,
+                           MatchContext& ctx, const SkylineSet& skyline,
+                           std::vector<char>& emitted, MatchStats& stats,
+                           std::vector<VehicleId>* out);
+
+/// Number of cells a partial-grid search visits for the configured fraction
+/// (paper Section VII.A, "number of verified grids"): at least one, at most
+/// all.
+std::size_t VerifiedCellLimit(std::size_t num_cells, double fraction);
+
+}  // namespace ptar::internal
+
+#endif  // PTAR_RIDESHARE_MATCHER_INTERNAL_H_

@@ -1,0 +1,35 @@
+// Rider-facing ridesharing options and the dominance relation
+// (paper Definition 4).
+
+#ifndef PTAR_RIDESHARE_OPTION_H_
+#define PTAR_RIDESHARE_OPTION_H_
+
+#include "graph/types.h"
+#include "grid/vehicle_registry.h"
+
+namespace ptar {
+
+/// One result r = <c, dist_pt, price>: vehicle, trip distance from the
+/// vehicle's current location to the request's start (the constant-speed
+/// proxy for the earliest pick-up time), and the price.
+struct Option {
+  VehicleId vehicle = kInvalidVehicle;
+  Distance pickup_dist = 0.0;
+  double price = 0.0;
+
+  friend bool operator==(const Option& a, const Option& b) {
+    return a.vehicle == b.vehicle && a.pickup_dist == b.pickup_dist &&
+           a.price == b.price;
+  }
+};
+
+/// r_i dominates r_j iff it is no worse in both dimensions and strictly
+/// better in at least one.
+inline bool Dominates(const Option& ri, const Option& rj) {
+  return (ri.pickup_dist <= rj.pickup_dist && ri.price < rj.price) ||
+         (ri.pickup_dist < rj.pickup_dist && ri.price <= rj.price);
+}
+
+}  // namespace ptar
+
+#endif  // PTAR_RIDESHARE_OPTION_H_

@@ -1,0 +1,49 @@
+// Price model (paper Definition 3).
+//
+// price = f_n * (dist_tr' - dist_tr + dist(s, d)),  f_n = 0.3 + (n-1)*0.1
+//
+// dist_tr is the vehicle's current (active) trip-schedule distance and
+// dist_tr' the distance of the schedule that serves the new request. For an
+// empty vehicle this reduces to f_n * (dist(c.l, s) + 2 * dist(s, d)).
+
+#ifndef PTAR_RIDESHARE_PRICE_MODEL_H_
+#define PTAR_RIDESHARE_PRICE_MODEL_H_
+
+#include "common/logging.h"
+#include "graph/types.h"
+
+namespace ptar {
+
+class PriceModel {
+ public:
+  /// base = per-rider ratio of a single rider, step = increment per extra
+  /// rider. Paper defaults: f_n = 0.3 + (n - 1) * 0.1.
+  explicit PriceModel(double base = 0.3, double step = 0.1)
+      : base_(base), step_(step) {}
+
+  /// The price ratio f_n for a group of n riders.
+  double Ratio(int riders) const {
+    PTAR_DCHECK(riders >= 1);
+    return base_ + (riders - 1) * step_;
+  }
+
+  /// Price for a non-empty vehicle: `added_dist` = dist_tr' - dist_tr,
+  /// `direct_dist` = dist(s, d).
+  double Price(int riders, Distance added_dist, Distance direct_dist) const {
+    return Ratio(riders) * (added_dist + direct_dist);
+  }
+
+  /// Price for an empty vehicle at pickup distance dist(c.l, s).
+  double EmptyVehiclePrice(int riders, Distance pickup_dist,
+                           Distance direct_dist) const {
+    return Ratio(riders) * (pickup_dist + 2.0 * direct_dist);
+  }
+
+ private:
+  double base_;
+  double step_;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_RIDESHARE_PRICE_MODEL_H_

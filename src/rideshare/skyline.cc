@@ -1,0 +1,17 @@
+#include "rideshare/skyline.h"
+
+#include <algorithm>
+
+namespace ptar {
+
+std::vector<Option> SkylineSet::Sorted() const {
+  std::vector<Option> out = options_;
+  std::sort(out.begin(), out.end(), [](const Option& a, const Option& b) {
+    if (a.pickup_dist != b.pickup_dist) return a.pickup_dist < b.pickup_dist;
+    if (a.price != b.price) return a.price < b.price;
+    return a.vehicle < b.vehicle;
+  });
+  return out;
+}
+
+}  // namespace ptar

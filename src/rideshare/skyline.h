@@ -1,0 +1,57 @@
+// Maintained skyline (non-dominated set) of ridesharing options.
+
+#ifndef PTAR_RIDESHARE_SKYLINE_H_
+#define PTAR_RIDESHARE_SKYLINE_H_
+
+#include <span>
+#include <vector>
+
+#include "rideshare/option.h"
+
+namespace ptar {
+
+/// The evolving result set S_r of a match: inserting an option drops every
+/// existing option it dominates and is rejected if an existing option
+/// dominates it. Incomparable duplicates (equal in both dimensions) are
+/// kept, as neither dominates the other.
+class SkylineSet {
+ public:
+  /// Returns true iff the option joined the skyline. Exact duplicates
+  /// (same vehicle, time, and price — e.g. two schedules of one vehicle
+  /// with identical metrics) are rejected.
+  bool Insert(const Option& option) {
+    for (const Option& existing : options_) {
+      if (Dominates(existing, option) || existing == option) return false;
+    }
+    std::erase_if(options_,
+                  [&](const Option& existing) {
+                    return Dominates(option, existing);
+                  });
+    options_.push_back(option);
+    return true;
+  }
+
+  /// Removes every option dominated by `bound` (used with Lemma 1's
+  /// upper-bound clause, where `bound` is a guaranteed-achievable result).
+  void RemoveDominatedBy(const Option& bound) {
+    std::erase_if(options_, [&](const Option& existing) {
+      return Dominates(bound, existing);
+    });
+  }
+
+  bool empty() const { return options_.empty(); }
+  std::size_t size() const { return options_.size(); }
+  std::span<const Option> options() const { return options_; }
+  void Clear() { options_.clear(); }
+
+  /// Sorted copy (ascending pickup distance, then price, then vehicle) for
+  /// deterministic presentation.
+  std::vector<Option> Sorted() const;
+
+ private:
+  std::vector<Option> options_;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_RIDESHARE_SKYLINE_H_

@@ -1,0 +1,60 @@
+#include "rideshare/ssa_matcher.h"
+
+#include "common/timer.h"
+#include "rideshare/matcher_internal.h"
+#include "rideshare/skyline.h"
+
+namespace ptar {
+
+MatchResult SsaMatcher::Match(const Request& request, MatchContext& ctx) {
+  Timer timer;
+  ctx.oracle->ClearCache();
+  ctx.oracle->ResetStats();
+
+  internal::RequestEnv env;
+  env.request = &request;
+  env.direct = ctx.oracle->Dist(request.start, request.destination);
+  env.fn = ctx.price_model.Ratio(request.riders);
+  env.pruning = pruning_;
+
+  SkylineSet skyline;
+  MatchStats stats;
+  std::vector<char> emitted(ctx.fleet->size(), 0);
+  const InsertionHooks hooks =
+      internal::MakeLemmaHooks(env, *ctx.grid, skyline);
+
+  const CellId start_cell = ctx.grid->CellOfVertex(request.start);
+  const std::span<const CellId> cells =
+      ctx.grid->CellsByDistance(start_cell);
+  const std::size_t limit =
+      internal::VerifiedCellLimit(cells.size(), fraction_);
+
+  std::vector<VehicleId> empty_candidates;
+  std::vector<VehicleId> nonempty_candidates;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const CellId cell = cells[i];
+    ++stats.scanned_cells;
+    empty_candidates.clear();
+    nonempty_candidates.clear();
+    internal::CollectEmptyCandidates(cell, env, ctx, skyline, emitted, stats,
+                                     &empty_candidates);
+    internal::CollectStartCandidates(cell, env, ctx, skyline, emitted, stats,
+                                     &nonempty_candidates);
+    for (const VehicleId v : empty_candidates) {
+      internal::VerifyEmptyVehicle((*ctx.fleet)[v], env, ctx, skyline, stats);
+    }
+    for (const VehicleId v : nonempty_candidates) {
+      internal::VerifyNonEmptyVehicle((*ctx.fleet)[v], env, ctx, hooks,
+                                      skyline, stats);
+    }
+  }
+
+  MatchResult result;
+  result.options = skyline.Sorted();
+  stats.compdists = ctx.oracle->compdists();
+  stats.elapsed_micros = timer.ElapsedMicros();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace ptar

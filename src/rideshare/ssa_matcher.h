@@ -1,0 +1,38 @@
+// Single-Side Search Algorithm (SSA, paper Algorithm 1).
+//
+// Scans grid cells in ascending lower-bound distance from the request's
+// start location, filtering empty vehicles with Lemmas 1-2 and non-empty
+// vehicles with Lemmas 3-6, then verifies surviving vehicles through the
+// kinetic tree with lazy, lemma-guarded distance computation
+// (Lemmas 3, 5, 7, 9, 11).
+
+#ifndef PTAR_RIDESHARE_SSA_MATCHER_H_
+#define PTAR_RIDESHARE_SSA_MATCHER_H_
+
+#include "rideshare/matcher.h"
+
+namespace ptar {
+
+class SsaMatcher : public Matcher {
+ public:
+  /// `verified_grid_fraction` is the share of (closest) grid cells the
+  /// search visits; the paper's default is 16 %. `pruning` selects the
+  /// active lemma families (ablation only; defaults to all).
+  explicit SsaMatcher(double verified_grid_fraction = 0.16,
+                      const PruningConfig& pruning = PruningConfig{})
+      : fraction_(verified_grid_fraction), pruning_(pruning) {}
+
+  std::string name() const override { return "SSA"; }
+  MatchResult Match(const Request& request, MatchContext& ctx) override;
+
+  double fraction() const { return fraction_; }
+  const PruningConfig& pruning() const { return pruning_; }
+
+ private:
+  double fraction_;
+  PruningConfig pruning_;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_RIDESHARE_SSA_MATCHER_H_

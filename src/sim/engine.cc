@@ -1,0 +1,357 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ptar {
+
+namespace {
+
+constexpr double kTimeEps = 1e-9;
+constexpr Distance kDistEps = 1e-9;
+
+/// Option-set overlap with a small numeric tolerance (used for Table III's
+/// precision / recall against the exact result set).
+bool ContainsOption(std::span<const Option> set, const Option& o) {
+  for (const Option& x : set) {
+    if (x.vehicle == o.vehicle &&
+        std::abs(x.pickup_dist - o.pickup_dist) < 1e-6 &&
+        std::abs(x.price - o.price) < 1e-6) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
+               const EngineOptions& options)
+    : graph_(graph),
+      grid_(grid),
+      options_(options),
+      rng_(options.seed),
+      registry_(grid),
+      match_oracle_(graph),
+      maintenance_oracle_(graph) {
+  PTAR_CHECK(graph != nullptr && grid != nullptr);
+  PTAR_CHECK(options.num_vehicles >= 1);
+  PTAR_CHECK(options.vehicle_capacity >= 1);
+  fleet_.reserve(options.num_vehicles);
+  runtimes_.resize(options.num_vehicles);
+  for (int i = 0; i < options.num_vehicles; ++i) {
+    const auto start =
+        static_cast<VertexId>(rng_.UniformIndex(graph->num_vertices()));
+    fleet_.emplace_back(static_cast<VehicleId>(i), start,
+                        options.vehicle_capacity);
+    runtimes_[i].route.assign(1, start);
+    registry_.AddEmptyVehicle(static_cast<VehicleId>(i), start);
+    registered_empty_.push_back(true);
+  }
+}
+
+MatchContext Engine::MakeMatchContext() {
+  MatchContext ctx;
+  ctx.grid = grid_;
+  ctx.registry = &registry_;
+  ctx.fleet = &fleet_;
+  ctx.oracle = &match_oracle_;
+  ctx.price_model = PriceModel{};
+  return ctx;
+}
+
+std::size_t Engine::KineticTreeMemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const KineticTree& tree : fleet_) bytes += tree.MemoryBytes();
+  return bytes;
+}
+
+KineticTree::DistFn Engine::MaintenanceDistFn() {
+  DistanceOracle* oracle = &maintenance_oracle_;
+  return [oracle](VertexId a, VertexId b) { return oracle->Dist(a, b); };
+}
+
+Distance Engine::ArcWeight(VertexId u, VertexId v) const {
+  Distance best = kInfDistance;
+  for (const Arc& arc : graph_->OutArcs(u)) {
+    if (arc.head == v) best = std::min(best, arc.weight);
+  }
+  PTAR_CHECK(best != kInfDistance)
+      << "no edge between " << u << " and " << v;
+  return best;
+}
+
+void Engine::ReRegister(VehicleId v) {
+  KineticTree& tree = fleet_[v];
+  auto entries = tree.BuildRegistration(*grid_);
+  // Paper Section IV.B registers an edge <o_x, o_y> in every cell its
+  // shortest path intersects. BuildRegistration only knows endpoints; the
+  // engine knows the driven route for the first leg, so augment the
+  // first-leg entries with the route's cells (purely additive: extra
+  // registrations can only surface the vehicle earlier, never unsoundly
+  // prune it).
+  const VehicleRuntime& rt = runtimes_[v];
+  if (!tree.IsEmpty() && rt.route.size() > 2) {
+    std::vector<CellId> route_cells;
+    grid_->CollectCells(rt.route, &route_cells);
+    const std::size_t base_count = entries.size();
+    for (std::size_t i = 0; i < base_count; ++i) {
+      const KineticEdgeEntry entry = entries[i].second;
+      if (entry.ox != tree.location() || entry.tail) continue;
+      for (const CellId cell : route_cells) {
+        if (cell != entries[i].first) entries.emplace_back(cell, entry);
+      }
+      break;  // one copy of the first-leg entry per route cell suffices
+    }
+  }
+  registry_.SetVehicleEdges(v, entries);
+}
+
+void Engine::SyncAfterTreeChange(VehicleId v) {
+  KineticTree& tree = fleet_[v];
+  VehicleRuntime& rt = runtimes_[v];
+
+  // Serve every stop co-located with the vehicle.
+  while (!tree.IsEmpty() &&
+         tree.NextStopLocation() == tree.location()) {
+    auto event = tree.ArriveAtNextStop();
+    PTAR_CHECK(event.ok()) << event.status();
+    if (event->type == StopType::kPickup) {
+      if (!rt.onboard.empty()) {
+        shared_requests_.insert(event->request);
+        for (const RequestId other : rt.onboard) {
+          shared_requests_.insert(other);
+        }
+      }
+      rt.onboard.insert(event->request);
+    } else {
+      rt.onboard.erase(event->request);
+    }
+  }
+
+  if (tree.IsEmpty()) {
+    PTAR_CHECK(rt.onboard.empty());
+    if (!registered_empty_[v]) {
+      registry_.ClearVehicleEdges(v);
+      registry_.AddEmptyVehicle(v, tree.location());
+      registered_empty_[v] = true;
+    }
+    rt.route.assign(1, tree.location());
+    rt.pos = 0;
+    rt.edge_progress = 0.0;
+    return;
+  }
+
+  ReRegister(v);
+  const VertexId target = tree.NextStopLocation();
+  PTAR_DCHECK(target != tree.location());
+  rt.route = maintenance_oracle_.Path(tree.location(), target);
+  PTAR_CHECK(rt.route.size() >= 2)
+      << "scheduled stop unreachable from vehicle location";
+  rt.pos = 0;
+  rt.edge_progress = 0.0;
+}
+
+void Engine::TickVehicle(VehicleId v, double budget_meters) {
+  VehicleRuntime& rt = runtimes_[v];
+  rt.budget += budget_meters;
+
+  while (true) {
+    KineticTree& tree = fleet_[v];
+    if (rt.pos + 1 >= rt.route.size()) {
+      if (!tree.IsEmpty()) {
+        // Route exhausted but stops remain: replan (can happen right after
+        // external tree changes).
+        SyncAfterTreeChange(v);
+        if (rt.pos + 1 >= rt.route.size()) return;  // became idle
+        continue;
+      }
+      // Idle vehicle: wander onto a random incident road segment.
+      const std::span<const Arc> arcs = graph_->OutArcs(tree.location());
+      if (arcs.empty()) return;  // stranded on an isolated vertex
+      const VertexId next = arcs[rng_.UniformIndex(arcs.size())].head;
+      rt.route.assign({tree.location(), next});
+      rt.pos = 0;
+      rt.edge_progress = 0.0;
+    }
+
+    const VertexId from = rt.route[rt.pos];
+    const VertexId to = rt.route[rt.pos + 1];
+    const Distance edge_len = ArcWeight(from, to);
+    const Distance need = edge_len - rt.edge_progress;
+    if (rt.budget + kDistEps < need) {
+      rt.edge_progress += rt.budget;
+      rt.budget = 0.0;
+      return;
+    }
+    rt.budget -= need;
+    rt.edge_progress = 0.0;
+    ++rt.pos;
+
+    const bool was_empty = tree.IsEmpty();
+    tree.MoveTo(to, edge_len);
+    if (was_empty) {
+      registry_.MoveEmptyVehicle(v, to);
+    } else {
+      registry_.AdjustVehicleDistTr(v, edge_len);
+      if (rt.pos + 1 == rt.route.size()) {
+        // Reached the scheduled stop: serve it and replan.
+        SyncAfterTreeChange(v);
+      }
+    }
+  }
+}
+
+void Engine::AdvanceTo(double time) {
+  while (now_ + kTimeEps < time) {
+    const double dt = std::min(options_.tick_seconds, time - now_);
+    const double budget = options_.speed_mps * dt;
+    for (VehicleId v = 0; v < fleet_.size(); ++v) {
+      TickVehicle(v, budget);
+    }
+    now_ += dt;
+  }
+}
+
+void Engine::RefreshStaleTrees() {
+  const KineticTree::DistFn dist = MaintenanceDistFn();
+  for (VehicleId v = 0; v < fleet_.size(); ++v) {
+    if (fleet_[v].stale()) {
+      fleet_[v].Refresh(dist);
+      SyncAfterTreeChange(v);
+    }
+  }
+}
+
+const Option* Engine::ChooseOption(std::span<const Option> options) {
+  if (options.empty()) return nullptr;
+  switch (options_.policy) {
+    case ChoicePolicy::kMinPrice: {
+      const Option* best = &options[0];
+      for (const Option& o : options) {
+        if (o.price < best->price ||
+            (o.price == best->price && o.pickup_dist < best->pickup_dist)) {
+          best = &o;
+        }
+      }
+      return best;
+    }
+    case ChoicePolicy::kMinTime: {
+      const Option* best = &options[0];
+      for (const Option& o : options) {
+        if (o.pickup_dist < best->pickup_dist ||
+            (o.pickup_dist == best->pickup_dist && o.price < best->price)) {
+          best = &o;
+        }
+      }
+      return best;
+    }
+    case ChoicePolicy::kBalanced: {
+      double max_pickup = 0.0;
+      double max_price = 0.0;
+      for (const Option& o : options) {
+        max_pickup = std::max(max_pickup, o.pickup_dist);
+        max_price = std::max(max_price, o.price);
+      }
+      const Option* best = &options[0];
+      double best_score = std::numeric_limits<double>::infinity();
+      for (const Option& o : options) {
+        const double score =
+            (max_pickup > 0 ? o.pickup_dist / max_pickup : 0.0) +
+            (max_price > 0 ? o.price / max_price : 0.0);
+        if (score < best_score) {
+          best_score = score;
+          best = &o;
+        }
+      }
+      return best;
+    }
+    case ChoicePolicy::kRandom:
+      return &options[rng_.UniformIndex(options.size())];
+  }
+  return nullptr;
+}
+
+void Engine::CommitChoice(const Request& request, const Option& option) {
+  const VehicleId v = option.vehicle;
+  PTAR_CHECK(v < fleet_.size());
+  KineticTree& tree = fleet_[v];
+  const bool was_empty = tree.IsEmpty();
+  const Distance direct =
+      maintenance_oracle_.Dist(request.start, request.destination);
+  PTAR_CHECK_OK(
+      tree.Commit(request, direct, option.pickup_dist, MaintenanceDistFn()));
+  if (was_empty) {
+    registry_.RemoveEmptyVehicle(v);
+    registered_empty_[v] = false;
+  }
+  ++served_;
+  SyncAfterTreeChange(v);
+}
+
+Engine::RequestOutcome Engine::ProcessRequest(
+    const Request& request, std::span<Matcher* const> matchers) {
+  PTAR_CHECK(!matchers.empty());
+  AdvanceTo(request.submit_time);
+  RefreshStaleTrees();
+
+  RequestOutcome outcome;
+  MatchContext ctx = MakeMatchContext();
+  outcome.results.reserve(matchers.size());
+  for (Matcher* matcher : matchers) {
+    outcome.results.push_back(matcher->Match(request, ctx));
+  }
+
+  const Option* chosen = ChooseOption(outcome.results[0].options);
+  if (chosen != nullptr) {
+    outcome.served = true;
+    outcome.chosen = *chosen;
+    CommitChoice(request, *chosen);
+  }
+  return outcome;
+}
+
+RunStats Engine::Run(std::span<const Request> requests,
+                     std::span<Matcher* const> matchers) {
+  RunStats stats;
+  stats.matchers.resize(matchers.size());
+  for (std::size_t m = 0; m < matchers.size(); ++m) {
+    stats.matchers[m].name = matchers[m]->name();
+  }
+
+  for (const Request& request : requests) {
+    const RequestOutcome outcome = ProcessRequest(request, matchers);
+    const std::span<const Option> exact(outcome.results[0].options);
+    for (std::size_t m = 0; m < matchers.size(); ++m) {
+      MatcherAggregate& agg = stats.matchers[m];
+      agg.totals.Accumulate(outcome.results[m].stats);
+      agg.latency_ms.Add(outcome.results[m].stats.elapsed_micros / 1e3);
+      ++agg.requests;
+      agg.options_sum += outcome.results[m].options.size();
+      // Precision / recall vs. the committing matcher (Table III).
+      const std::span<const Option> approx(outcome.results[m].options);
+      std::size_t hit = 0;
+      for (const Option& o : approx) {
+        if (ContainsOption(exact, o)) ++hit;
+      }
+      agg.precision_sum +=
+          approx.empty() ? 1.0 : static_cast<double>(hit) / approx.size();
+      std::size_t covered = 0;
+      for (const Option& o : exact) {
+        if (ContainsOption(approx, o)) ++covered;
+      }
+      agg.recall_sum +=
+          exact.empty() ? 1.0 : static_cast<double>(covered) / exact.size();
+    }
+    if (outcome.served) {
+      ++stats.served;
+    } else {
+      ++stats.unserved;
+    }
+  }
+  stats.shared = shared_requests_.size();
+  return stats;
+}
+
+}  // namespace ptar

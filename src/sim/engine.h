@@ -1,0 +1,183 @@
+// Time-stepped dynamic ridesharing engine.
+//
+// The engine owns the fleet (kinetic trees + grid registrations), drives
+// vehicle movement at a constant speed (paper Section VII: vehicles follow
+// their schedule when occupied and random-walk on road segments otherwise),
+// feeds the request stream to one or more matchers evaluated on an
+// *identical* world state (shadow evaluation), and commits one option per
+// request chosen by a configurable rider policy.
+//
+// Index maintenance (vehicle movement updates, kinetic-tree refreshes,
+// re-registrations, commits) runs through a dedicated maintenance oracle so
+// per-matcher compdists measure matching work only, like the paper's
+// Section VII metrics.
+
+#ifndef PTAR_SIM_ENGINE_H_
+#define PTAR_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "graph/distance_oracle.h"
+#include "grid/grid_index.h"
+#include "grid/vehicle_registry.h"
+#include "kinetic/kinetic_tree.h"
+#include "rideshare/matcher.h"
+
+namespace ptar {
+
+/// How a rider picks among the returned non-dominated options.
+enum class ChoicePolicy {
+  kMinPrice,   ///< Cheapest option (earliest pickup breaks ties).
+  kMinTime,    ///< Earliest pickup (cheaper breaks ties).
+  kBalanced,   ///< Minimal normalized price + pickup sum.
+  kRandom,     ///< Uniform over the skyline (seeded).
+};
+
+struct EngineOptions {
+  int num_vehicles = 500;
+  int vehicle_capacity = 4;  ///< Paper default: 4 seats.
+  double speed_mps = kDefaultSpeedMetersPerSec;
+  double tick_seconds = 1.0;
+  ChoicePolicy policy = ChoicePolicy::kMinPrice;
+  std::uint64_t seed = 13;
+};
+
+/// Aggregated per-matcher measurements across a run.
+struct MatcherAggregate {
+  std::string name;
+  MatchStats totals;
+  std::uint64_t requests = 0;
+  std::uint64_t options_sum = 0;
+  double precision_sum = 0.0;  ///< vs. the first matcher's option set.
+  double recall_sum = 0.0;
+  SampleSummary latency_ms;  ///< Per-request matching latency distribution.
+
+  double MeanMillis() const {
+    return requests == 0 ? 0.0 : totals.elapsed_micros / 1e3 / requests;
+  }
+  double MeanVerified() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(totals.verified_vehicles) / requests;
+  }
+  double MeanCompdists() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(totals.compdists) / requests;
+  }
+  double MeanOptions() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(options_sum) / requests;
+  }
+  double MeanPrecision() const {
+    return requests == 0 ? 1.0 : precision_sum / requests;
+  }
+  double MeanRecall() const {
+    return requests == 0 ? 1.0 : recall_sum / requests;
+  }
+};
+
+struct RunStats {
+  std::vector<MatcherAggregate> matchers;
+  std::uint64_t served = 0;
+  std::uint64_t unserved = 0;
+  std::uint64_t shared = 0;  ///< Served requests that rode with others.
+
+  double SharingRate() const {
+    return served == 0 ? 0.0 : static_cast<double>(shared) / served;
+  }
+};
+
+class Engine {
+ public:
+  /// The graph and grid must outlive the engine. Vehicles start at
+  /// uniformly random vertices.
+  Engine(const RoadNetwork* graph, const GridIndex* grid,
+         const EngineOptions& options);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Accessors. ---
+  std::vector<KineticTree>& fleet() { return fleet_; }
+  const std::vector<KineticTree>& fleet() const { return fleet_; }
+  VehicleRegistry& registry() { return registry_; }
+  const GridIndex& grid() const { return *grid_; }
+  double now() const { return now_; }
+
+  /// Context bound to the counted matching oracle.
+  MatchContext MakeMatchContext();
+
+  /// Sum of the fleet's kinetic-tree memory (Table IV's second row).
+  std::size_t KineticTreeMemoryBytes() const;
+
+  // --- Simulation. ---
+
+  /// Advances the world to absolute time `time` (seconds).
+  void AdvanceTo(double time);
+
+  struct RequestOutcome {
+    std::vector<MatchResult> results;  ///< One per matcher, same order.
+    bool served = false;
+    Option chosen;
+  };
+
+  /// Advances to the request's submit time, repairs stale state, evaluates
+  /// every matcher on the identical snapshot, and commits the option chosen
+  /// (by policy) from the first matcher's result set.
+  RequestOutcome ProcessRequest(const Request& request,
+                                std::span<Matcher* const> matchers);
+
+  /// Replays a whole (time-sorted) request stream; the first matcher is the
+  /// committing one and the precision/recall reference.
+  RunStats Run(std::span<const Request> requests,
+               std::span<Matcher* const> matchers);
+
+ private:
+  struct VehicleRuntime {
+    std::vector<VertexId> route;  ///< Vertex path being driven.
+    std::size_t pos = 0;          ///< Index of the current vertex in route.
+    double edge_progress = 0.0;   ///< Meters advanced into the next edge.
+    double budget = 0.0;          ///< Unspent movement distance.
+    std::unordered_set<RequestId> onboard;  ///< For sharing-rate tracking.
+  };
+
+  KineticTree::DistFn MaintenanceDistFn();
+  Distance ArcWeight(VertexId u, VertexId v) const;
+  void TickVehicle(VehicleId v, double budget_meters);
+  /// Serves co-located stops, fixes the vehicle's registry membership, and
+  /// replans its driving route. Called after any kinetic-tree change.
+  void SyncAfterTreeChange(VehicleId v);
+  void ReRegister(VehicleId v);
+  void RefreshStaleTrees();
+  const Option* ChooseOption(std::span<const Option> options);
+  void CommitChoice(const Request& request, const Option& option);
+
+  const RoadNetwork* graph_;
+  const GridIndex* grid_;
+  EngineOptions options_;
+  Rng rng_;
+  double now_ = 0.0;
+
+  std::vector<KineticTree> fleet_;
+  std::vector<VehicleRuntime> runtimes_;
+  std::vector<char> registered_empty_;  ///< Vehicle is in an empty list.
+  VehicleRegistry registry_;
+
+  DistanceOracle match_oracle_;        ///< Counted, cleared per request.
+  DistanceOracle maintenance_oracle_;  ///< Engine bookkeeping, uncounted.
+
+  std::unordered_set<RequestId> shared_requests_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_SIM_ENGINE_H_

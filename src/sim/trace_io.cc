@@ -1,0 +1,102 @@
+#include "sim/trace_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace ptar {
+
+namespace {
+
+constexpr char kHeader[] =
+    "id,submit_time,start,destination,riders,max_wait_dist,epsilon";
+
+bool NextLine(std::istream& in, std::string* line) {
+  while (std::getline(in, *line)) {
+    const std::size_t first = line->find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if ((*line)[first] == '#') continue;
+    // Strip trailing CR for files written on other platforms.
+    while (!line->empty() && line->back() == '\r') line->pop_back();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SaveRequests(const std::vector<Request>& requests, std::ostream& out) {
+  out << kHeader << "\n";
+  out << std::setprecision(17);
+  for (const Request& r : requests) {
+    out << r.id << ',' << r.submit_time << ',' << r.start << ','
+        << r.destination << ',' << r.riders << ',' << r.max_wait_dist << ','
+        << r.epsilon << "\n";
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status SaveRequestsToFile(const std::vector<Request>& requests,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return SaveRequests(requests, out);
+}
+
+StatusOr<std::vector<Request>> LoadRequests(std::istream& in,
+                                            const RoadNetwork& graph) {
+  std::string line;
+  if (!NextLine(in, &line)) return Status::IoError("empty trace");
+  if (line != kHeader) {
+    return Status::InvalidArgument("bad trace header: '" + line +
+                                   "' (expected '" + kHeader + "')");
+  }
+  std::vector<Request> requests;
+  while (NextLine(in, &line)) {
+    std::istringstream row(line);
+    Request r;
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    char c4 = 0;
+    char c5 = 0;
+    char c6 = 0;
+    if (!(row >> r.id >> c1 >> r.submit_time >> c2 >> r.start >> c3 >>
+          r.destination >> c4 >> r.riders >> c5 >> r.max_wait_dist >> c6 >>
+          r.epsilon) ||
+        c1 != ',' || c2 != ',' || c3 != ',' || c4 != ',' || c5 != ',' ||
+        c6 != ',') {
+      return Status::InvalidArgument("bad trace row: " + line);
+    }
+    if (!graph.IsValidVertex(r.start) || !graph.IsValidVertex(r.destination)) {
+      return Status::OutOfRange("trace row references unknown vertex: " +
+                                line);
+    }
+    if (r.start == r.destination) {
+      return Status::InvalidArgument("trace row with start == destination: " +
+                                     line);
+    }
+    if (r.riders < 1 || r.max_wait_dist < 0.0 || r.epsilon < 0.0 ||
+        r.submit_time < 0.0) {
+      return Status::InvalidArgument("trace row with invalid parameters: " +
+                                     line);
+    }
+    requests.push_back(r);
+  }
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  return requests;
+}
+
+StatusOr<std::vector<Request>> LoadRequestsFromFile(const std::string& path,
+                                                    const RoadNetwork& graph) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return LoadRequests(in, graph);
+}
+
+}  // namespace ptar

@@ -1,0 +1,37 @@
+// CSV serialization of request traces.
+//
+// Format (header line required, '#' comments allowed):
+//   id,submit_time,start,destination,riders,max_wait_dist,epsilon
+//
+// This is both the export format of the synthetic workload generator and
+// the import path for external demand data (e.g. a public taxi-trip dataset
+// mapped to network vertices), standing in for the paper's Shanghai trace.
+
+#ifndef PTAR_SIM_TRACE_IO_H_
+#define PTAR_SIM_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/road_network.h"
+#include "kinetic/request.h"
+
+namespace ptar {
+
+Status SaveRequests(const std::vector<Request>& requests, std::ostream& out);
+Status SaveRequestsToFile(const std::vector<Request>& requests,
+                          const std::string& path);
+
+/// Loads and validates a trace: endpoints must be vertices of `graph`,
+/// riders >= 1, waits/epsilons non-negative. The result is sorted by
+/// submit time.
+StatusOr<std::vector<Request>> LoadRequests(std::istream& in,
+                                            const RoadNetwork& graph);
+StatusOr<std::vector<Request>> LoadRequestsFromFile(const std::string& path,
+                                                    const RoadNetwork& graph);
+
+}  // namespace ptar
+
+#endif  // PTAR_SIM_TRACE_IO_H_

@@ -1,0 +1,119 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/random.h"
+
+namespace ptar {
+
+namespace {
+
+/// Per-hotspot discrete distribution over vertices, weighted by a Gaussian
+/// of the Euclidean distance to the hotspot center.
+class HotspotSampler {
+ public:
+  HotspotSampler(const RoadNetwork& graph, const Coord& center,
+                 double stddev) {
+    const std::size_t n = graph.num_vertices();
+    std::vector<double> weights(n);
+    const double inv_two_var = 1.0 / (2.0 * stddev * stddev);
+    for (VertexId v = 0; v < n; ++v) {
+      const Coord& p = graph.position(v);
+      const double dx = p.x - center.x;
+      const double dy = p.y - center.y;
+      weights[v] = std::exp(-(dx * dx + dy * dy) * inv_two_var);
+    }
+    dist_ = std::discrete_distribution<std::size_t>(weights.begin(),
+                                                    weights.end());
+  }
+
+  VertexId Sample(Rng& rng) {
+    return static_cast<VertexId>(dist_(rng.engine()));
+  }
+
+ private:
+  std::discrete_distribution<std::size_t> dist_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Request>> GenerateWorkload(
+    const RoadNetwork& graph, const WorkloadOptions& options) {
+  if (graph.num_vertices() < 2) {
+    return Status::InvalidArgument("workload needs at least two vertices");
+  }
+  if (options.num_requests == 0) {
+    return std::vector<Request>{};
+  }
+  if (options.duration_seconds <= 0.0 || options.speed_mps <= 0.0) {
+    return Status::InvalidArgument("duration and speed must be positive");
+  }
+  if (options.riders < 1) {
+    return Status::InvalidArgument("riders must be >= 1");
+  }
+
+  Rng rng(options.seed);
+
+  std::vector<HotspotSampler> hotspots;
+  hotspots.reserve(options.num_hotspots);
+  for (int h = 0; h < options.num_hotspots; ++h) {
+    const VertexId center =
+        static_cast<VertexId>(rng.UniformIndex(graph.num_vertices()));
+    hotspots.emplace_back(graph, graph.position(center),
+                          options.hotspot_stddev_meters);
+  }
+
+  auto sample_vertex = [&]() -> VertexId {
+    if (!hotspots.empty() && rng.Bernoulli(options.hotspot_prob)) {
+      return hotspots[rng.UniformIndex(hotspots.size())].Sample(rng);
+    }
+    return static_cast<VertexId>(rng.UniformIndex(graph.num_vertices()));
+  };
+
+  // Arrival times: uniform, or rejection-sampled from a two-peak rush-hour
+  // intensity (1 + sharpness * (N(0.3T) + N(0.75T))).
+  const double duration = options.duration_seconds;
+  auto intensity = [&](double t) {
+    const double u = t / duration;
+    auto bump = [](double x, double center) {
+      const double z = (x - center) / 0.08;
+      return std::exp(-0.5 * z * z);
+    };
+    return 1.0 + options.peak_sharpness * (bump(u, 0.3) + bump(u, 0.75));
+  };
+  const double intensity_max = 1.0 + 2.0 * options.peak_sharpness;
+  std::vector<double> times;
+  times.reserve(options.num_requests);
+  while (times.size() < options.num_requests) {
+    const double t = rng.UniformReal(0.0, duration);
+    if (options.peak_sharpness <= 0.0 ||
+        rng.UniformReal(0.0, intensity_max) <= intensity(t)) {
+      times.push_back(t);
+    }
+  }
+  std::sort(times.begin(), times.end());
+
+  const Distance max_wait_dist =
+      options.waiting_minutes * 60.0 * options.speed_mps;
+
+  std::vector<Request> requests;
+  requests.reserve(options.num_requests);
+  for (std::size_t i = 0; i < options.num_requests; ++i) {
+    Request r;
+    r.id = static_cast<RequestId>(i);
+    r.start = sample_vertex();
+    do {
+      r.destination = sample_vertex();
+    } while (r.destination == r.start);
+    r.riders = options.riders;
+    r.max_wait_dist = max_wait_dist;
+    r.epsilon = options.epsilon;
+    r.submit_time = times[i];
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+}  // namespace ptar

@@ -1,0 +1,47 @@
+// Synthetic ridesharing workload generator.
+//
+// Stand-in for the paper's Shanghai taxi trace (432,327 trips over one day):
+// the paper uses the trace only as a stream of <submit-time, start, end>
+// triples, so we generate the same shape — arrivals spread over a time
+// window and origins/destinations drawn from a mixture of Gaussian spatial
+// hotspots (dense urban attractors) and a uniform background. Requests carry
+// the experiment-fixed n / w / eps (paper Section VII). Fully seeded.
+
+#ifndef PTAR_SIM_WORKLOAD_H_
+#define PTAR_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/road_network.h"
+#include "kinetic/request.h"
+
+namespace ptar {
+
+struct WorkloadOptions {
+  std::size_t num_requests = 1000;
+  double duration_seconds = 3600.0;  ///< Arrival window [0, duration).
+  int riders = 1;                    ///< n, fixed per experiment.
+  double waiting_minutes = 2.0;      ///< w (paper default 2 min).
+  double epsilon = 0.2;              ///< Service constraint (default 0.2).
+  double speed_mps = kDefaultSpeedMetersPerSec;  ///< For w -> distance.
+  /// Time-of-day demand shape: 0 gives uniform arrivals; larger values
+  /// concentrate arrivals into two rush peaks (at 30 % and 75 % of the
+  /// window), mimicking a day of taxi demand.
+  double peak_sharpness = 0.0;
+  int num_hotspots = 4;
+  double hotspot_stddev_meters = 800.0;
+  /// Probability that an endpoint is drawn from a hotspot rather than
+  /// uniformly.
+  double hotspot_prob = 0.7;
+  std::uint64_t seed = 7;
+};
+
+/// Generates a request stream sorted by submit time, with ids 0..n-1.
+StatusOr<std::vector<Request>> GenerateWorkload(const RoadNetwork& graph,
+                                                const WorkloadOptions& options);
+
+}  // namespace ptar
+
+#endif  // PTAR_SIM_WORKLOAD_H_

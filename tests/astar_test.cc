@@ -1,0 +1,144 @@
+// Tests for the grid-guided A* engine: exactness against Dijkstra (the
+// heuristic is admissible, so results must match bit-for-bit shapes) and
+// the goal-directed work saving.
+
+#include "grid/astar.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace ptar {
+namespace {
+
+TEST(AStarTest, SameVertexIsZero) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  auto grid = GridIndex::Build(&g, {.cell_size_meters = 100.0});
+  ASSERT_TRUE(grid.ok());
+  AStarEngine astar(&g, &*grid);
+  EXPECT_DOUBLE_EQ(astar.PointToPoint(4, 4), 0.0);
+  EXPECT_EQ(astar.LastPath(), std::vector<VertexId>{4});
+}
+
+TEST(AStarTest, UnreachableIsInfinite) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddVertex(Coord{10, 0});
+  b.AddVertex(Coord{500, 0});
+  b.AddEdge(0, 1, 10.0);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  auto grid = GridIndex::Build(&*g, {.cell_size_meters = 100.0});
+  ASSERT_TRUE(grid.ok());
+  AStarEngine astar(&*g, &*grid);
+  EXPECT_EQ(astar.PointToPoint(0, 2), kInfDistance);
+  EXPECT_TRUE(astar.LastPath().empty());
+}
+
+TEST(AStarTest, PathIsConsistentWithDistance) {
+  GridCityOptions copts;
+  copts.rows = 12;
+  copts.cols = 12;
+  copts.seed = 31;
+  auto g = MakeGridCity(copts);
+  ASSERT_TRUE(g.ok());
+  auto grid = GridIndex::Build(&*g, {.cell_size_meters = 250.0});
+  ASSERT_TRUE(grid.ok());
+  AStarEngine astar(&*g, &*grid);
+  const Distance d = astar.PointToPoint(0, 100);
+  const std::vector<VertexId> path = astar.LastPath();
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 100u);
+  Distance sum = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    Distance best = kInfDistance;
+    for (const Arc& a : g->OutArcs(path[i])) {
+      if (a.head == path[i + 1]) best = std::min(best, a.weight);
+    }
+    ASSERT_NE(best, kInfDistance);
+    sum += best;
+  }
+  EXPECT_NEAR(sum, d, 1e-9);
+}
+
+class AStarPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(AStarPropertyTest, MatchesDijkstraEverywhere) {
+  const auto [seed, cell_size] = GetParam();
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(80, 120, seed);
+  auto grid = GridIndex::Build(&g, {.cell_size_meters = cell_size});
+  ASSERT_TRUE(grid.ok());
+  AStarEngine astar(&g, &*grid);
+  DijkstraEngine dijkstra(&g);
+  for (VertexId s = 0; s < g.num_vertices(); s += 7) {
+    for (VertexId t = 1; t < g.num_vertices(); t += 5) {
+      EXPECT_NEAR(astar.PointToPoint(s, t), dijkstra.PointToPoint(s, t),
+                  1e-9)
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCells, AStarPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(150.0, 400.0)));
+
+TEST(AStarTest, ExactOverQuadtreeIndexToo) {
+  // The heuristic only needs admissibility, which holds for any partition;
+  // verify exactness when A* is driven by the adaptive index.
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(70, 100, 9);
+  auto grid = GridIndex::BuildAdaptive(
+      &g, {.max_vertices_per_cell = 12, .min_cell_size_meters = 5.0});
+  ASSERT_TRUE(grid.ok());
+  AStarEngine astar(&g, &*grid);
+  DijkstraEngine dijkstra(&g);
+  for (VertexId s = 0; s < g.num_vertices(); s += 6) {
+    for (VertexId t = 2; t < g.num_vertices(); t += 7) {
+      EXPECT_NEAR(astar.PointToPoint(s, t), dijkstra.PointToPoint(s, t),
+                  1e-9);
+    }
+  }
+}
+
+TEST(AStarTest, RejectsMismatchedGraph) {
+  const RoadNetwork a = testing::MakeSmallGrid();
+  const RoadNetwork b = testing::MakeSmallGrid();
+  auto grid = GridIndex::Build(&a, {.cell_size_meters = 100.0});
+  ASSERT_TRUE(grid.ok());
+  EXPECT_DEATH(AStarEngine(&b, &*grid), "different graph");
+}
+
+TEST(AStarTest, GoalDirectionSavesWorkOnCityGrids) {
+  GridCityOptions copts;
+  copts.rows = 30;
+  copts.cols = 30;
+  copts.seed = 77;
+  auto g = MakeGridCity(copts);
+  ASSERT_TRUE(g.ok());
+  auto grid = GridIndex::Build(&*g, {.cell_size_meters = 300.0});
+  ASSERT_TRUE(grid.ok());
+  AStarEngine astar(&*g, &*grid);
+  DijkstraEngine dijkstra(&*g);
+
+  std::size_t astar_settled = 0;
+  std::size_t dijkstra_settled = 0;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(g->num_vertices()));
+    const auto t = static_cast<VertexId>(rng.UniformIndex(g->num_vertices()));
+    ASSERT_NEAR(astar.PointToPoint(s, t), dijkstra.PointToPoint(s, t), 1e-9);
+    astar_settled += astar.last_settled_count();
+    dijkstra_settled += dijkstra.last_settled_count();
+  }
+  // The admissible heuristic must cut the average settled set noticeably.
+  EXPECT_LT(astar_settled, dijkstra_settled * 3 / 4);
+}
+
+}  // namespace
+}  // namespace ptar

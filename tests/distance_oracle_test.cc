@@ -1,0 +1,92 @@
+// Tests for the counting, caching distance oracle.
+
+#include "graph/distance_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ptar {
+namespace {
+
+TEST(DistanceOracleTest, ExactDistances) {
+  const RoadNetwork g = testing::MakeSmallGrid(100.0);
+  DistanceOracle oracle(&g);
+  EXPECT_DOUBLE_EQ(oracle.Dist(0, 8), 400.0);
+  EXPECT_DOUBLE_EQ(oracle.Dist(0, 0), 0.0);
+}
+
+TEST(DistanceOracleTest, CountsOnlyRealComputations) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  DistanceOracle oracle(&g);
+  EXPECT_EQ(oracle.compdists(), 0u);
+  oracle.Dist(0, 8);
+  EXPECT_EQ(oracle.compdists(), 1u);
+  oracle.Dist(0, 8);  // cache hit
+  EXPECT_EQ(oracle.compdists(), 1u);
+  oracle.Dist(8, 0);  // symmetric cache hit
+  EXPECT_EQ(oracle.compdists(), 1u);
+  oracle.Dist(1, 2);
+  EXPECT_EQ(oracle.compdists(), 2u);
+}
+
+TEST(DistanceOracleTest, SameVertexIsFree) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  DistanceOracle oracle(&g);
+  EXPECT_DOUBLE_EQ(oracle.Dist(3, 3), 0.0);
+  EXPECT_EQ(oracle.compdists(), 0u);
+}
+
+TEST(DistanceOracleTest, ClearCacheForcesRecount) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  DistanceOracle oracle(&g);
+  oracle.Dist(0, 8);
+  oracle.ClearCache();
+  oracle.Dist(0, 8);
+  EXPECT_EQ(oracle.compdists(), 2u);
+}
+
+TEST(DistanceOracleTest, ResetStatsKeepsCache) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  DistanceOracle oracle(&g);
+  oracle.Dist(0, 8);
+  oracle.ResetStats();
+  EXPECT_EQ(oracle.compdists(), 0u);
+  oracle.Dist(0, 8);  // still cached
+  EXPECT_EQ(oracle.compdists(), 0u);
+}
+
+TEST(DistanceOracleTest, PathMatchesDistance) {
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(30, 50, 9);
+  DistanceOracle oracle(&g);
+  const std::vector<VertexId> path = oracle.Path(2, 21);
+  ASSERT_GE(path.size(), 1u);
+  EXPECT_EQ(path.front(), 2u);
+  EXPECT_EQ(path.back(), 21u);
+  const std::uint64_t before = oracle.compdists();
+  const Distance d = oracle.Dist(2, 21);  // cached by Path
+  EXPECT_EQ(oracle.compdists(), before);
+  Distance sum = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    Distance best = kInfDistance;
+    for (const Arc& a : g.OutArcs(path[i])) {
+      if (a.head == path[i + 1]) best = std::min(best, a.weight);
+    }
+    sum += best;
+  }
+  EXPECT_NEAR(sum, d, 1e-9);
+}
+
+TEST(DistanceOracleTest, AgreesWithFloydWarshall) {
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(25, 35, 21);
+  const auto fw = testing::FloydWarshall(g);
+  DistanceOracle oracle(&g);
+  for (VertexId a = 0; a < g.num_vertices(); a += 2) {
+    for (VertexId b = 1; b < g.num_vertices(); b += 3) {
+      EXPECT_NEAR(oracle.Dist(a, b), fw[a][b], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptar

@@ -1,0 +1,247 @@
+// Tests for the fleet simulation engine: movement, commitment, choice
+// policies, conservation invariants, and determinism.
+
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "rideshare/baseline_matcher.h"
+#include "rideshare/ssa_matcher.h"
+#include "sim/workload.h"
+
+namespace ptar {
+namespace {
+
+struct World {
+  RoadNetwork graph;
+  std::unique_ptr<GridIndex> grid;
+};
+
+World MakeWorld(std::uint64_t seed = 3) {
+  World w;
+  GridCityOptions copts;
+  copts.rows = 12;
+  copts.cols = 12;
+  copts.seed = seed;
+  auto g = MakeGridCity(copts);
+  PTAR_CHECK(g.ok());
+  w.graph = std::move(g).value();
+  auto grid = GridIndex::Build(&w.graph, {.cell_size_meters = 300.0});
+  PTAR_CHECK(grid.ok());
+  w.grid = std::make_unique<GridIndex>(std::move(grid).value());
+  return w;
+}
+
+std::vector<Request> MakeRequests(const RoadNetwork& g, std::size_t n,
+                                  std::uint64_t seed = 8) {
+  WorkloadOptions opts;
+  opts.num_requests = n;
+  opts.duration_seconds = 600.0;
+  opts.epsilon = 0.5;
+  opts.waiting_minutes = 3.0;
+  opts.seed = seed;
+  auto reqs = GenerateWorkload(g, opts);
+  PTAR_CHECK(reqs.ok());
+  return std::move(reqs).value();
+}
+
+TEST(EngineTest, FleetStartsIdleAndRegistered) {
+  World w = MakeWorld();
+  EngineOptions opts;
+  opts.num_vehicles = 10;
+  Engine engine(&w.graph, w.grid.get(), opts);
+  EXPECT_EQ(engine.fleet().size(), 10u);
+  std::size_t registered = 0;
+  for (const CellId cell : w.grid->active_cells()) {
+    registered += engine.registry().EmptyVehicles(cell).size();
+  }
+  EXPECT_EQ(registered, 10u);
+  for (const KineticTree& tree : engine.fleet()) {
+    EXPECT_TRUE(tree.IsEmpty());
+    EXPECT_EQ(tree.onboard(), 0);
+  }
+}
+
+TEST(EngineTest, IdleVehiclesWanderButStayRegistered) {
+  World w = MakeWorld();
+  EngineOptions opts;
+  opts.num_vehicles = 8;
+  Engine engine(&w.graph, w.grid.get(), opts);
+  engine.AdvanceTo(120.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 120.0);
+  std::size_t registered = 0;
+  for (const CellId cell : w.grid->active_cells()) {
+    registered += engine.registry().EmptyVehicles(cell).size();
+  }
+  EXPECT_EQ(registered, 8u);
+  // Vehicles actually moved (odometers advanced roughly speed * time).
+  for (const KineticTree& tree : engine.fleet()) {
+    EXPECT_GT(tree.odometer(), 0.0);
+    EXPECT_LE(tree.odometer(), 120.0 * kDefaultSpeedMetersPerSec + 1e-6);
+  }
+}
+
+TEST(EngineTest, ServesRequestsEndToEnd) {
+  World w = MakeWorld();
+  EngineOptions opts;
+  opts.num_vehicles = 20;
+  Engine engine(&w.graph, w.grid.get(), opts);
+  BaselineMatcher ba;
+  std::vector<Matcher*> matchers = {&ba};
+  const std::vector<Request> requests = MakeRequests(w.graph, 30);
+  const RunStats stats = engine.Run(requests, matchers);
+
+  EXPECT_EQ(stats.served + stats.unserved, 30u);
+  EXPECT_GT(stats.served, 25u);  // plenty of fleet for 30 requests
+  ASSERT_EQ(stats.matchers.size(), 1u);
+  EXPECT_EQ(stats.matchers[0].requests, 30u);
+  EXPECT_GT(stats.matchers[0].MeanOptions(), 0.0);
+  // The committing matcher is its own reference: precision/recall 1.
+  EXPECT_DOUBLE_EQ(stats.matchers[0].MeanPrecision(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.matchers[0].MeanRecall(), 1.0);
+  EXPECT_GE(stats.SharingRate(), 0.0);
+  EXPECT_LE(stats.SharingRate(), 1.0);
+}
+
+TEST(EngineTest, AllRequestsEventuallyCompleted) {
+  World w = MakeWorld();
+  EngineOptions opts;
+  opts.num_vehicles = 15;
+  Engine engine(&w.graph, w.grid.get(), opts);
+  BaselineMatcher ba;
+  std::vector<Matcher*> matchers = {&ba};
+  const std::vector<Request> requests = MakeRequests(w.graph, 20);
+  engine.Run(requests, matchers);
+  // Give the fleet ample time to finish every trip.
+  engine.AdvanceTo(20000.0);
+  for (const KineticTree& tree : engine.fleet()) {
+    EXPECT_TRUE(tree.IsEmpty());
+    EXPECT_EQ(tree.onboard(), 0);
+  }
+}
+
+TEST(EngineTest, DeterministicRuns) {
+  World w = MakeWorld();
+  const std::vector<Request> requests = MakeRequests(w.graph, 25);
+  RunStats a;
+  RunStats b;
+  for (int trial = 0; trial < 2; ++trial) {
+    EngineOptions opts;
+    opts.num_vehicles = 15;
+    opts.seed = 77;
+    Engine engine(&w.graph, w.grid.get(), opts);
+    BaselineMatcher ba;
+    std::vector<Matcher*> matchers = {&ba};
+    (trial == 0 ? a : b) = engine.Run(requests, matchers);
+  }
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.shared, b.shared);
+  EXPECT_EQ(a.matchers[0].totals.compdists, b.matchers[0].totals.compdists);
+  EXPECT_EQ(a.matchers[0].totals.verified_vehicles,
+            b.matchers[0].totals.verified_vehicles);
+  EXPECT_EQ(a.matchers[0].options_sum, b.matchers[0].options_sum);
+}
+
+TEST(EngineTest, ChoicePoliciesAllRun) {
+  for (const ChoicePolicy policy :
+       {ChoicePolicy::kMinPrice, ChoicePolicy::kMinTime,
+        ChoicePolicy::kBalanced, ChoicePolicy::kRandom}) {
+    World w = MakeWorld();
+    EngineOptions opts;
+    opts.num_vehicles = 10;
+    opts.policy = policy;
+    Engine engine(&w.graph, w.grid.get(), opts);
+    BaselineMatcher ba;
+    std::vector<Matcher*> matchers = {&ba};
+    const std::vector<Request> requests = MakeRequests(w.graph, 10);
+    const RunStats stats = engine.Run(requests, matchers);
+    EXPECT_GT(stats.served, 0u) << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(EngineTest, MinPriceVsMinTimeChooseDifferently) {
+  World w = MakeWorld();
+  const std::vector<Request> requests = MakeRequests(w.graph, 25);
+  std::vector<double> chosen_prices[2];
+  int idx = 0;
+  for (const ChoicePolicy policy :
+       {ChoicePolicy::kMinPrice, ChoicePolicy::kMinTime}) {
+    EngineOptions opts;
+    opts.num_vehicles = 20;
+    opts.policy = policy;
+    opts.seed = 5;
+    Engine engine(&w.graph, w.grid.get(), opts);
+    BaselineMatcher ba;
+    std::vector<Matcher*> matchers = {&ba};
+    for (const Request& r : requests) {
+      const auto outcome = engine.ProcessRequest(r, matchers);
+      if (outcome.served) chosen_prices[idx].push_back(outcome.chosen.price);
+    }
+    ++idx;
+  }
+  double sum0 = 0;
+  double sum1 = 0;
+  for (double p : chosen_prices[0]) sum0 += p;
+  for (double p : chosen_prices[1]) sum1 += p;
+  // Min-price accumulates no more total price than min-time.
+  EXPECT_LE(sum0, sum1 + 1e-6);
+}
+
+TEST(EngineTest, SharingHappensWithConcentratedDemand) {
+  World w = MakeWorld();
+  EngineOptions opts;
+  opts.num_vehicles = 5;  // scarce fleet forces sharing
+  Engine engine(&w.graph, w.grid.get(), opts);
+  BaselineMatcher ba;
+  std::vector<Matcher*> matchers = {&ba};
+  WorkloadOptions wopts;
+  wopts.num_requests = 40;
+  wopts.duration_seconds = 300.0;
+  wopts.epsilon = 1.0;       // generous detours
+  wopts.waiting_minutes = 8.0;
+  wopts.num_hotspots = 1;    // everyone travels the same corridor
+  wopts.hotspot_prob = 1.0;
+  wopts.seed = 12;
+  auto requests = GenerateWorkload(w.graph, wopts);
+  ASSERT_TRUE(requests.ok());
+  const RunStats stats = engine.Run(*requests, matchers);
+  EXPECT_GT(stats.served, 0u);
+  EXPECT_GT(stats.shared, 0u) << "no sharing in a forced-sharing scenario";
+}
+
+TEST(EngineTest, PartialCoverageSsaCanCommit) {
+  // The committing matcher does not have to be exact: options from a
+  // partial-coverage SSA are still achievable and the engine must commit
+  // them without violating any invariant.
+  World w = MakeWorld();
+  EngineOptions opts;
+  opts.num_vehicles = 15;
+  Engine engine(&w.graph, w.grid.get(), opts);
+  SsaMatcher ssa(0.16);
+  std::vector<Matcher*> matchers = {&ssa};
+  const std::vector<Request> requests = MakeRequests(w.graph, 25);
+  const RunStats stats = engine.Run(requests, matchers);
+  EXPECT_GT(stats.served, 20u);
+  engine.AdvanceTo(20000.0);
+  for (const KineticTree& tree : engine.fleet()) {
+    EXPECT_TRUE(tree.IsEmpty());
+  }
+}
+
+TEST(EngineTest, KineticMemoryTracksLoad) {
+  World w = MakeWorld();
+  EngineOptions opts;
+  opts.num_vehicles = 10;
+  Engine engine(&w.graph, w.grid.get(), opts);
+  const std::size_t before = engine.KineticTreeMemoryBytes();
+  BaselineMatcher ba;
+  std::vector<Matcher*> matchers = {&ba};
+  const std::vector<Request> requests = MakeRequests(w.graph, 10);
+  engine.Run(requests, matchers);
+  EXPECT_GT(engine.KineticTreeMemoryBytes(), 0u);
+  EXPECT_GE(engine.KineticTreeMemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace ptar

@@ -1,0 +1,141 @@
+// Randomized end-to-end invariant checks ("fuzz-lite"): many seeded
+// scenarios with varying fleet sizes, constraint tightness, policies, and
+// matchers, verifying deep system invariants after (and during) each run:
+//
+//  * every kinetic-tree branch of every vehicle is a valid schedule;
+//  * onboard rider counts are within capacity and consistent with the
+//    assigned set;
+//  * every assigned request appears in every branch of its vehicle, and in
+//    no other vehicle;
+//  * after draining the simulation, the fleet is empty and all riders were
+//    delivered.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "graph/generators.h"
+#include "rideshare/baseline_matcher.h"
+#include "rideshare/dsa_matcher.h"
+#include "rideshare/ssa_matcher.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+
+namespace ptar {
+namespace {
+
+struct FuzzParam {
+  std::uint64_t seed;
+  double epsilon;
+  double waiting_minutes;
+  int vehicles;
+  int capacity;
+  ChoicePolicy policy;
+  double fraction;  // SSA fraction; 0 means commit with BA instead
+};
+
+class EngineFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+void CheckFleetInvariants(const Engine& engine) {
+  std::set<RequestId> seen_requests;
+  for (const KineticTree& tree : engine.fleet()) {
+    // Capacity / onboard consistency.
+    EXPECT_GE(tree.onboard(), 0);
+    EXPECT_LE(tree.onboard(), tree.capacity());
+    int onboard_from_assigned = 0;
+    for (const AssignedRequest& a : tree.assigned()) {
+      if (a.picked_up) onboard_from_assigned += a.request.riders;
+      // A request is assigned to exactly one vehicle.
+      EXPECT_TRUE(seen_requests.insert(a.request.id).second)
+          << "request " << a.request.id << " assigned twice";
+    }
+    EXPECT_EQ(tree.onboard(), onboard_from_assigned);
+
+    // Every branch is a valid schedule containing every assigned request.
+    EXPECT_GE(tree.schedules().size(), 1u);
+    for (const Schedule& schedule : tree.schedules()) {
+      if (tree.IsEmpty()) {
+        EXPECT_TRUE(schedule.stops.empty());
+        continue;
+      }
+      if (!tree.stale()) {
+        EXPECT_TRUE(tree.IsValidSchedule(schedule, nullptr))
+            << "invalid branch on vehicle " << tree.vehicle();
+      }
+      std::set<RequestId> in_branch;
+      for (const Stop& stop : schedule.stops) {
+        in_branch.insert(stop.request);
+      }
+      EXPECT_EQ(in_branch.size(), tree.assigned().size());
+    }
+  }
+}
+
+TEST_P(EngineFuzzTest, InvariantsHoldThroughoutARun) {
+  const FuzzParam param = GetParam();
+
+  GridCityOptions copts;
+  copts.rows = 14;
+  copts.cols = 14;
+  copts.seed = param.seed * 3 + 1;
+  auto graph = MakeGridCity(copts);
+  ASSERT_TRUE(graph.ok());
+  auto grid = GridIndex::Build(&*graph, {.cell_size_meters = 350.0});
+  ASSERT_TRUE(grid.ok());
+
+  WorkloadOptions wopts;
+  wopts.num_requests = 60;
+  wopts.duration_seconds = 700.0;
+  wopts.epsilon = param.epsilon;
+  wopts.waiting_minutes = param.waiting_minutes;
+  wopts.peak_sharpness = (param.seed % 2 == 0) ? 0.0 : 6.0;
+  wopts.seed = param.seed * 7 + 3;
+  auto requests = GenerateWorkload(*graph, wopts);
+  ASSERT_TRUE(requests.ok());
+
+  EngineOptions eopts;
+  eopts.num_vehicles = param.vehicles;
+  eopts.vehicle_capacity = param.capacity;
+  eopts.policy = param.policy;
+  eopts.seed = param.seed;
+  Engine engine(&*graph, &*grid, eopts);
+
+  BaselineMatcher ba;
+  SsaMatcher ssa(param.fraction > 0 ? param.fraction : 0.16);
+  Matcher* committer = param.fraction > 0
+                           ? static_cast<Matcher*>(&ssa)
+                           : static_cast<Matcher*>(&ba);
+  std::vector<Matcher*> matchers = {committer};
+
+  std::uint64_t served = 0;
+  for (std::size_t i = 0; i < requests->size(); ++i) {
+    const auto outcome = engine.ProcessRequest((*requests)[i], matchers);
+    if (outcome.served) ++served;
+    if (i % 10 == 0) CheckFleetInvariants(engine);
+  }
+  CheckFleetInvariants(engine);
+  EXPECT_GT(served, requests->size() / 2);
+
+  // Drain: everyone gets delivered eventually.
+  engine.AdvanceTo(engine.now() + 30000.0);
+  for (const KineticTree& tree : engine.fleet()) {
+    EXPECT_TRUE(tree.IsEmpty());
+    EXPECT_EQ(tree.onboard(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, EngineFuzzTest,
+    ::testing::Values(
+        FuzzParam{1, 0.2, 2.0, 12, 4, ChoicePolicy::kMinPrice, 0.0},
+        FuzzParam{2, 0.6, 5.0, 8, 4, ChoicePolicy::kMinTime, 0.16},
+        FuzzParam{3, 1.0, 8.0, 5, 6, ChoicePolicy::kBalanced, 0.32},
+        FuzzParam{4, 0.3, 3.0, 20, 2, ChoicePolicy::kRandom, 0.16},
+        FuzzParam{5, 0.8, 6.0, 6, 5, ChoicePolicy::kMinPrice, 0.08},
+        FuzzParam{6, 0.4, 4.0, 15, 3, ChoicePolicy::kMinTime, 0.0},
+        FuzzParam{7, 1.2, 10.0, 4, 6, ChoicePolicy::kBalanced, 0.64},
+        FuzzParam{8, 0.25, 2.5, 25, 4, ChoicePolicy::kRandom, 1.0}));
+
+}  // namespace
+}  // namespace ptar

@@ -1,0 +1,147 @@
+// Tests for the synthetic road-network generators and component tools.
+
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "tests/test_util.h"
+
+namespace ptar {
+namespace {
+
+TEST(GridCityTest, DefaultsBuildConnectedCity) {
+  GridCityOptions options;
+  options.rows = 20;
+  options.cols = 20;
+  auto g = MakeGridCity(options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->num_vertices(), 300u);  // most of 400 survive
+  EXPECT_TRUE(IsConnected(*g));
+}
+
+TEST(GridCityTest, DeterministicForSameSeed) {
+  GridCityOptions options;
+  options.rows = 15;
+  options.cols = 15;
+  options.seed = 77;
+  auto a = MakeGridCity(options);
+  auto b = MakeGridCity(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_vertices(), b->num_vertices());
+  ASSERT_EQ(a->num_edges(), b->num_edges());
+  for (EdgeId e = 0; e < a->num_edges(); ++e) {
+    EXPECT_EQ(a->EdgeU(e), b->EdgeU(e));
+    EXPECT_EQ(a->EdgeV(e), b->EdgeV(e));
+    EXPECT_DOUBLE_EQ(a->EdgeWeight(e), b->EdgeWeight(e));
+  }
+}
+
+TEST(GridCityTest, DifferentSeedsDiffer) {
+  GridCityOptions a_opts;
+  a_opts.seed = 1;
+  GridCityOptions b_opts;
+  b_opts.seed = 2;
+  auto a = MakeGridCity(a_opts);
+  auto b = MakeGridCity(b_opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->num_vertices() != b->num_vertices() ||
+              a->num_edges() != b->num_edges() ||
+              a->position(0).x != b->position(0).x);
+}
+
+TEST(GridCityTest, RejectsTinyGrid) {
+  GridCityOptions options;
+  options.rows = 1;
+  EXPECT_FALSE(MakeGridCity(options).ok());
+}
+
+TEST(GridCityTest, RejectsNonPositiveSpacing) {
+  GridCityOptions options;
+  options.spacing_meters = 0.0;
+  EXPECT_FALSE(MakeGridCity(options).ok());
+}
+
+TEST(GridCityTest, NoRemovalKeepsFullGrid) {
+  GridCityOptions options;
+  options.rows = 10;
+  options.cols = 12;
+  options.removal_prob = 0.0;
+  options.diagonal_prob = 0.0;
+  auto g = MakeGridCity(options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 120u);
+  EXPECT_EQ(g->num_edges(), 10u * 11u + 12u * 9u);
+}
+
+TEST(RingRadialTest, BuildsConnectedCity) {
+  RingRadialCityOptions options;
+  auto g = MakeRingRadialCity(options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(),
+            1u + static_cast<std::size_t>(options.rings * options.spokes));
+  EXPECT_TRUE(IsConnected(*g));
+}
+
+TEST(RingRadialTest, HubReachesOuterRing) {
+  RingRadialCityOptions options;
+  options.rings = 5;
+  options.spokes = 8;
+  options.weight_jitter = 0.0;
+  auto g = MakeRingRadialCity(options);
+  ASSERT_TRUE(g.ok());
+  DijkstraEngine engine(&*g);
+  // Straight out along a spoke: 5 rings * 250 m.
+  const VertexId outer = 1 + 4 * 8 + 0;
+  EXPECT_NEAR(engine.PointToPoint(0, outer), 5 * 250.0, 1e-9);
+}
+
+TEST(RingRadialTest, RejectsBadShape) {
+  RingRadialCityOptions options;
+  options.spokes = 2;
+  EXPECT_FALSE(MakeRingRadialCity(options).ok());
+}
+
+TEST(ComponentsTest, CountsComponents) {
+  RoadNetwork::Builder b;
+  for (int i = 0; i < 6; ++i) b.AddVertex(Coord{double(i), 0});
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(3, 4, 1.0);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  const ComponentLabels labels = ConnectedComponents(*g);
+  EXPECT_EQ(labels.count, 3);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(labels.label[0], labels.label[2]);
+  EXPECT_NE(labels.label[0], labels.label[3]);
+  EXPECT_FALSE(IsConnected(*g));
+}
+
+TEST(ComponentsTest, LargestComponentExtractsAndRemaps) {
+  RoadNetwork::Builder b;
+  for (int i = 0; i < 6; ++i) b.AddVertex(Coord{double(i), 0});
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.5);
+  b.AddEdge(3, 4, 1.0);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  std::vector<VertexId> mapping;
+  auto lc = LargestComponent(*g, &mapping);
+  ASSERT_TRUE(lc.ok());
+  EXPECT_EQ(lc->num_vertices(), 3u);
+  EXPECT_EQ(lc->num_edges(), 2u);
+  EXPECT_TRUE(IsConnected(*lc));
+  EXPECT_NE(mapping[0], kInvalidVertex);
+  EXPECT_EQ(mapping[5], kInvalidVertex);
+  // Edge weights survive the remap.
+  DijkstraEngine engine(&*lc);
+  EXPECT_NEAR(engine.PointToPoint(mapping[0], mapping[2]), 2.5, 1e-9);
+}
+
+TEST(ComponentsTest, EmptyGraphIsConnected) {
+  RoadNetwork g;
+  EXPECT_TRUE(IsConnected(g));
+}
+
+}  // namespace
+}  // namespace ptar

@@ -1,0 +1,104 @@
+// Tests for road-network text serialization.
+
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace ptar {
+namespace {
+
+TEST(GraphIoTest, RoundTripSmallGrid) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveNetwork(g, buffer).ok());
+  auto loaded = LoadNetwork(buffer);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_vertices(), g.num_vertices());
+  ASSERT_EQ(loaded->num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(loaded->position(v), g.position(v));
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(loaded->EdgeU(e), g.EdgeU(e));
+    EXPECT_EQ(loaded->EdgeV(e), g.EdgeV(e));
+    EXPECT_DOUBLE_EQ(loaded->EdgeWeight(e), g.EdgeWeight(e));
+  }
+}
+
+TEST(GraphIoTest, RoundTripPreservesExactDoubles) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0.1234567890123456, -9876.54321});
+  b.AddVertex(Coord{1e-7, 3.333333333333333});
+  b.AddEdge(0, 1, 0.3333333333333333);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveNetwork(*g, buffer).ok());
+  auto loaded = LoadNetwork(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->position(0).x, 0.1234567890123456);
+  EXPECT_DOUBLE_EQ(loaded->EdgeWeight(0), 0.3333333333333333);
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in;
+  in << "# a comment\n\nptar-network 1\n# sizes\n2 1\nv 0 0\nv 1 1\n"
+     << "# the edge\ne 0 1 2.5\n";
+  auto g = LoadNetwork(in);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 2u);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0), 2.5);
+}
+
+TEST(GraphIoTest, RejectsBadMagic) {
+  std::stringstream in;
+  in << "wrong-magic 1\n0 0\n";
+  EXPECT_FALSE(LoadNetwork(in).ok());
+}
+
+TEST(GraphIoTest, RejectsBadVersion) {
+  std::stringstream in;
+  in << "ptar-network 99\n0 0\n";
+  EXPECT_FALSE(LoadNetwork(in).ok());
+}
+
+TEST(GraphIoTest, RejectsTruncatedFile) {
+  std::stringstream in;
+  in << "ptar-network 1\n3 1\nv 0 0\nv 1 1\n";  // missing vertex + edge
+  EXPECT_FALSE(LoadNetwork(in).ok());
+}
+
+TEST(GraphIoTest, RejectsMalformedRecord) {
+  std::stringstream in;
+  in << "ptar-network 1\n1 0\nx 0 0\n";
+  EXPECT_FALSE(LoadNetwork(in).ok());
+}
+
+TEST(GraphIoTest, RejectsInvalidEdgeAtBuild) {
+  std::stringstream in;
+  in << "ptar-network 1\n2 1\nv 0 0\nv 1 1\ne 0 5 1.0\n";
+  EXPECT_FALSE(LoadNetwork(in).ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(20, 10, 5);
+  const std::string path = ::testing::TempDir() + "/ptar_io_test.net";
+  ASSERT_TRUE(SaveNetworkToFile(g, path).ok());
+  auto loaded = LoadNetworkFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  auto loaded = LoadNetworkFromFile("/nonexistent/path/file.net");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ptar

@@ -1,0 +1,207 @@
+// Tests for the grid index: geometry, borders, and — critically — the
+// soundness of the lower / upper distance bounds against a Floyd-Warshall
+// oracle across random graphs and cell sizes.
+
+#include "grid/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace ptar {
+namespace {
+
+TEST(GridGeometryTest, CellOfPointRowMajor) {
+  const GridGeometry geo(0.0, 0.0, 10.0, 4, 3);
+  EXPECT_EQ(geo.num_cells(), 12u);
+  EXPECT_EQ(geo.CellOfPoint(Coord{5, 5}), 0u);
+  EXPECT_EQ(geo.CellOfPoint(Coord{15, 5}), 1u);
+  EXPECT_EQ(geo.CellOfPoint(Coord{5, 15}), 4u);
+  EXPECT_EQ(geo.CellOfPoint(Coord{35, 25}), 11u);
+}
+
+TEST(GridGeometryTest, OutOfBoxClamps) {
+  const GridGeometry geo(0.0, 0.0, 10.0, 4, 3);
+  EXPECT_EQ(geo.CellOfPoint(Coord{-100, -100}), 0u);
+  EXPECT_EQ(geo.CellOfPoint(Coord{1000, 1000}), 11u);
+}
+
+TEST(GridIndexTest, RejectsBadInput) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  EXPECT_FALSE(GridIndex::Build(nullptr, {.cell_size_meters = 10}).ok());
+  EXPECT_FALSE(GridIndex::Build(&g, {.cell_size_meters = 0}).ok());
+  RoadNetwork empty;
+  EXPECT_FALSE(GridIndex::Build(&empty, {.cell_size_meters = 10}).ok());
+}
+
+TEST(GridIndexTest, SmallGridStructure) {
+  const RoadNetwork g = testing::MakeSmallGrid(100.0);  // 200 x 200 box
+  auto index = GridIndex::Build(&g, {.cell_size_meters = 100.0});
+  ASSERT_TRUE(index.ok());
+  // Every vertex belongs to a cell; all cells with vertices are active.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(index->IsActive(index->CellOfVertex(v)));
+  }
+  // Vertices grouped by cell partition the vertex set.
+  std::size_t total = 0;
+  for (const CellId cell : index->active_cells()) {
+    total += index->CellVertices(cell).size();
+    for (const VertexId v : index->CellVertices(cell)) {
+      EXPECT_EQ(index->CellOfVertex(v), cell);
+    }
+  }
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(GridIndexTest, BorderVerticesAreEndpointsOfCrossingEdges) {
+  const RoadNetwork g = testing::MakeSmallGrid(100.0);
+  auto index = GridIndex::Build(&g, {.cell_size_meters = 100.0});
+  ASSERT_TRUE(index.ok());
+  for (const CellId cell : index->active_cells()) {
+    for (const VertexId b : index->BorderVertices(cell)) {
+      EXPECT_EQ(index->CellOfVertex(b), cell);
+      bool crossing = false;
+      for (const Arc& a : g.OutArcs(b)) {
+        if (index->CellOfVertex(a.head) != cell) crossing = true;
+      }
+      EXPECT_TRUE(crossing) << "vertex " << b << " is not on a crossing edge";
+    }
+  }
+}
+
+TEST(GridIndexTest, SingleCellDegeneratesGracefully) {
+  const RoadNetwork g = testing::MakeSmallGrid(1.0);  // tiny box
+  auto index = GridIndex::Build(&g, {.cell_size_meters = 1000.0});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_active_cells(), 1u);
+  // Same cell: ldist 0; no borders so udist is unknown (infinite).
+  EXPECT_DOUBLE_EQ(index->LowerBound(0, 8), 0.0);
+  EXPECT_EQ(index->UpperBound(0, 8), kInfDistance);
+  EXPECT_DOUBLE_EQ(index->UpperBound(4, 4), 0.0);
+}
+
+TEST(GridIndexTest, CellListsSortedAndComplete) {
+  GridCityOptions copts;
+  copts.rows = 12;
+  copts.cols = 12;
+  copts.seed = 3;
+  auto g = MakeGridCity(copts);
+  ASSERT_TRUE(g.ok());
+  auto index = GridIndex::Build(&*g, {.cell_size_meters = 250.0});
+  ASSERT_TRUE(index.ok());
+  for (const CellId cell : index->active_cells()) {
+    const std::span<const CellId> list = index->CellsByDistance(cell);
+    ASSERT_EQ(list.size(), index->num_active_cells());
+    EXPECT_EQ(list[0], cell);  // self first (D = 0)
+    for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+      EXPECT_LE(index->CellPairLowerBound(cell, list[i]),
+                index->CellPairLowerBound(cell, list[i + 1]));
+    }
+  }
+}
+
+TEST(GridIndexTest, MemoryGrowsAsCellsShrink) {
+  GridCityOptions copts;
+  copts.rows = 15;
+  copts.cols = 15;
+  auto g = MakeGridCity(copts);
+  ASSERT_TRUE(g.ok());
+  auto coarse = GridIndex::Build(&*g, {.cell_size_meters = 700.0});
+  auto fine = GridIndex::Build(&*g, {.cell_size_meters = 150.0});
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  EXPECT_GT(fine->num_active_cells(), coarse->num_active_cells());
+  EXPECT_GT(fine->MemoryBytes(), coarse->MemoryBytes());
+}
+
+TEST(GridIndexTest, CollectCellsDeduplicates) {
+  const RoadNetwork g = testing::MakeSmallGrid(100.0);
+  auto index = GridIndex::Build(&g, {.cell_size_meters = 100.0});
+  ASSERT_TRUE(index.ok());
+  std::vector<CellId> out;
+  const std::vector<VertexId> path = {0, 1, 2, 5, 8};
+  index->CollectCells(path, &out);
+  // No duplicates.
+  std::vector<CellId> sorted = out;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  // Covers the cells of all path vertices.
+  for (const VertexId v : path) {
+    EXPECT_TRUE(std::find(out.begin(), out.end(), index->CellOfVertex(v)) !=
+                out.end());
+  }
+}
+
+// The central property: for every vertex pair,
+//   ldist(u, v) <= dist(u, v) <= udist(u, v),
+// and for every (vertex, cell): ldist(u, g) <= min distance into the cell.
+class GridBoundsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(GridBoundsPropertyTest, BoundsAreSound) {
+  const auto [seed, cell_size] = GetParam();
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(60, 90, seed);
+  const auto fw = testing::FloydWarshall(g);
+  auto index = GridIndex::Build(&g, {.cell_size_meters = cell_size});
+  ASSERT_TRUE(index.ok());
+
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const Distance exact = fw[u][v];
+      const Distance lo = index->LowerBound(u, v);
+      const Distance hi = index->UpperBound(u, v);
+      EXPECT_LE(lo, exact + 1e-9) << "u=" << u << " v=" << v;
+      if (exact != kInfDistance) {
+        EXPECT_GE(hi, exact - 1e-9) << "u=" << u << " v=" << v;
+      }
+    }
+  }
+
+  for (VertexId u = 0; u < g.num_vertices(); u += 5) {
+    for (const CellId cell : index->active_cells()) {
+      Distance exact_min = kInfDistance;
+      for (const VertexId w : index->CellVertices(cell)) {
+        exact_min = std::min(exact_min, fw[u][w]);
+      }
+      EXPECT_LE(index->LowerBoundToCell(u, cell), exact_min + 1e-9)
+          << "u=" << u << " cell=" << cell;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCellSizes, GridBoundsPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(150.0, 300.0, 600.0)));
+
+// Same soundness on structured (grid-city) networks where borders are dense.
+TEST(GridIndexTest, BoundsSoundOnGridCity) {
+  GridCityOptions copts;
+  copts.rows = 10;
+  copts.cols = 10;
+  copts.seed = 9;
+  auto g = MakeGridCity(copts);
+  ASSERT_TRUE(g.ok());
+  const auto fw = testing::FloydWarshall(*g);
+  auto index = GridIndex::Build(&*g, {.cell_size_meters = 230.0});
+  ASSERT_TRUE(index.ok());
+  int tight = 0;
+  int pairs = 0;
+  for (VertexId u = 0; u < g->num_vertices(); u += 3) {
+    for (VertexId v = 0; v < g->num_vertices(); v += 7) {
+      const Distance exact = fw[u][v];
+      EXPECT_LE(index->LowerBound(u, v), exact + 1e-9);
+      EXPECT_GE(index->UpperBound(u, v), exact - 1e-9);
+      ++pairs;
+      if (index->LowerBound(u, v) > 0.5 * exact) ++tight;
+    }
+  }
+  // The bounds should be non-trivial (tight for a decent share of pairs).
+  EXPECT_GT(tight, pairs / 4);
+}
+
+}  // namespace
+}  // namespace ptar

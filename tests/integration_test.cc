@@ -1,0 +1,147 @@
+// End-to-end integration: a mid-sized city, all three matchers evaluated in
+// shadow on the same request stream, checking the paper's qualitative
+// relationships (pruning reduces verified vehicles and compdists; partial
+// search keeps precision/recall within bounds; the system stays consistent).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "rideshare/baseline_matcher.h"
+#include "rideshare/dsa_matcher.h"
+#include "rideshare/ssa_matcher.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+
+namespace ptar {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GridCityOptions copts;
+    copts.rows = 18;
+    copts.cols = 18;
+    copts.seed = 101;
+    auto g = MakeGridCity(copts);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::move(g).value();
+    auto grid = GridIndex::Build(&graph_, {.cell_size_meters = 300.0});
+    ASSERT_TRUE(grid.ok());
+    grid_ = std::make_unique<GridIndex>(std::move(grid).value());
+
+    WorkloadOptions wopts;
+    wopts.num_requests = 60;
+    wopts.duration_seconds = 1200.0;
+    wopts.epsilon = 0.4;
+    wopts.waiting_minutes = 3.0;
+    wopts.seed = 55;
+    auto reqs = GenerateWorkload(graph_, wopts);
+    ASSERT_TRUE(reqs.ok());
+    requests_ = std::move(reqs).value();
+  }
+
+  RoadNetwork graph_;
+  std::unique_ptr<GridIndex> grid_;
+  std::vector<Request> requests_;
+};
+
+TEST_F(IntegrationTest, ShadowComparisonReproducesPaperRelationships) {
+  EngineOptions eopts;
+  eopts.num_vehicles = 40;
+  eopts.seed = 9;
+  Engine engine(&graph_, grid_.get(), eopts);
+
+  BaselineMatcher ba;
+  SsaMatcher ssa(0.16);
+  DsaMatcher dsa(0.16);
+  std::vector<Matcher*> matchers = {&ba, &ssa, &dsa};
+  const RunStats stats = engine.Run(requests_, matchers);
+
+  ASSERT_EQ(stats.matchers.size(), 3u);
+  const MatcherAggregate& agg_ba = stats.matchers[0];
+  const MatcherAggregate& agg_ssa = stats.matchers[1];
+  const MatcherAggregate& agg_dsa = stats.matchers[2];
+
+  // Everyone answered every request.
+  EXPECT_EQ(agg_ba.requests, requests_.size());
+  EXPECT_EQ(agg_ssa.requests, requests_.size());
+  EXPECT_GT(stats.served, requests_.size() * 3 / 4);
+
+  // BA verifies the whole fleet on every request; the index-based searches
+  // verify fewer vehicles and compute fewer distances (the paper's headline
+  // relationship).
+  EXPECT_DOUBLE_EQ(agg_ba.MeanVerified(), 40.0);
+  EXPECT_LT(agg_ssa.MeanVerified(), agg_ba.MeanVerified());
+  EXPECT_LT(agg_dsa.MeanVerified(), agg_ba.MeanVerified() + 1e-9);
+  EXPECT_LT(agg_ssa.MeanCompdists(), agg_ba.MeanCompdists());
+  EXPECT_LT(agg_dsa.MeanCompdists(), agg_ba.MeanCompdists());
+
+  // DSA's dual-side filter verifies no more vehicles than SSA on average.
+  EXPECT_LE(agg_dsa.MeanVerified(), agg_ssa.MeanVerified() + 1e-9);
+
+  // Quality bounds (Table III): precision/recall are probabilities; the
+  // reference matcher scores exactly 1.
+  EXPECT_DOUBLE_EQ(agg_ba.MeanPrecision(), 1.0);
+  EXPECT_DOUBLE_EQ(agg_ba.MeanRecall(), 1.0);
+  for (const MatcherAggregate* agg : {&agg_ssa, &agg_dsa}) {
+    EXPECT_GE(agg->MeanPrecision(), 0.0);
+    EXPECT_LE(agg->MeanPrecision(), 1.0);
+    EXPECT_GE(agg->MeanRecall(), 0.0);
+    EXPECT_LE(agg->MeanRecall(), 1.0);
+    // Partial search still finds the bulk of the exact skyline in practice.
+    EXPECT_GT(agg->MeanRecall(), 0.5);
+  }
+}
+
+TEST_F(IntegrationTest, FullCoverageSearchIsExactOverWholeRun) {
+  EngineOptions eopts;
+  eopts.num_vehicles = 30;
+  eopts.seed = 4;
+  Engine engine(&graph_, grid_.get(), eopts);
+
+  BaselineMatcher ba;
+  SsaMatcher ssa(1.0);
+  DsaMatcher dsa(1.0);
+  std::vector<Matcher*> matchers = {&ba, &ssa, &dsa};
+  const RunStats stats = engine.Run(requests_, matchers);
+
+  // Full-coverage SSA and DSA agree with BA on every request, so their
+  // aggregate precision and recall are exactly 1.
+  EXPECT_DOUBLE_EQ(stats.matchers[1].MeanPrecision(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.matchers[1].MeanRecall(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.matchers[2].MeanPrecision(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.matchers[2].MeanRecall(), 1.0);
+  EXPECT_EQ(stats.matchers[1].options_sum, stats.matchers[0].options_sum);
+  EXPECT_EQ(stats.matchers[2].options_sum, stats.matchers[0].options_sum);
+}
+
+TEST_F(IntegrationTest, GridAndTreeMemoryAccountingBehaveLikeTableIV) {
+  auto coarse = GridIndex::Build(&graph_, {.cell_size_meters = 600.0});
+  auto fine = GridIndex::Build(&graph_, {.cell_size_meters = 150.0});
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  // Grid-index memory grows steeply as cells shrink.
+  EXPECT_GT(fine->MemoryBytes(), coarse->MemoryBytes());
+
+  // Kinetic-tree memory is independent of the grid resolution.
+  EngineOptions eopts;
+  eopts.num_vehicles = 20;
+  Engine coarse_engine(&graph_, &*coarse, eopts);
+  Engine fine_engine(&graph_, &*fine, eopts);
+  BaselineMatcher ba;
+  std::vector<Matcher*> matchers = {&ba};
+  coarse_engine.Run(requests_, matchers);
+  const std::size_t coarse_tree_bytes =
+      coarse_engine.KineticTreeMemoryBytes();
+  fine_engine.Run(requests_, matchers);
+  const std::size_t fine_tree_bytes = fine_engine.KineticTreeMemoryBytes();
+  // Same fleet, same workload: tree memory within a small factor.
+  EXPECT_LT(
+      std::abs(static_cast<double>(coarse_tree_bytes) -
+               static_cast<double>(fine_tree_bytes)),
+      0.5 * static_cast<double>(coarse_tree_bytes) + 4096.0);
+}
+
+}  // namespace
+}  // namespace ptar

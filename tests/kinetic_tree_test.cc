@@ -1,0 +1,612 @@
+// Tests for the kinetic tree: insertion enumeration (checked against an
+// independent brute-force oracle), constraint enforcement, movement,
+// arrivals, and grid registration.
+
+#include "kinetic/kinetic_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "graph/distance_oracle.h"
+#include "tests/test_util.h"
+
+namespace ptar {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+Request MakeRequest(RequestId id, VertexId s, VertexId d, int riders,
+                    Distance max_wait, double epsilon) {
+  Request r;
+  r.id = id;
+  r.start = s;
+  r.destination = d;
+  r.riders = riders;
+  r.max_wait_dist = max_wait;
+  r.epsilon = epsilon;
+  return r;
+}
+
+/// Independent re-validation of a candidate schedule (parallel
+/// implementation of Definition 2, deliberately not calling
+/// KineticTree::IsValidSchedule).
+bool OracleValid(const KineticTree& tree, const std::vector<Stop>& stops,
+                 const std::vector<Distance>& legs,
+                 const AssignedRequest& extra) {
+  // Gather all requests.
+  std::vector<AssignedRequest> all(tree.assigned().begin(),
+                                   tree.assigned().end());
+  all.push_back(extra);
+
+  // Prefix distances.
+  std::vector<Distance> prefix(stops.size());
+  Distance acc = 0;
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    acc += legs[i];
+    prefix[i] = acc;
+  }
+
+  int onboard = tree.onboard();
+  for (const Stop& stop : stops) {
+    const auto it = std::find_if(all.begin(), all.end(),
+                                 [&](const AssignedRequest& a) {
+                                   return a.request.id == stop.request;
+                                 });
+    if (it == all.end()) return false;
+    onboard += (stop.type == StopType::kPickup) ? it->request.riders
+                                                : -it->request.riders;
+    if (onboard > tree.capacity() || onboard < 0) return false;
+  }
+
+  for (const AssignedRequest& a : all) {
+    int pickup = -1;
+    int dropoff = -1;
+    for (std::size_t i = 0; i < stops.size(); ++i) {
+      if (stops[i].request != a.request.id) continue;
+      if (stops[i].type == StopType::kPickup) pickup = static_cast<int>(i);
+      if (stops[i].type == StopType::kDropoff) dropoff = static_cast<int>(i);
+    }
+    if (a.picked_up) {
+      if (pickup != -1 || dropoff == -1) return false;
+      const Distance travelled = tree.odometer() - a.pickup_odometer;
+      if (travelled + prefix[dropoff] >
+          (1.0 + a.request.epsilon) * a.direct_dist + 1e-6) {
+        return false;
+      }
+    } else {
+      if (pickup == -1 || dropoff == -1 || pickup > dropoff) return false;
+      if (tree.odometer() + prefix[pickup] > a.deadline_odometer + 1e-6) {
+        return false;
+      }
+      if (prefix[dropoff] - prefix[pickup] >
+          (1.0 + a.request.epsilon) * a.direct_dist + 1e-6) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Comparable encoding of a stop sequence.
+using StopKey = std::vector<std::tuple<int, RequestId, VertexId>>;
+
+StopKey MakeKey(const std::vector<Stop>& stops) {
+  StopKey key;
+  key.reserve(stops.size());
+  for (const Stop& s : stops) {
+    key.emplace_back(static_cast<int>(s.type), s.request, s.location);
+  }
+  return key;
+}
+
+/// Brute-force oracle: every (i, j) splice of (pickup, dropoff) into every
+/// branch, with legs recomputed from scratch and constraints checked by
+/// OracleValid. Returns the set of valid stop sequences.
+std::set<StopKey> BruteForceStopSets(const KineticTree& tree,
+                                     const Request& request, Distance direct,
+                                     DistanceOracle& oracle) {
+  std::set<StopKey> result;
+  AssignedRequest extra;
+  extra.request = request;
+  extra.direct_dist = direct;
+  extra.deadline_odometer = kInfDistance;
+
+  for (const Schedule& branch : tree.schedules()) {
+    const std::size_t k = branch.stops.size();
+    for (std::size_t i = 0; i <= k; ++i) {
+      for (std::size_t j = i; j <= k; ++j) {
+        std::vector<Stop> stops(branch.stops.begin(), branch.stops.end());
+        stops.insert(stops.begin() + i,
+                     Stop{StopType::kPickup, request.id, request.start});
+        stops.insert(stops.begin() + j + 1,
+                     Stop{StopType::kDropoff, request.id,
+                          request.destination});
+        std::vector<Distance> legs(stops.size());
+        VertexId prev = tree.location();
+        for (std::size_t m = 0; m < stops.size(); ++m) {
+          legs[m] = oracle.Dist(prev, stops[m].location);
+          prev = stops[m].location;
+        }
+        if (OracleValid(tree, stops, legs, extra)) {
+          result.insert(MakeKey(stops));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::set<StopKey> CandidateStopSets(
+    const std::vector<InsertionCandidate>& candidates) {
+  std::set<StopKey> result;
+  for (const InsertionCandidate& c : candidates) {
+    result.insert(MakeKey(c.schedule.stops));
+  }
+  return result;
+}
+
+class KineticTreeTest : public ::testing::Test {
+ protected:
+  KineticTreeTest()
+      : graph_(testing::MakeSmallGrid(100.0)), oracle_(&graph_) {}
+
+  KineticTree::DistFn Dist() {
+    return [this](VertexId a, VertexId b) { return oracle_.Dist(a, b); };
+  }
+
+  RoadNetwork graph_;
+  DistanceOracle oracle_;
+};
+
+TEST_F(KineticTreeTest, FreshTreeIsIdle) {
+  const KineticTree tree(0, 4, 4);
+  EXPECT_TRUE(tree.IsEmpty());
+  EXPECT_EQ(tree.schedules().size(), 1u);
+  EXPECT_TRUE(tree.ActiveSchedule().stops.empty());
+  EXPECT_EQ(tree.NextStopLocation(), kInvalidVertex);
+  EXPECT_DOUBLE_EQ(tree.CurrentTotal(), 0.0);
+  EXPECT_EQ(tree.onboard(), 0);
+  EXPECT_FALSE(tree.stale());
+}
+
+TEST_F(KineticTreeTest, FirstInsertionIntoEmptyVehicle) {
+  KineticTree tree(0, 0, 4);  // at corner vertex 0
+  const Request r = MakeRequest(1, 4, 8, 2, 1000.0, 0.5);
+  const Distance direct = oracle_.Dist(4, 8);
+  const auto candidates =
+      tree.EnumerateInsertions(r, direct, Dist(), InsertionHooks{});
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_DOUBLE_EQ(candidates[0].pickup_dist, 200.0);  // dist(0, 4)
+  EXPECT_DOUBLE_EQ(candidates[0].total_dist, 200.0 + 200.0);
+  ASSERT_EQ(candidates[0].schedule.stops.size(), 2u);
+  EXPECT_EQ(candidates[0].schedule.stops[0].type, StopType::kPickup);
+  EXPECT_EQ(candidates[0].schedule.stops[1].type, StopType::kDropoff);
+}
+
+TEST_F(KineticTreeTest, CommitRecordsAssignmentAndDeadline) {
+  KineticTree tree(0, 0, 4);
+  const Request r = MakeRequest(1, 4, 8, 2, 300.0, 0.5);
+  const Distance direct = oracle_.Dist(4, 8);
+  ASSERT_TRUE(tree.Commit(r, direct, /*planned_pickup_dist=*/200.0, Dist())
+                  .ok());
+  EXPECT_FALSE(tree.IsEmpty());
+  ASSERT_EQ(tree.assigned().size(), 1u);
+  EXPECT_DOUBLE_EQ(tree.assigned()[0].deadline_odometer, 200.0 + 300.0);
+  EXPECT_EQ(tree.NextStopLocation(), 4u);
+}
+
+TEST_F(KineticTreeTest, CapacityBlocksInsertion) {
+  KineticTree tree(0, 0, 2);
+  const Request r = MakeRequest(1, 4, 8, 3, 1000.0, 0.5);  // 3 riders > cap 2
+  const auto candidates = tree.EnumerateInsertions(r, oracle_.Dist(4, 8),
+                                                   Dist(), InsertionHooks{});
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST_F(KineticTreeTest, SecondInsertionMatchesBruteForce) {
+  KineticTree tree(0, 0, 4);
+  const Request r1 = MakeRequest(1, 1, 7, 2, 1000.0, 1.0);
+  ASSERT_TRUE(
+      tree.Commit(r1, oracle_.Dist(1, 7), oracle_.Dist(0, 1), Dist()).ok());
+
+  const Request r2 = MakeRequest(2, 3, 5, 2, 1000.0, 1.0);
+  const Distance direct = oracle_.Dist(3, 5);
+  const auto candidates =
+      tree.EnumerateInsertions(r2, direct, Dist(), InsertionHooks{});
+  EXPECT_EQ(CandidateStopSets(candidates),
+            BruteForceStopSets(tree, r2, direct, oracle_));
+  EXPECT_FALSE(candidates.empty());
+}
+
+// Property sweep: enumeration equals the brute-force oracle across random
+// graphs, loads, and constraint tightness.
+class InsertionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double,
+                                                 double>> {};
+
+TEST_P(InsertionPropertyTest, EnumerationMatchesBruteForce) {
+  const auto [seed, epsilon, wait] = GetParam();
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(40, 60, seed);
+  DistanceOracle oracle(&g);
+  auto dist = [&oracle](VertexId a, VertexId b) {
+    return oracle.Dist(a, b);
+  };
+  Rng rng(seed * 977 + 5);
+
+  KineticTree tree(0, static_cast<VertexId>(rng.UniformIndex(40)), 4);
+  // Commit up to three requests to grow a multi-branch tree, then compare
+  // enumeration with brute force for a fourth.
+  RequestId next_id = 1;
+  for (int round = 0; round < 3; ++round) {
+    const auto s = static_cast<VertexId>(rng.UniformIndex(40));
+    auto d = static_cast<VertexId>(rng.UniformIndex(40));
+    if (d == s) d = (d + 1) % 40;
+    const Request r =
+        MakeRequest(next_id++, s, d, 1 + static_cast<int>(rng.UniformIndex(2)),
+                    wait, epsilon);
+    const Distance direct = oracle.Dist(s, d);
+    const auto candidates =
+        tree.EnumerateInsertions(r, direct, dist, InsertionHooks{});
+    EXPECT_EQ(CandidateStopSets(candidates),
+              BruteForceStopSets(tree, r, direct, oracle))
+        << "round " << round;
+    if (candidates.empty()) continue;
+    // Commit using the earliest-pickup candidate as the planned option.
+    const auto best = std::min_element(
+        candidates.begin(), candidates.end(),
+        [](const InsertionCandidate& a, const InsertionCandidate& b) {
+          return a.pickup_dist < b.pickup_dist;
+        });
+    ASSERT_TRUE(tree.Commit(r, direct, best->pickup_dist, dist).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomScenarios, InsertionPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(0.2, 0.6, 2.0),
+                       ::testing::Values(100.0, 500.0, 1e9)));
+
+TEST_F(KineticTreeTest, GapSlacksHandComputed) {
+  KineticTree tree(0, 0, 4);
+  // Request 1: pickup at 1 (100 away), dropoff at 8 (direct 300,
+  // eps 0.2 -> budget 360), waiting 150 past planned 100.
+  const Request r1 = MakeRequest(1, 1, 8, 1, 150.0, 0.2);
+  const Distance direct = oracle_.Dist(1, 8);
+  ASSERT_DOUBLE_EQ(direct, 300.0);
+  ASSERT_TRUE(tree.Commit(r1, direct, 100.0, Dist()).ok());
+
+  // Active schedule is <pickup@1, dropoff@7> with legs 100, 300.
+  const Schedule& active = tree.ActiveSchedule();
+  ASSERT_EQ(active.stops.size(), 2u);
+  const std::vector<Distance> slacks = tree.GapSlacks(active);
+  ASSERT_EQ(slacks.size(), 3u);
+  // Gap 0 (before pickup): waiting slack = (100 + 150) - 0 - 100 = 150.
+  EXPECT_DOUBLE_EQ(slacks[0], 150.0);
+  // Gap 1 (between pickup and dropoff): service slack = 360 - 300 = 60.
+  EXPECT_NEAR(slacks[1], 60.0, kEps);
+  // Gap 2 (tail): unconstrained.
+  EXPECT_EQ(slacks[2], kInfDistance);
+
+  const std::vector<int> seats = tree.GapFreeSeats(active);
+  ASSERT_EQ(seats.size(), 3u);
+  EXPECT_EQ(seats[0], 4);
+  EXPECT_EQ(seats[1], 3);  // rider on board
+  EXPECT_EQ(seats[2], 4);
+}
+
+TEST_F(KineticTreeTest, MovementConsumesLegAndOdometer) {
+  KineticTree tree(0, 0, 4);
+  const Request r = MakeRequest(1, 2, 8, 1, 1000.0, 0.5);
+  ASSERT_TRUE(tree.Commit(r, oracle_.Dist(2, 8), 200.0, Dist()).ok());
+  // Drive one edge toward vertex 1 (on the shortest path 0-1-2).
+  tree.MoveTo(1, 100.0);
+  EXPECT_DOUBLE_EQ(tree.odometer(), 100.0);
+  EXPECT_DOUBLE_EQ(tree.ActiveSchedule().legs[0], 100.0);
+  EXPECT_EQ(tree.location(), 1u);
+}
+
+TEST_F(KineticTreeTest, ArrivalServesPickupThenDropoff) {
+  KineticTree tree(0, 0, 4);
+  const Request r = MakeRequest(1, 1, 2, 2, 1000.0, 0.5);
+  ASSERT_TRUE(tree.Commit(r, oracle_.Dist(1, 2), 100.0, Dist()).ok());
+
+  tree.MoveTo(1, 100.0);
+  auto ev1 = tree.ArriveAtNextStop();
+  ASSERT_TRUE(ev1.ok());
+  EXPECT_EQ(ev1->type, StopType::kPickup);
+  EXPECT_EQ(ev1->request, 1u);
+  EXPECT_EQ(tree.onboard(), 2);
+  ASSERT_EQ(tree.assigned().size(), 1u);
+  EXPECT_TRUE(tree.assigned()[0].picked_up);
+
+  tree.MoveTo(2, 100.0);
+  auto ev2 = tree.ArriveAtNextStop();
+  ASSERT_TRUE(ev2.ok());
+  EXPECT_EQ(ev2->type, StopType::kDropoff);
+  EXPECT_EQ(tree.onboard(), 0);
+  EXPECT_TRUE(tree.IsEmpty());
+  EXPECT_TRUE(tree.ActiveSchedule().stops.empty());
+}
+
+TEST_F(KineticTreeTest, ArrivalAtWrongPlaceFails) {
+  KineticTree tree(0, 0, 4);
+  const Request r = MakeRequest(1, 4, 8, 1, 1000.0, 0.5);
+  ASSERT_TRUE(tree.Commit(r, oracle_.Dist(4, 8), 200.0, Dist()).ok());
+  auto ev = tree.ArriveAtNextStop();  // still at 0, stop is at 4
+  EXPECT_FALSE(ev.ok());
+}
+
+TEST_F(KineticTreeTest, IdleArrivalFails) {
+  KineticTree tree(0, 0, 4);
+  EXPECT_FALSE(tree.ArriveAtNextStop().ok());
+}
+
+TEST_F(KineticTreeTest, RefreshDropsBranchesThatDriftedOutOfBudget) {
+  KineticTree tree(0, 0, 4);
+  // Tight waiting budget: planned exactly dist(0, 2) = 200 with zero wait.
+  const Request r = MakeRequest(1, 2, 8, 1, 0.0, 0.5);
+  ASSERT_TRUE(tree.Commit(r, oracle_.Dist(2, 8), 200.0, Dist()).ok());
+  // Drive the wrong way: 0 -> 3 (away from 2). The active branch cannot be
+  // driven away from by the engine, but simulate the tree math directly.
+  tree.MoveTo(3, 100.0);
+  // Now dist(3, 2) = 300, odometer 100: pickup at 400 > deadline 200.
+  // The active branch's first leg was force-decremented (it assumes driving
+  // along the route), so refresh only repairs non-active branches; with one
+  // branch the tree stays consistent only when driven correctly. This test
+  // documents that misuse is caught by validation in Refresh for non-active
+  // branches; here we just ensure no crash and state stays queryable.
+  EXPECT_EQ(tree.location(), 3u);
+}
+
+TEST_F(KineticTreeTest, CommitFiltersSchedulesBeyondPlannedWait) {
+  KineticTree tree(0, 0, 4);
+  const Request r1 = MakeRequest(1, 1, 2, 1, 50.0, 0.0);
+  ASSERT_TRUE(tree.Commit(r1, oracle_.Dist(1, 2), oracle_.Dist(0, 1), Dist())
+                  .ok());
+  // Every surviving schedule must respect pickup <= planned + wait.
+  for (const Schedule& s : tree.schedules()) {
+    Distance prefix = 0;
+    for (std::size_t i = 0; i < s.stops.size(); ++i) {
+      prefix += s.legs[i];
+      if (s.stops[i].type == StopType::kPickup) {
+        EXPECT_LE(prefix, 100.0 + 50.0 + 1e-6);
+        break;
+      }
+    }
+  }
+}
+
+TEST_F(KineticTreeTest, CommitImpossibleRequestFails) {
+  KineticTree tree(0, 0, 1);
+  const Request r1 = MakeRequest(1, 1, 2, 1, 1000.0, 0.0);
+  ASSERT_TRUE(tree.Commit(r1, oracle_.Dist(1, 2), 100.0, Dist()).ok());
+  // Second request with 0 epsilon and a pickup requiring a detour from the
+  // committed exact-route schedule; capacity 1 also blocks overlap.
+  const Request r2 = MakeRequest(2, 6, 8, 1, 0.0, 0.0);
+  const Status st = tree.Commit(r2, oracle_.Dist(6, 8), 0.0, Dist());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(KineticTreeTest, RegistrationCoversAllBranchEdges) {
+  auto grid = GridIndex::Build(&graph_, {.cell_size_meters = 100.0});
+  ASSERT_TRUE(grid.ok());
+  KineticTree tree(7, 0, 4);
+  const Request r = MakeRequest(1, 4, 8, 2, 1000.0, 0.5);
+  ASSERT_TRUE(tree.Commit(r, oracle_.Dist(4, 8), 200.0, Dist()).ok());
+
+  const auto entries = tree.BuildRegistration(*grid);
+  ASSERT_FALSE(entries.empty());
+  bool found_tail = false;
+  for (const auto& [cell, entry] : entries) {
+    EXPECT_EQ(entry.vehicle, 7u);
+    EXPECT_GE(entry.capacity, 0);
+    EXPECT_GE(entry.dist_tr, 0.0);
+    if (entry.tail) {
+      found_tail = true;
+      EXPECT_EQ(entry.oy, kInvalidVertex);
+      EXPECT_DOUBLE_EQ(entry.leg_dist, 0.0);
+    } else {
+      // Edge registered in the cells of its endpoints.
+      EXPECT_TRUE(cell == grid->CellOfVertex(entry.ox) ||
+                  cell == grid->CellOfVertex(entry.oy));
+    }
+  }
+  EXPECT_TRUE(found_tail);
+}
+
+TEST_F(KineticTreeTest, RegistrationEmptyForIdleVehicle) {
+  auto grid = GridIndex::Build(&graph_, {.cell_size_meters = 100.0});
+  ASSERT_TRUE(grid.ok());
+  const KineticTree tree(0, 4, 4);
+  EXPECT_TRUE(tree.BuildRegistration(*grid).empty());
+}
+
+TEST_F(KineticTreeTest, IsValidScheduleRejectsBadShapes) {
+  KineticTree tree(0, 0, 4);
+  const Request r = MakeRequest(1, 1, 2, 2, 1000.0, 0.5);
+  ASSERT_TRUE(tree.Commit(r, oracle_.Dist(1, 2), 100.0, Dist()).ok());
+
+  // Valid: the active schedule itself.
+  EXPECT_TRUE(tree.IsValidSchedule(tree.ActiveSchedule(), nullptr));
+
+  // Dropoff before pickup.
+  Schedule bad1;
+  bad1.stops = {Stop{StopType::kDropoff, 1, 2}, Stop{StopType::kPickup, 1, 1}};
+  bad1.legs = {200.0, 100.0};
+  EXPECT_FALSE(tree.IsValidSchedule(bad1, nullptr));
+
+  // Missing dropoff.
+  Schedule bad2;
+  bad2.stops = {Stop{StopType::kPickup, 1, 1}};
+  bad2.legs = {100.0};
+  EXPECT_FALSE(tree.IsValidSchedule(bad2, nullptr));
+
+  // Stray request not assigned.
+  Schedule bad3 = tree.ActiveSchedule();
+  bad3.stops.push_back(Stop{StopType::kPickup, 99, 3});
+  bad3.legs.push_back(100.0);
+  EXPECT_FALSE(tree.IsValidSchedule(bad3, nullptr));
+
+  // Duplicate pickup.
+  Schedule bad4;
+  bad4.stops = {Stop{StopType::kPickup, 1, 1}, Stop{StopType::kPickup, 1, 1},
+                Stop{StopType::kDropoff, 1, 2}};
+  bad4.legs = {100.0, 0.0, 100.0};
+  EXPECT_FALSE(tree.IsValidSchedule(bad4, nullptr));
+}
+
+TEST_F(KineticTreeTest, BranchCapKeepsShortestSchedules) {
+  // With max_branches = 1 the tree degenerates to "always keep only the
+  // shortest valid schedule" — the active branch.
+  KineticTree capped(0, 0, 4, /*max_branches=*/1);
+  KineticTree full(0, 0, 4);  // default cap, high enough here
+  const Request r1 = MakeRequest(1, 1, 7, 1, 1000.0, 1.0);
+  const Request r2 = MakeRequest(2, 3, 5, 1, 1000.0, 1.0);
+  for (KineticTree* tree : {&capped, &full}) {
+    ASSERT_TRUE(
+        tree->Commit(r1, oracle_.Dist(1, 7), oracle_.Dist(0, 1), Dist())
+            .ok());
+    ASSERT_TRUE(
+        tree->Commit(r2, oracle_.Dist(3, 5), 1e9, Dist()).ok());
+  }
+  EXPECT_EQ(capped.schedules().size(), 1u);
+  EXPECT_GT(full.schedules().size(), 1u);
+  // The capped tree kept exactly the shortest schedule of the full tree.
+  EXPECT_DOUBLE_EQ(capped.ActiveSchedule().total(),
+                   full.ActiveSchedule().total());
+}
+
+TEST_F(KineticTreeTest, InsertionWithRidersOnBoardMatchesBruteForce) {
+  // Exercise the picked_up code paths: commit, drive to the pickup, serve
+  // it, then enumerate a second request against the brute-force oracle.
+  KineticTree tree(0, 0, 4);
+  const Request r1 = MakeRequest(1, 1, 8, 2, 1000.0, 1.5);
+  ASSERT_TRUE(
+      tree.Commit(r1, oracle_.Dist(1, 8), oracle_.Dist(0, 1), Dist()).ok());
+  tree.MoveTo(1, 100.0);
+  ASSERT_TRUE(tree.ArriveAtNextStop().ok());
+  ASSERT_EQ(tree.onboard(), 2);
+  ASSERT_TRUE(tree.assigned()[0].picked_up);
+
+  const Request r2 = MakeRequest(2, 4, 7, 1, 1000.0, 1.5);
+  const Distance direct = oracle_.Dist(4, 7);
+  const auto candidates =
+      tree.EnumerateInsertions(r2, direct, Dist(), InsertionHooks{});
+  EXPECT_EQ(CandidateStopSets(candidates),
+            BruteForceStopSets(tree, r2, direct, oracle_));
+  EXPECT_FALSE(candidates.empty());
+}
+
+TEST_F(KineticTreeTest, RefreshDropsExactlyTheInvalidBranches) {
+  // Multi-branch tree; drive along the active branch; Refresh must keep a
+  // branch iff it is still a valid schedule with its first leg recomputed.
+  KineticTree tree(0, 4, 4);  // center of the 3x3 grid
+  const Request r1 = MakeRequest(1, 3, 5, 1, 600.0, 3.0);
+  ASSERT_TRUE(
+      tree.Commit(r1, oracle_.Dist(3, 5), oracle_.Dist(4, 3), Dist()).ok());
+  const Request r2 = MakeRequest(2, 1, 7, 1, 600.0, 3.0);
+  {
+    const auto candidates = tree.EnumerateInsertions(
+        r2, oracle_.Dist(1, 7), Dist(), InsertionHooks{});
+    ASSERT_FALSE(candidates.empty());
+    const auto best = std::min_element(
+        candidates.begin(), candidates.end(),
+        [](const InsertionCandidate& a, const InsertionCandidate& b) {
+          return a.pickup_dist < b.pickup_dist;
+        });
+    ASSERT_TRUE(
+        tree.Commit(r2, oracle_.Dist(1, 7), best->pickup_dist, Dist()).ok());
+  }
+  ASSERT_GT(tree.schedules().size(), 1u) << "need a multi-branch tree";
+
+  // Drive one edge along the shortest path toward the active first stop.
+  DijkstraEngine engine(&graph_);
+  const VertexId target = tree.NextStopLocation();
+  engine.PointToPoint(tree.location(), target);
+  const std::vector<VertexId> path = engine.PathTo(target);
+  ASSERT_GE(path.size(), 2u);
+  Distance hop = kInfDistance;
+  for (const Arc& a : graph_.OutArcs(path[0])) {
+    if (a.head == path[1]) hop = std::min(hop, a.weight);
+  }
+  std::vector<Schedule> before = tree.schedules();
+  const std::size_t active_before = tree.active_index();
+  tree.MoveTo(path[1], hop);
+  ASSERT_TRUE(tree.stale());
+  tree.Refresh(Dist());
+
+  // Survivors are exactly the branches that remain valid after the move.
+  for (Schedule& old : before) {
+    old.legs[0] = oracle_.Dist(tree.location(), old.stops[0].location);
+    const bool still_valid = tree.IsValidSchedule(old, nullptr);
+    bool survived = false;
+    for (const Schedule& kept : tree.schedules()) {
+      if (kept.SameStops(old)) survived = true;
+    }
+    EXPECT_EQ(survived, still_valid);
+  }
+  // The previously active branch always survives.
+  bool active_survived = false;
+  for (const Schedule& kept : tree.schedules()) {
+    if (kept.SameStops(before[active_before])) active_survived = true;
+  }
+  EXPECT_TRUE(active_survived);
+}
+
+TEST_F(KineticTreeTest, MemoryGrowsWithBranches) {
+  KineticTree tree(0, 0, 4);
+  const std::size_t empty_bytes = tree.MemoryBytes();
+  const Request r = MakeRequest(1, 4, 8, 1, 1000.0, 0.5);
+  ASSERT_TRUE(tree.Commit(r, oracle_.Dist(4, 8), 200.0, Dist()).ok());
+  EXPECT_GT(tree.MemoryBytes(), empty_bytes);
+}
+
+TEST_F(KineticTreeTest, SharedRideTwoRequestsFullLifecycle) {
+  KineticTree tree(0, 0, 4);
+  // Both requests travel roughly the same corridor 0 -> 2 -> 8.
+  const Request r1 = MakeRequest(1, 1, 5, 1, 1000.0, 1.0);
+  ASSERT_TRUE(
+      tree.Commit(r1, oracle_.Dist(1, 5), oracle_.Dist(0, 1), Dist()).ok());
+  const Request r2 = MakeRequest(2, 2, 8, 1, 1000.0, 1.0);
+  const auto candidates = tree.EnumerateInsertions(r2, oracle_.Dist(2, 8),
+                                                   Dist(), InsertionHooks{});
+  ASSERT_FALSE(candidates.empty());
+  const auto best = std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const InsertionCandidate& a, const InsertionCandidate& b) {
+        return a.total_dist < b.total_dist;
+      });
+  ASSERT_TRUE(
+      tree.Commit(r2, oracle_.Dist(2, 8), best->pickup_dist, Dist()).ok());
+  EXPECT_EQ(tree.assigned().size(), 2u);
+
+  // Drive the active schedule to completion, serving every stop.
+  int safety = 0;
+  DijkstraEngine engine(&graph_);
+  while (!tree.IsEmpty() && safety++ < 100) {
+    const VertexId target = tree.NextStopLocation();
+    if (target == tree.location()) {
+      ASSERT_TRUE(tree.ArriveAtNextStop().ok());
+      continue;
+    }
+    engine.PointToPoint(tree.location(), target);
+    const std::vector<VertexId> path = engine.PathTo(target);
+    ASSERT_GE(path.size(), 2u);
+    Distance hop = kInfDistance;
+    for (const Arc& a : graph_.OutArcs(path[0])) {
+      if (a.head == path[1]) hop = std::min(hop, a.weight);
+    }
+    tree.MoveTo(path[1], hop);
+    if (tree.stale()) tree.Refresh(Dist());
+  }
+  EXPECT_TRUE(tree.IsEmpty());
+  EXPECT_EQ(tree.onboard(), 0);
+}
+
+}  // namespace
+}  // namespace ptar

@@ -1,0 +1,280 @@
+// Tests for the pruning lemmas: hand-computed cases plus randomized
+// soundness properties ("pruned implies strictly dominated or infeasible").
+
+#include "rideshare/lemmas.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "rideshare/price_model.h"
+
+namespace ptar {
+namespace {
+
+const PriceModel kModel;
+
+TEST(Lemma1Test, PrunesFarEmptyVehicle) {
+  // Current result: pickup 100, price for 1 rider with direct 200:
+  // price = 0.3 * (100 + 400) = 150 -> price/fn - 2*direct = 500 - 400 = 100.
+  const Option r{0, 100.0, 150.0};
+  const double fn = kModel.Ratio(1);
+  // An empty vehicle at least 101 away loses both dimensions.
+  EXPECT_TRUE(lemmas::EmptyVehiclePrunedBy(101.0, r, fn, 200.0));
+  EXPECT_FALSE(lemmas::EmptyVehiclePrunedBy(99.0, r, fn, 200.0));
+  // Equality must not prune (equal results are not dominated).
+  EXPECT_FALSE(lemmas::EmptyVehiclePrunedBy(100.0, r, fn, 200.0));
+}
+
+TEST(Lemma1Test, PruneNeedsBothDimensions) {
+  // Result with cheap price but late pickup: an empty vehicle nearer than
+  // the price threshold can still win on time.
+  const Option r{0, 1000.0, 30.0};  // price/fn - 2*direct = 100 - 40 = 60
+  const double fn = kModel.Ratio(1);
+  EXPECT_FALSE(lemmas::EmptyVehiclePrunedBy(500.0, r, fn, 20.0));
+  EXPECT_TRUE(lemmas::EmptyVehiclePrunedBy(1001.0, r, fn, 20.0));
+}
+
+TEST(Lemma1Test, SoundnessRandomized) {
+  // If the lemma prunes, the exact result of the empty vehicle must be
+  // strictly dominated, for any actual distance >= ldist.
+  Rng rng(42);
+  const double fn = kModel.Ratio(2);
+  for (int i = 0; i < 2000; ++i) {
+    const Distance direct = rng.UniformReal(10, 500);
+    const Distance pickup_existing = rng.UniformReal(0, 800);
+    const Option r{0, pickup_existing,
+                   kModel.EmptyVehiclePrice(2, rng.UniformReal(0, 800),
+                                            direct)};
+    const Distance ldist = rng.UniformReal(0, 1000);
+    if (!lemmas::EmptyVehiclePrunedBy(ldist, r, fn, direct)) continue;
+    // Any true distance is at least the lower bound.
+    const Distance actual = ldist + rng.UniformReal(0, 200);
+    const Option candidate{1, actual,
+                           kModel.EmptyVehiclePrice(2, actual, direct)};
+    EXPECT_TRUE(Dominates(r, candidate))
+        << "pruned candidate not dominated: ldist=" << ldist;
+  }
+}
+
+TEST(Lemma1Test, UpperBoundOptionIsAchievable) {
+  const double fn = kModel.Ratio(1);
+  const Option bound = lemmas::EmptyVehicleUpperBoundOption(7, 50.0, fn, 100.0);
+  EXPECT_EQ(bound.vehicle, 7u);
+  EXPECT_DOUBLE_EQ(bound.pickup_dist, 50.0);
+  EXPECT_DOUBLE_EQ(bound.price, fn * (50.0 + 200.0));
+}
+
+TEST(Lemma3Test, HandComputedEdgeCase) {
+  // Edge <o_x, o_y> with leg 100, dist_tr(c.l, o_x) = 300.
+  // Result r: pickup 350, price/fn - direct = 120.
+  const double fn = kModel.Ratio(1);
+  const Distance direct = 100.0;
+  const Option r{0, 350.0, fn * (120.0 + direct)};
+  // ldist(s, o_x) = 60: pickup bound 360 > 350; detour bound needs
+  // ldist(s,ox)+ldist(s,oy)-leg = 60 + 170 - 100 = 130 > 120 -> prune.
+  EXPECT_TRUE(lemmas::StartEdgePrunedBy(60.0, 170.0, 100.0, false, 300.0, r,
+                                        fn, direct));
+  // Lower oy bound: 60 + 150 - 100 = 110 < 120 -> keep.
+  EXPECT_FALSE(lemmas::StartEdgePrunedBy(60.0, 150.0, 100.0, false, 300.0, r,
+                                         fn, direct));
+  // Earlier pickup -> keep regardless of price.
+  EXPECT_FALSE(lemmas::StartEdgePrunedBy(40.0, 170.0, 100.0, false, 300.0, r,
+                                         fn, direct));
+}
+
+TEST(Lemma3Test, TailUsesDirectDistance) {
+  const double fn = kModel.Ratio(1);
+  const Distance direct = 100.0;
+  const Option r{0, 10.0, fn * (150.0 + direct)};
+  // Tail: detour bound = ldist(s, o_x) + direct = 60 + 100 = 160 > 150 and
+  // pickup bound 300 + 60 > 10 -> prune.
+  EXPECT_TRUE(
+      lemmas::StartEdgePrunedBy(60.0, 0.0, 0.0, true, 300.0, r, fn, direct));
+  EXPECT_FALSE(
+      lemmas::StartEdgePrunedBy(40.0, 0.0, 0.0, true, 300.0, r, fn, direct));
+}
+
+TEST(Lemma3Test, SoundnessRandomized) {
+  // When the lemma prunes with lower bounds, the exact result (for any
+  // exact distances at or above the bounds) is strictly dominated.
+  Rng rng(77);
+  const double fn = kModel.Ratio(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Distance direct = rng.UniformReal(50, 300);
+    const Option r{0, rng.UniformReal(0, 600),
+                   fn * (rng.UniformReal(0, 400) + direct)};
+    const Distance l_ox = rng.UniformReal(0, 400);
+    const Distance l_oy = rng.UniformReal(0, 400);
+    const Distance leg = rng.UniformReal(0, 200);
+    const Distance dist_tr = rng.UniformReal(0, 500);
+    if (!lemmas::StartEdgePrunedBy(l_ox, l_oy, leg, false, dist_tr, r, fn,
+                                   direct)) {
+      continue;
+    }
+    // Exact distances dominate the bounds.
+    const Distance d_ox = l_ox + rng.UniformReal(0, 100);
+    const Distance d_oy = l_oy + rng.UniformReal(0, 100);
+    // The result produced through this edge: pickup and minimal price.
+    const Distance pickup = dist_tr + d_ox;
+    const Distance detour = d_ox + d_oy - leg;
+    const double price = fn * (detour + direct);
+    // Any further d-insertion only increases the price.
+    const Option candidate{1, pickup, price};
+    EXPECT_TRUE(Dominates(r, candidate) || r.pickup_dist == pickup);
+  }
+}
+
+TEST(Lemma5Test, CapacityAndDetourClauses) {
+  EXPECT_TRUE(lemmas::StartEdgeInfeasible(1, 2, 1000.0, 0, 0, 0, false));
+  // Detour required 60 + 70 - 100 = 30 > slack 20.
+  EXPECT_TRUE(lemmas::StartEdgeInfeasible(4, 2, 20.0, 60.0, 70.0, 100.0,
+                                          false));
+  EXPECT_FALSE(lemmas::StartEdgeInfeasible(4, 2, 40.0, 60.0, 70.0, 100.0,
+                                           false));
+  // Tail: detour clause disabled.
+  EXPECT_FALSE(lemmas::StartEdgeInfeasible(4, 2, 0.0, 500.0, 0.0, 0.0, true));
+}
+
+TEST(Lemma4And6Test, CellLevelChecks) {
+  const double fn = kModel.Ratio(1);
+  const Distance direct = 100.0;
+  std::vector<Option> results = {{0, 200.0, fn * (150.0 + direct)}};
+  // Lemma 4: ldist(s,g) + min_dist_tr = 150 + 100 > 200 and
+  // 2*150 - 40 = 260 > 150 -> prune.
+  EXPECT_TRUE(lemmas::StartCellPruned(150.0, 100.0, 40.0, false, results, fn,
+                                      direct));
+  EXPECT_FALSE(lemmas::StartCellPruned(40.0, 100.0, 40.0, false, results, fn,
+                                       direct));
+  // Lemma 6: capacity.
+  EXPECT_TRUE(lemmas::StartCellInfeasible(1, 2, 1000.0, 0.0, 0.0));
+  // Lemma 6: detour 2*200 - 100 = 300 > max_detour 250.
+  EXPECT_TRUE(lemmas::StartCellInfeasible(4, 2, 250.0, 200.0, 100.0));
+  EXPECT_FALSE(lemmas::StartCellInfeasible(4, 2, 350.0, 200.0, 100.0));
+}
+
+TEST(Lemma4And6Test, TailEdgesWeakenThePriceClause) {
+  // Regression test: a cell holding a tail edge <o_k, empty> admits
+  // insertions after the last stop whose detour lower bound is only
+  // ldist + direct (s side) or ldist (d side), not 2*ldist - max_leg.
+  const double fn = kModel.Ratio(1);
+  const Distance direct = 100.0;
+  // Interior bound 2*150 - 40 = 260; tail bound 150 + 100 = 250.
+  // Threshold between the two: prune only when no tail edge is present.
+  std::vector<Option> results = {{0, 200.0, fn * (255.0 + direct)}};
+  EXPECT_TRUE(lemmas::StartCellPruned(150.0, 100.0, 40.0, false, results, fn,
+                                      direct));
+  EXPECT_FALSE(lemmas::StartCellPruned(150.0, 100.0, 40.0, true, results, fn,
+                                       direct));
+  // Destination side: tail bound is just ldist = 150 (interior 260).
+  std::vector<Option> dresults = {{0, 100.0, fn * (200.0 + direct)}};
+  EXPECT_TRUE(lemmas::DestCellPruned(150.0, 300.0, 40.0, false, 0.2, direct,
+                                     dresults, fn));
+  EXPECT_FALSE(lemmas::DestCellPruned(150.0, 300.0, 40.0, true, 0.2, direct,
+                                      dresults, fn));
+}
+
+TEST(Lemma7Test, MirrorsLemma5WithDestination) {
+  EXPECT_TRUE(lemmas::DestEdgeInfeasible(1, 2, 1000.0, 0, 0, 0, false));
+  EXPECT_TRUE(lemmas::DestEdgeInfeasible(4, 2, 20.0, 60.0, 70.0, 100.0,
+                                         false));
+  EXPECT_FALSE(lemmas::DestEdgeInfeasible(4, 2, 40.0, 60.0, 70.0, 100.0,
+                                          false));
+  EXPECT_FALSE(lemmas::DestEdgeInfeasible(4, 2, 0.0, 500.0, 0.0, 0.0, true));
+}
+
+TEST(Lemma9Test, ServiceConstraintPickupBound) {
+  const double fn = kModel.Ratio(1);
+  const Distance direct = 100.0;
+  const double epsilon = 0.2;
+  const Option r{0, 150.0, fn * (80.0 + direct)};
+  // pickup bound: dist_tr(300) + ldist(ox,d)(40) - 1.2*100 = 220 > 150;
+  // price bound: 40 + 150 - 100 = 90 > 80 -> prune.
+  EXPECT_TRUE(lemmas::DestEdgePrunedBy(300.0, 40.0, 150.0, 100.0, false,
+                                       epsilon, direct, r, fn));
+  // Looser epsilon shifts the pickup bound below the result -> keep.
+  EXPECT_FALSE(lemmas::DestEdgePrunedBy(300.0, 40.0, 150.0, 100.0, false,
+                                        1.5, direct, r, fn));
+}
+
+TEST(Lemma8And10Test, CellLevelDestinationChecks) {
+  const double fn = kModel.Ratio(1);
+  const Distance direct = 100.0;
+  std::vector<Option> results = {{0, 100.0, fn * (90.0 + direct)}};
+  // Lemma 10: min_dist_tr(300) + ldist(200) - 120 = 380 > 100 and
+  // 2*200 - 150 = 250 > 90 -> prune.
+  EXPECT_TRUE(lemmas::DestCellPruned(200.0, 300.0, 150.0, false, 0.2, direct,
+                                     results, fn));
+  EXPECT_FALSE(lemmas::DestCellPruned(10.0, 300.0, 150.0, false, 0.2, direct,
+                                      results, fn));
+  EXPECT_TRUE(lemmas::DestCellInfeasible(1, 2, 1000.0, 0.0, 0.0));
+  EXPECT_TRUE(lemmas::DestCellInfeasible(4, 2, 100.0, 200.0, 100.0));
+}
+
+TEST(Def7Test, DetourLowerBoundCases) {
+  // Case 1 (different gaps): delta_s + ldist(ox,d) + ldist(oy,d) - leg.
+  EXPECT_DOUBLE_EQ(
+      lemmas::DetourLowerBound(false, false, 0.0, 50.0, 30.0, 40.0, 20.0,
+                               100.0),
+      50.0 + 30.0 + 40.0 - 20.0);
+  // Case 1, d at tail: delta_s + ldist(ox,d).
+  EXPECT_DOUBLE_EQ(
+      lemmas::DetourLowerBound(false, true, 0.0, 50.0, 30.0, 0.0, 0.0,
+                               100.0),
+      80.0);
+  // Case 2 (same gap): dist(ox,s) + ldist(oy,d) + direct - leg.
+  EXPECT_DOUBLE_EQ(
+      lemmas::DetourLowerBound(true, false, 60.0, 0.0, 0.0, 40.0, 20.0,
+                               100.0),
+      60.0 + 40.0 + 100.0 - 20.0);
+  // Case 2, tail: dist(ox,s) + direct.
+  EXPECT_DOUBLE_EQ(
+      lemmas::DetourLowerBound(true, true, 60.0, 0.0, 0.0, 0.0, 0.0, 100.0),
+      160.0);
+}
+
+TEST(Lemma11Test, PrunesWhenBothBoundsLose) {
+  const double fn = kModel.Ratio(1);
+  const Distance direct = 100.0;
+  std::vector<Option> results = {{0, 200.0, fn * (120.0 + direct)}};
+  EXPECT_TRUE(lemmas::AfterStartPruned(250.0, 130.0, results, fn, direct));
+  EXPECT_FALSE(lemmas::AfterStartPruned(150.0, 130.0, results, fn, direct));
+  EXPECT_FALSE(lemmas::AfterStartPruned(250.0, 110.0, results, fn, direct));
+}
+
+TEST(Lemma11Test, SoundnessRandomized) {
+  // If Lemma 11 prunes, any exact result with pickup == pickup_dist and
+  // detour >= detour_lb is strictly dominated.
+  Rng rng(99);
+  const double fn = kModel.Ratio(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Distance direct = rng.UniformReal(50, 300);
+    std::vector<Option> results = {
+        {0, rng.UniformReal(0, 500), fn * (rng.UniformReal(0, 300) + direct)}};
+    const Distance pickup = rng.UniformReal(0, 600);
+    const Distance detour_lb = rng.UniformReal(0, 400);
+    if (!lemmas::AfterStartPruned(pickup, detour_lb, results, fn, direct)) {
+      continue;
+    }
+    const Distance actual_detour = detour_lb + rng.UniformReal(0, 100);
+    const Option candidate{1, pickup, fn * (actual_detour + direct)};
+    EXPECT_TRUE(Dominates(results[0], candidate));
+  }
+}
+
+TEST(LemmasTest, EmptyResultSetNeverPrunesDominance) {
+  const double fn = kModel.Ratio(1);
+  const std::vector<Option> none;
+  EXPECT_FALSE(lemmas::EmptyVehiclePruned(1e9, none, fn, 10.0));
+  EXPECT_FALSE(lemmas::StartEdgePruned(1e9, 1e9, 0.0, false, 1e9, none, fn,
+                                       10.0));
+  EXPECT_FALSE(lemmas::DestEdgePruned(1e9, 1e9, 1e9, 0.0, false, 0.2, 10.0,
+                                      none, fn));
+  EXPECT_FALSE(lemmas::AfterStartPruned(1e9, 1e9, none, fn, 10.0));
+  EXPECT_FALSE(lemmas::StartCellPruned(1e9, 1e9, 0.0, true, none, fn, 10.0));
+  EXPECT_FALSE(lemmas::DestCellPruned(1e9, 1e9, 0.0, true, 0.2, 10.0, none, fn));
+}
+
+}  // namespace
+}  // namespace ptar

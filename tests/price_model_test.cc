@@ -1,0 +1,57 @@
+// Tests for the price model (paper Definition 3, including its worked
+// examples).
+
+#include "rideshare/price_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ptar {
+namespace {
+
+TEST(PriceModelTest, PaperRatios) {
+  const PriceModel model;
+  EXPECT_DOUBLE_EQ(model.Ratio(1), 0.3);
+  EXPECT_DOUBLE_EQ(model.Ratio(2), 0.4);
+  EXPECT_DOUBLE_EQ(model.Ratio(3), 0.5);
+  EXPECT_DOUBLE_EQ(model.Ratio(4), 0.6);
+}
+
+TEST(PriceModelTest, CustomRatios) {
+  const PriceModel model(0.5, 0.25);
+  EXPECT_DOUBLE_EQ(model.Ratio(1), 0.5);
+  EXPECT_DOUBLE_EQ(model.Ratio(3), 1.0);
+}
+
+TEST(PriceModelTest, PaperSectionIiiDExample) {
+  // Inserting R2 into tr1 = <v1, v2, v16> yields tr2 with
+  // dist_tr2 - dist_tr1 + dist(v12, v17) summing such that the price is 4
+  // with f_2 = 0.4, i.e. the parenthesized sum is 10.
+  const PriceModel model;
+  EXPECT_DOUBLE_EQ(model.Price(2, /*added_dist=*/10.0 - 4.0,
+                               /*direct_dist=*/4.0),
+                   4.0);
+}
+
+TEST(PriceModelTest, EmptyVehicleFormula) {
+  // price = f_n * (dist(c.l, s) + 2 * dist(s, d)).
+  const PriceModel model;
+  EXPECT_DOUBLE_EQ(model.EmptyVehiclePrice(2, 8.0, 7.0), 0.4 * (8.0 + 14.0));
+  // Equivalent through the generic form: added = pickup + direct.
+  EXPECT_DOUBLE_EQ(model.Price(2, 8.0 + 7.0, 7.0),
+                   model.EmptyVehiclePrice(2, 8.0, 7.0));
+}
+
+TEST(PriceModelTest, PriceScalesWithRiders) {
+  const PriceModel model;
+  const double p1 = model.Price(1, 100.0, 200.0);
+  const double p4 = model.Price(4, 100.0, 200.0);
+  EXPECT_DOUBLE_EQ(p4, p1 * (0.6 / 0.3));
+}
+
+TEST(PriceModelTest, ZeroDetourChargesDirectOnly) {
+  const PriceModel model;
+  EXPECT_DOUBLE_EQ(model.Price(1, 0.0, 500.0), 0.3 * 500.0);
+}
+
+}  // namespace
+}  // namespace ptar

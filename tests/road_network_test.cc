@@ -1,0 +1,155 @@
+// Tests for the CSR road network and its builder.
+
+#include "graph/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace ptar {
+namespace {
+
+TEST(BuilderTest, EmptyGraphBuilds) {
+  RoadNetwork::Builder b;
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(BuilderTest, VertexIdsAreSequential) {
+  RoadNetwork::Builder b;
+  EXPECT_EQ(b.AddVertex(Coord{0, 0}), 0u);
+  EXPECT_EQ(b.AddVertex(Coord{1, 0}), 1u);
+  EXPECT_EQ(b.AddVertex(Coord{2, 0}), 2u);
+  EXPECT_EQ(b.num_vertices(), 3u);
+}
+
+TEST(BuilderTest, RejectsUnknownVertex) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddEdge(0, 5, 1.0);
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, RejectsSelfLoop) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddEdge(0, 0, 1.0);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(BuilderTest, RejectsNonPositiveWeight) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddVertex(Coord{1, 0});
+  b.AddEdge(0, 1, 0.0);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(BuilderTest, RejectsNanWeight) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddVertex(Coord{1, 0});
+  b.AddEdge(0, 1, std::nan(""));
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(RoadNetworkTest, CsrAdjacencyIsComplete) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  // Corner vertex 0 connects to 1 and 3.
+  std::vector<VertexId> heads;
+  for (const Arc& a : g.OutArcs(0)) heads.push_back(a.head);
+  std::sort(heads.begin(), heads.end());
+  EXPECT_EQ(heads, (std::vector<VertexId>{1, 3}));
+  // Center vertex 4 has degree 4.
+  EXPECT_EQ(g.Degree(4), 4u);
+}
+
+TEST(RoadNetworkTest, ArcsAreSymmetric) {
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(30, 40, 99);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.OutArcs(u)) {
+      // The reverse arc with the same edge id must exist.
+      bool found = false;
+      for (const Arc& back : g.OutArcs(a.head)) {
+        if (back.head == u && back.edge == a.edge &&
+            back.weight == a.weight) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "missing reverse arc for edge " << a.edge;
+    }
+  }
+}
+
+TEST(RoadNetworkTest, ArcCountMatchesTwiceEdges) {
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(50, 60, 7);
+  std::size_t arc_count = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    arc_count += g.Degree(v);
+  }
+  EXPECT_EQ(arc_count, 2 * g.num_edges());
+}
+
+TEST(RoadNetworkTest, EdgeAccessors) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddVertex(Coord{3, 4});
+  const EdgeId e = b.AddEdge(0, 1, 7.5);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->EdgeU(e), 0u);
+  EXPECT_EQ(g->EdgeV(e), 1u);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(e), 7.5);
+}
+
+TEST(RoadNetworkTest, EuclideanDistance) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddVertex(Coord{3, 4});
+  b.AddEdge(0, 1, 5.0);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->EuclideanDistance(0, 1), 5.0);
+}
+
+TEST(RoadNetworkTest, AddEdgeEuclideanUsesCoordinates) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddVertex(Coord{6, 8});
+  b.AddEdgeEuclidean(0, 1);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0), 10.0);
+}
+
+TEST(RoadNetworkTest, ParallelEdgesAreKept) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddVertex(Coord{1, 0});
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(0, 1, 2.0);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->Degree(0), 2u);
+}
+
+TEST(RoadNetworkTest, MemoryBytesPositiveAndMonotone) {
+  const RoadNetwork small = testing::MakeRandomConnectedGraph(10, 5, 1);
+  const RoadNetwork large = testing::MakeRandomConnectedGraph(100, 150, 1);
+  EXPECT_GT(small.MemoryBytes(), 0u);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace ptar

@@ -1,0 +1,56 @@
+// Tests for the Schedule value type.
+
+#include "kinetic/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace ptar {
+namespace {
+
+Schedule MakeSchedule() {
+  Schedule s;
+  s.stops = {Stop{StopType::kPickup, 1, 10}, Stop{StopType::kDropoff, 1, 20},
+             Stop{StopType::kPickup, 2, 30}};
+  s.legs = {100.0, 250.0, 50.0};
+  return s;
+}
+
+TEST(ScheduleTest, TotalSumsLegs) {
+  EXPECT_DOUBLE_EQ(MakeSchedule().total(), 400.0);
+  EXPECT_DOUBLE_EQ(Schedule{}.total(), 0.0);
+}
+
+TEST(ScheduleTest, PrefixDistanceIsInclusive) {
+  const Schedule s = MakeSchedule();
+  EXPECT_DOUBLE_EQ(s.PrefixDistance(0), 100.0);
+  EXPECT_DOUBLE_EQ(s.PrefixDistance(1), 350.0);
+  EXPECT_DOUBLE_EQ(s.PrefixDistance(2), 400.0);
+}
+
+TEST(ScheduleTest, SameStopsIgnoresLegs) {
+  Schedule a = MakeSchedule();
+  Schedule b = MakeSchedule();
+  b.legs[0] = 999.0;
+  EXPECT_TRUE(a.SameStops(b));
+  b.stops[0].location = 11;
+  EXPECT_FALSE(a.SameStops(b));
+}
+
+TEST(ScheduleTest, StopEquality) {
+  const Stop a{StopType::kPickup, 1, 10};
+  EXPECT_TRUE((a == Stop{StopType::kPickup, 1, 10}));
+  EXPECT_FALSE((a == Stop{StopType::kDropoff, 1, 10}));
+  EXPECT_FALSE((a == Stop{StopType::kPickup, 2, 10}));
+  EXPECT_FALSE((a == Stop{StopType::kPickup, 1, 11}));
+}
+
+TEST(ScheduleTest, DifferentLengthStopsDiffer) {
+  Schedule a = MakeSchedule();
+  Schedule b = MakeSchedule();
+  b.stops.pop_back();
+  b.legs.pop_back();
+  EXPECT_FALSE(a.SameStops(b));
+}
+
+}  // namespace
+}  // namespace ptar

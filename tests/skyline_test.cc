@@ -1,0 +1,127 @@
+// Tests for the option dominance relation and the maintained skyline.
+
+#include "rideshare/skyline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ptar {
+namespace {
+
+Option Opt(VehicleId v, Distance pickup, double price) {
+  return Option{v, pickup, price};
+}
+
+TEST(DominanceTest, StrictDominance) {
+  EXPECT_TRUE(Dominates(Opt(1, 5, 10), Opt(2, 6, 11)));
+  EXPECT_TRUE(Dominates(Opt(1, 5, 10), Opt(2, 5, 11)));  // equal time
+  EXPECT_TRUE(Dominates(Opt(1, 5, 10), Opt(2, 6, 10)));  // equal price
+}
+
+TEST(DominanceTest, EqualPairsDoNotDominate) {
+  EXPECT_FALSE(Dominates(Opt(1, 5, 10), Opt(2, 5, 10)));
+  EXPECT_FALSE(Dominates(Opt(2, 5, 10), Opt(1, 5, 10)));
+}
+
+TEST(DominanceTest, IncomparableOptions) {
+  EXPECT_FALSE(Dominates(Opt(1, 5, 12), Opt(2, 6, 10)));
+  EXPECT_FALSE(Dominates(Opt(2, 6, 10), Opt(1, 5, 12)));
+}
+
+TEST(SkylineTest, InsertKeepsNonDominated) {
+  SkylineSet s;
+  EXPECT_TRUE(s.Insert(Opt(1, 5, 10)));
+  EXPECT_TRUE(s.Insert(Opt(2, 3, 20)));  // incomparable
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(SkylineTest, InsertRejectsDominated) {
+  SkylineSet s;
+  s.Insert(Opt(1, 5, 10));
+  EXPECT_FALSE(s.Insert(Opt(2, 6, 11)));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SkylineTest, InsertEvictsDominated) {
+  SkylineSet s;
+  s.Insert(Opt(1, 5, 10));
+  s.Insert(Opt(2, 3, 20));
+  EXPECT_TRUE(s.Insert(Opt(3, 3, 9)));  // dominates both
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.options()[0].vehicle, 3u);
+}
+
+TEST(SkylineTest, KeepsEqualDuplicates) {
+  SkylineSet s;
+  s.Insert(Opt(1, 5, 10));
+  EXPECT_TRUE(s.Insert(Opt(2, 5, 10)));  // equal in both dims: kept
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(SkylineTest, RemoveDominatedBy) {
+  SkylineSet s;
+  s.Insert(Opt(1, 5, 10));
+  s.Insert(Opt(2, 3, 20));
+  s.RemoveDominatedBy(Opt(9, 4, 9));  // dominates (5, 10), not (3, 20)
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.options()[0].vehicle, 2u);
+}
+
+TEST(SkylineTest, SortedOutput) {
+  SkylineSet s;
+  s.Insert(Opt(3, 9, 1));
+  s.Insert(Opt(1, 1, 9));
+  s.Insert(Opt(2, 5, 5));
+  const std::vector<Option> sorted = s.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].vehicle, 1u);
+  EXPECT_EQ(sorted[1].vehicle, 2u);
+  EXPECT_EQ(sorted[2].vehicle, 3u);
+}
+
+TEST(SkylineTest, ClearEmpties) {
+  SkylineSet s;
+  s.Insert(Opt(1, 1, 1));
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+}
+
+// Property: after any insertion sequence, no member of the skyline dominates
+// another, and every rejected/evicted option is dominated by some member.
+TEST(SkylineTest, InvariantUnderRandomInsertions) {
+  Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    SkylineSet s;
+    std::vector<Option> all;
+    for (int i = 0; i < 200; ++i) {
+      const Option o = Opt(static_cast<VehicleId>(i),
+                           rng.UniformReal(0, 100),
+                           rng.UniformReal(0, 100));
+      all.push_back(o);
+      s.Insert(o);
+    }
+    const auto members = s.options();
+    for (const Option& a : members) {
+      for (const Option& b : members) {
+        EXPECT_FALSE(Dominates(a, b));
+      }
+    }
+    for (const Option& o : all) {
+      bool in_skyline = false;
+      for (const Option& m : members) {
+        if (m == o) in_skyline = true;
+      }
+      if (!in_skyline) {
+        bool dominated = false;
+        for (const Option& m : members) {
+          if (Dominates(m, o)) dominated = true;
+        }
+        EXPECT_TRUE(dominated) << "dropped option is not dominated";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptar

@@ -1,0 +1,82 @@
+// Tests for the sample-summary helper.
+
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ptar {
+namespace {
+
+TEST(SampleSummaryTest, EmptyIsZero) {
+  const SampleSummary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(SampleSummaryTest, BasicMoments) {
+  SampleSummary s;
+  for (const double v : {4.0, 1.0, 3.0, 2.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+}
+
+TEST(SampleSummaryTest, PercentilesInterpolate) {
+  SampleSummary s;
+  for (const double v : {10.0, 20.0, 30.0, 40.0, 50.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(12.5), 15.0);  // between first two
+}
+
+TEST(SampleSummaryTest, SingleSample) {
+  SampleSummary s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+}
+
+TEST(SampleSummaryTest, AddAfterPercentileQuery) {
+  SampleSummary s;
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 1.0);
+  s.Add(3.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 2.0);
+}
+
+TEST(SampleSummaryTest, MergeFromCombines) {
+  SampleSummary a;
+  SampleSummary b;
+  a.Add(1.0);
+  b.Add(3.0);
+  b.Add(5.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 3.0);
+}
+
+TEST(SampleSummaryTest, PercentileOrderIsMonotone) {
+  SampleSummary s;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) s.Add(rng.UniformReal(0, 1000));
+  double prev = s.Percentile(0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = s.Percentile(p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace ptar

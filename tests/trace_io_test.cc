@@ -1,0 +1,158 @@
+// Tests for request-trace CSV serialization.
+
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/workload.h"
+#include "tests/test_util.h"
+
+namespace ptar {
+namespace {
+
+std::vector<Request> SampleRequests() {
+  std::vector<Request> requests;
+  Request a;
+  a.id = 0;
+  a.submit_time = 1.5;
+  a.start = 0;
+  a.destination = 8;
+  a.riders = 2;
+  a.max_wait_dist = 1600.0;
+  a.epsilon = 0.2;
+  Request b = a;
+  b.id = 1;
+  b.submit_time = 10.25;
+  b.start = 3;
+  b.destination = 5;
+  b.riders = 1;
+  requests.push_back(a);
+  requests.push_back(b);
+  return requests;
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  const std::vector<Request> original = SampleRequests();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveRequests(original, buffer).ok());
+  auto loaded = LoadRequests(buffer, g);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, original[i].id);
+    EXPECT_DOUBLE_EQ((*loaded)[i].submit_time, original[i].submit_time);
+    EXPECT_EQ((*loaded)[i].start, original[i].start);
+    EXPECT_EQ((*loaded)[i].destination, original[i].destination);
+    EXPECT_EQ((*loaded)[i].riders, original[i].riders);
+    EXPECT_DOUBLE_EQ((*loaded)[i].max_wait_dist, original[i].max_wait_dist);
+    EXPECT_DOUBLE_EQ((*loaded)[i].epsilon, original[i].epsilon);
+  }
+}
+
+TEST(TraceIoTest, RoundTripGeneratedWorkload) {
+  GridCityOptions copts;
+  copts.rows = 10;
+  copts.cols = 10;
+  auto g = MakeGridCity(copts);
+  ASSERT_TRUE(g.ok());
+  WorkloadOptions wopts;
+  wopts.num_requests = 100;
+  auto requests = GenerateWorkload(*g, wopts);
+  ASSERT_TRUE(requests.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveRequests(*requests, buffer).ok());
+  auto loaded = LoadRequests(buffer, *g);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), requests->size());
+}
+
+TEST(TraceIoTest, SortsBySubmitTime) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  std::vector<Request> shuffled = SampleRequests();
+  std::swap(shuffled[0], shuffled[1]);  // out of order now
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveRequests(shuffled, buffer).ok());
+  auto loaded = LoadRequests(buffer, g);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_LE((*loaded)[0].submit_time, (*loaded)[1].submit_time);
+}
+
+TEST(TraceIoTest, CommentsIgnored) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  std::stringstream in;
+  in << "# preamble\n"
+     << "id,submit_time,start,destination,riders,max_wait_dist,epsilon\n"
+     << "# a comment between rows\n"
+     << "5,3.5,0,8,1,100,0.3\n";
+  auto loaded = LoadRequests(in, g);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].id, 5u);
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  std::stringstream in;
+  in << "wrong,header\n";
+  EXPECT_FALSE(LoadRequests(in, g).ok());
+}
+
+TEST(TraceIoTest, RejectsMalformedRow) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  std::stringstream in;
+  in << "id,submit_time,start,destination,riders,max_wait_dist,epsilon\n"
+     << "1,oops,0,8,1,100,0.3\n";
+  EXPECT_FALSE(LoadRequests(in, g).ok());
+}
+
+TEST(TraceIoTest, RejectsUnknownVertex) {
+  const RoadNetwork g = testing::MakeSmallGrid();  // 9 vertices
+  std::stringstream in;
+  in << "id,submit_time,start,destination,riders,max_wait_dist,epsilon\n"
+     << "1,2.0,0,99,1,100,0.3\n";
+  auto loaded = LoadRequests(in, g);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TraceIoTest, RejectsDegenerateTrip) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  std::stringstream in;
+  in << "id,submit_time,start,destination,riders,max_wait_dist,epsilon\n"
+     << "1,2.0,4,4,1,100,0.3\n";
+  EXPECT_FALSE(LoadRequests(in, g).ok());
+}
+
+TEST(TraceIoTest, RejectsInvalidParameters) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  for (const char* row :
+       {"1,2.0,0,8,0,100,0.3",     // zero riders
+        "1,2.0,0,8,1,-5,0.3",      // negative wait
+        "1,2.0,0,8,1,100,-0.1",    // negative epsilon
+        "1,-2.0,0,8,1,100,0.3"}) {  // negative submit time
+    std::stringstream in;
+    in << "id,submit_time,start,destination,riders,max_wait_dist,epsilon\n"
+       << row << "\n";
+    EXPECT_FALSE(LoadRequests(in, g).ok()) << row;
+  }
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  const std::string path = ::testing::TempDir() + "/ptar_trace_test.csv";
+  ASSERT_TRUE(SaveRequestsToFile(SampleRequests(), path).ok());
+  auto loaded = LoadRequestsFromFile(path, g);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  EXPECT_FALSE(LoadRequestsFromFile("/no/such/file.csv", g).ok());
+}
+
+}  // namespace
+}  // namespace ptar

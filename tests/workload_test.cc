@@ -1,0 +1,184 @@
+// Tests for the synthetic workload generator.
+
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace ptar {
+namespace {
+
+RoadNetwork City() {
+  GridCityOptions copts;
+  copts.rows = 15;
+  copts.cols = 15;
+  copts.seed = 4;
+  auto g = MakeGridCity(copts);
+  PTAR_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  const RoadNetwork g = City();
+  WorkloadOptions opts;
+  opts.num_requests = 123;
+  auto reqs = GenerateWorkload(g, opts);
+  ASSERT_TRUE(reqs.ok());
+  EXPECT_EQ(reqs->size(), 123u);
+}
+
+TEST(WorkloadTest, IdsSequentialAndTimesSorted) {
+  const RoadNetwork g = City();
+  WorkloadOptions opts;
+  opts.num_requests = 200;
+  opts.duration_seconds = 500.0;
+  auto reqs = GenerateWorkload(g, opts);
+  ASSERT_TRUE(reqs.ok());
+  for (std::size_t i = 0; i < reqs->size(); ++i) {
+    EXPECT_EQ((*reqs)[i].id, i);
+    EXPECT_GE((*reqs)[i].submit_time, 0.0);
+    EXPECT_LT((*reqs)[i].submit_time, 500.0);
+    if (i > 0) {
+      EXPECT_GE((*reqs)[i].submit_time, (*reqs)[i - 1].submit_time);
+    }
+  }
+}
+
+TEST(WorkloadTest, EndpointsValidAndDistinct) {
+  const RoadNetwork g = City();
+  WorkloadOptions opts;
+  opts.num_requests = 300;
+  auto reqs = GenerateWorkload(g, opts);
+  ASSERT_TRUE(reqs.ok());
+  for (const Request& r : *reqs) {
+    EXPECT_LT(r.start, g.num_vertices());
+    EXPECT_LT(r.destination, g.num_vertices());
+    EXPECT_NE(r.start, r.destination);
+  }
+}
+
+TEST(WorkloadTest, ParametersPropagate) {
+  const RoadNetwork g = City();
+  WorkloadOptions opts;
+  opts.num_requests = 10;
+  opts.riders = 3;
+  opts.waiting_minutes = 4.0;
+  opts.epsilon = 0.35;
+  opts.speed_mps = 10.0;
+  auto reqs = GenerateWorkload(g, opts);
+  ASSERT_TRUE(reqs.ok());
+  for (const Request& r : *reqs) {
+    EXPECT_EQ(r.riders, 3);
+    EXPECT_DOUBLE_EQ(r.max_wait_dist, 4.0 * 60.0 * 10.0);
+    EXPECT_DOUBLE_EQ(r.epsilon, 0.35);
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  const RoadNetwork g = City();
+  WorkloadOptions opts;
+  opts.num_requests = 50;
+  opts.seed = 99;
+  auto a = GenerateWorkload(g, opts);
+  auto b = GenerateWorkload(g, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].start, (*b)[i].start);
+    EXPECT_EQ((*a)[i].destination, (*b)[i].destination);
+    EXPECT_DOUBLE_EQ((*a)[i].submit_time, (*b)[i].submit_time);
+  }
+  opts.seed = 100;
+  auto c = GenerateWorkload(g, opts);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    if ((*a)[i].start != (*c)[i].start) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, HotspotsSkewSpatialDistribution) {
+  const RoadNetwork g = City();
+  WorkloadOptions hot;
+  hot.num_requests = 2000;
+  hot.num_hotspots = 2;
+  hot.hotspot_prob = 1.0;
+  hot.hotspot_stddev_meters = 150.0;
+  hot.seed = 5;
+  WorkloadOptions uniform = hot;
+  uniform.hotspot_prob = 0.0;
+  auto hreqs = GenerateWorkload(g, hot);
+  auto ureqs = GenerateWorkload(g, uniform);
+  ASSERT_TRUE(hreqs.ok() && ureqs.ok());
+  // Hotspot draws concentrate on far fewer distinct vertices.
+  std::set<VertexId> hot_starts;
+  std::set<VertexId> uni_starts;
+  for (const Request& r : *hreqs) hot_starts.insert(r.start);
+  for (const Request& r : *ureqs) uni_starts.insert(r.start);
+  EXPECT_LT(hot_starts.size(), uni_starts.size() / 2);
+}
+
+TEST(WorkloadTest, RushPeaksConcentrateArrivals) {
+  const RoadNetwork g = City();
+  WorkloadOptions peaked;
+  peaked.num_requests = 4000;
+  peaked.duration_seconds = 1000.0;
+  peaked.peak_sharpness = 8.0;
+  peaked.seed = 77;
+  auto reqs = GenerateWorkload(g, peaked);
+  ASSERT_TRUE(reqs.ok());
+  ASSERT_EQ(reqs->size(), 4000u);
+  // Count arrivals near the two peaks (30 % and 75 %) vs. the trough in
+  // between (~52 %). Window half-width 5 % of the duration.
+  auto count_in = [&](double center) {
+    std::size_t n = 0;
+    for (const Request& r : *reqs) {
+      if (std::abs(r.submit_time - center * 1000.0) <= 50.0) ++n;
+    }
+    return n;
+  };
+  const std::size_t peak1 = count_in(0.30);
+  const std::size_t peak2 = count_in(0.75);
+  const std::size_t trough = count_in(0.52);
+  EXPECT_GT(peak1, 3 * trough);
+  EXPECT_GT(peak2, 3 * trough);
+  // Sharpness 0 stays roughly flat.
+  WorkloadOptions flat = peaked;
+  flat.peak_sharpness = 0.0;
+  auto flat_reqs = GenerateWorkload(g, flat);
+  ASSERT_TRUE(flat_reqs.ok());
+  std::size_t flat_peak = 0;
+  std::size_t flat_trough = 0;
+  for (const Request& r : *flat_reqs) {
+    if (std::abs(r.submit_time - 300.0) <= 50.0) ++flat_peak;
+    if (std::abs(r.submit_time - 520.0) <= 50.0) ++flat_trough;
+  }
+  EXPECT_LT(flat_peak, 2 * flat_trough + 40);
+}
+
+TEST(WorkloadTest, ZeroRequestsIsEmpty) {
+  const RoadNetwork g = City();
+  WorkloadOptions opts;
+  opts.num_requests = 0;
+  auto reqs = GenerateWorkload(g, opts);
+  ASSERT_TRUE(reqs.ok());
+  EXPECT_TRUE(reqs->empty());
+}
+
+TEST(WorkloadTest, RejectsBadOptions) {
+  const RoadNetwork g = City();
+  WorkloadOptions opts;
+  opts.duration_seconds = -1.0;
+  EXPECT_FALSE(GenerateWorkload(g, opts).ok());
+  opts = WorkloadOptions{};
+  opts.riders = 0;
+  EXPECT_FALSE(GenerateWorkload(g, opts).ok());
+}
+
+}  // namespace
+}  // namespace ptar

@@ -1,0 +1,345 @@
+// ptar — command-line front end for the price-and-time-aware ridesharing
+// library.
+//
+// Subcommands:
+//   generate-network  synthesize a city and save it (ptar text format)
+//   info              print statistics of a saved network
+//   generate-requests synthesize a demand trace for a network (CSV)
+//   simulate          replay a trace against a fleet with BA/SSA/DSA
+//   match             answer one ad-hoc request and print the skyline
+//
+// Run `ptar <subcommand> --help` for per-command flags. All randomness is
+// seed-driven; identical invocations produce identical output.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "grid/grid_index.h"
+#include "rideshare/baseline_matcher.h"
+#include "rideshare/dsa_matcher.h"
+#include "rideshare/ssa_matcher.h"
+#include "sim/engine.h"
+#include "sim/trace_io.h"
+#include "sim/workload.h"
+
+namespace ptar::cli {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int FailUsage(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n(run 'ptar help' for usage)\n",
+               message.c_str());
+  return 2;
+}
+
+/// Rejects unrecognized flags (typo protection) after a command ran its
+/// accessors.
+int CheckUnused(const FlagParser& flags) {
+  const std::vector<std::string> unused = flags.UnusedFlags();
+  if (unused.empty()) return 0;
+  std::string joined;
+  for (const std::string& name : unused) joined += " --" + name;
+  return FailUsage("unknown flag(s):" + joined);
+}
+
+int Help() {
+  std::printf(
+      "ptar — price-and-time-aware dynamic ridesharing (ICDE 2018 "
+      "reproduction)\n\n"
+      "usage: ptar <command> [--flag=value ...]\n\n"
+      "commands:\n"
+      "  generate-network --out=FILE [--style=grid|ring] [--rows=N]\n"
+      "      [--cols=N] [--spacing=M] [--rings=N] [--spokes=N] [--seed=N]\n"
+      "  info --network=FILE\n"
+      "  generate-requests --network=FILE --out=FILE [--count=N]\n"
+      "      [--duration=SEC] [--riders=N] [--wait-min=MIN] [--epsilon=E]\n"
+      "      [--hotspots=N] [--seed=N]\n"
+      "  simulate --network=FILE --requests=FILE [--vehicles=N]\n"
+      "      [--capacity=N] [--cell-size=M] [--adaptive] [--fraction=F]\n"
+      "      [--policy=price|time|balanced|random] [--shadow] [--seed=N]\n"
+      "  match --network=FILE --from=V --to=V [--riders=N] [--wait-min=MIN]\n"
+      "      [--epsilon=E] [--vehicles=N] [--cell-size=M] [--seed=N]\n"
+      "  help\n");
+  return 0;
+}
+
+int GenerateNetwork(const FlagParser& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return FailUsage("generate-network requires --out=FILE");
+  const std::string style = flags.GetString("style", "grid");
+  const auto seed = flags.GetInt("seed", 42);
+  if (!seed.ok()) return Fail(seed.status());
+
+  StatusOr<RoadNetwork> graph = Status::Internal("unset");
+  if (style == "grid") {
+    GridCityOptions opts;
+    const auto rows = flags.GetInt("rows", 40);
+    const auto cols = flags.GetInt("cols", 40);
+    const auto spacing = flags.GetDouble("spacing", 120.0);
+    if (!rows.ok()) return Fail(rows.status());
+    if (!cols.ok()) return Fail(cols.status());
+    if (!spacing.ok()) return Fail(spacing.status());
+    opts.rows = static_cast<int>(*rows);
+    opts.cols = static_cast<int>(*cols);
+    opts.spacing_meters = *spacing;
+    opts.seed = static_cast<std::uint64_t>(*seed);
+    graph = MakeGridCity(opts);
+  } else if (style == "ring") {
+    RingRadialCityOptions opts;
+    const auto rings = flags.GetInt("rings", 16);
+    const auto spokes = flags.GetInt("spokes", 32);
+    if (!rings.ok()) return Fail(rings.status());
+    if (!spokes.ok()) return Fail(spokes.status());
+    opts.rings = static_cast<int>(*rings);
+    opts.spokes = static_cast<int>(*spokes);
+    opts.seed = static_cast<std::uint64_t>(*seed);
+    graph = MakeRingRadialCity(opts);
+  } else {
+    return FailUsage("--style must be 'grid' or 'ring'");
+  }
+  if (const int rc = CheckUnused(flags); rc != 0) return rc;
+  if (!graph.ok()) return Fail(graph.status());
+  if (const Status st = SaveNetworkToFile(*graph, out); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %s: %zu vertices, %zu edges\n", out.c_str(),
+              graph->num_vertices(), graph->num_edges());
+  return 0;
+}
+
+int Info(const FlagParser& flags) {
+  const std::string path = flags.GetString("network", "");
+  if (path.empty()) return FailUsage("info requires --network=FILE");
+  if (const int rc = CheckUnused(flags); rc != 0) return rc;
+  auto graph = LoadNetworkFromFile(path);
+  if (!graph.ok()) return Fail(graph.status());
+  std::printf("network: %zu vertices, %zu edges, %s, %.2f MB in memory\n",
+              graph->num_vertices(), graph->num_edges(),
+              IsConnected(*graph) ? "connected" : "NOT connected",
+              graph->MemoryBytes() / 1048576.0);
+  Distance total = 0;
+  Distance longest = 0;
+  for (EdgeId e = 0; e < graph->num_edges(); ++e) {
+    total += graph->EdgeWeight(e);
+    longest = std::max(longest, graph->EdgeWeight(e));
+  }
+  std::printf("road length: %.1f km total, %.0f m mean segment, %.0f m "
+              "longest segment\n", total / 1000.0,
+              graph->num_edges() ? total / graph->num_edges() : 0.0,
+              longest);
+  return 0;
+}
+
+int GenerateRequests(const FlagParser& flags) {
+  const std::string network = flags.GetString("network", "");
+  const std::string out = flags.GetString("out", "");
+  if (network.empty() || out.empty()) {
+    return FailUsage("generate-requests requires --network=FILE --out=FILE");
+  }
+  auto graph = LoadNetworkFromFile(network);
+  if (!graph.ok()) return Fail(graph.status());
+
+  WorkloadOptions opts;
+  const auto count = flags.GetInt("count", 200);
+  const auto duration = flags.GetDouble("duration", 1800.0);
+  const auto riders = flags.GetInt("riders", 1);
+  const auto wait = flags.GetDouble("wait-min", 2.0);
+  const auto epsilon = flags.GetDouble("epsilon", 0.2);
+  const auto hotspots = flags.GetInt("hotspots", 4);
+  const auto seed = flags.GetInt("seed", 7);
+  for (const Status& st :
+       {count.status(), duration.status(), riders.status(), wait.status(),
+        epsilon.status(), hotspots.status(), seed.status()}) {
+    if (!st.ok()) return Fail(st);
+  }
+  if (const int rc = CheckUnused(flags); rc != 0) return rc;
+  opts.num_requests = static_cast<std::size_t>(*count);
+  opts.duration_seconds = *duration;
+  opts.riders = static_cast<int>(*riders);
+  opts.waiting_minutes = *wait;
+  opts.epsilon = *epsilon;
+  opts.num_hotspots = static_cast<int>(*hotspots);
+  opts.seed = static_cast<std::uint64_t>(*seed);
+
+  auto requests = GenerateWorkload(*graph, opts);
+  if (!requests.ok()) return Fail(requests.status());
+  if (const Status st = SaveRequestsToFile(*requests, out); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %s: %zu requests over %.0f s\n", out.c_str(),
+              requests->size(), opts.duration_seconds);
+  return 0;
+}
+
+StatusOr<ChoicePolicy> ParsePolicy(const std::string& name) {
+  if (name == "price") return ChoicePolicy::kMinPrice;
+  if (name == "time") return ChoicePolicy::kMinTime;
+  if (name == "balanced") return ChoicePolicy::kBalanced;
+  if (name == "random") return ChoicePolicy::kRandom;
+  return Status::InvalidArgument(
+      "--policy must be price|time|balanced|random");
+}
+
+int Simulate(const FlagParser& flags) {
+  const std::string network = flags.GetString("network", "");
+  const std::string trace = flags.GetString("requests", "");
+  if (network.empty() || trace.empty()) {
+    return FailUsage("simulate requires --network=FILE --requests=FILE");
+  }
+  auto graph = LoadNetworkFromFile(network);
+  if (!graph.ok()) return Fail(graph.status());
+  auto requests = LoadRequestsFromFile(trace, *graph);
+  if (!requests.ok()) return Fail(requests.status());
+
+  const auto vehicles = flags.GetInt("vehicles", 400);
+  const auto capacity = flags.GetInt("capacity", 4);
+  const auto cell_size = flags.GetDouble("cell-size", 300.0);
+  const auto fraction = flags.GetDouble("fraction", 0.16);
+  const auto seed = flags.GetInt("seed", 13);
+  const auto shadow = flags.GetBool("shadow", false);
+  const bool adaptive = flags.Has("adaptive");
+  const auto policy = ParsePolicy(flags.GetString("policy", "price"));
+  for (const Status& st :
+       {vehicles.status(), capacity.status(), cell_size.status(),
+        fraction.status(), seed.status(), shadow.status(),
+        policy.status()}) {
+    if (!st.ok()) return Fail(st);
+  }
+  if (const int rc = CheckUnused(flags); rc != 0) return rc;
+
+  StatusOr<GridIndex> grid =
+      adaptive ? GridIndex::BuildAdaptive(&*graph, {})
+               : GridIndex::Build(&*graph,
+                                  {.cell_size_meters = *cell_size});
+  if (!grid.ok()) return Fail(grid.status());
+
+  EngineOptions eopts;
+  eopts.num_vehicles = static_cast<int>(*vehicles);
+  eopts.vehicle_capacity = static_cast<int>(*capacity);
+  eopts.policy = *policy;
+  eopts.seed = static_cast<std::uint64_t>(*seed);
+  Engine engine(&*graph, &*grid, eopts);
+
+  BaselineMatcher ba;
+  SsaMatcher ssa(*fraction);
+  DsaMatcher dsa(*fraction);
+  std::vector<Matcher*> matchers;
+  if (*shadow) {
+    matchers = {&ba, &ssa, &dsa};  // exact commits, all three measured
+  } else {
+    matchers = {&ssa};  // production setup: SSA commits
+  }
+
+  std::printf("simulating %zu requests, %d vehicles, %zu cells (%s)...\n",
+              requests->size(), eopts.num_vehicles,
+              grid->num_active_cells(), adaptive ? "quadtree" : "uniform");
+  const RunStats stats = engine.Run(*requests, matchers);
+
+  std::printf("\n%-5s %10s %10s %10s %10s %12s %9s %10s %8s\n", "algo",
+              "mean(ms)", "p50(ms)", "p95(ms)", "verified", "compdists",
+              "options", "precision", "recall");
+  for (const MatcherAggregate& agg : stats.matchers) {
+    std::printf("%-5s %10.3f %10.3f %10.3f %10.1f %12.1f %9.2f %10.4f "
+                "%8.4f\n",
+                agg.name.c_str(), agg.MeanMillis(),
+                agg.latency_ms.Percentile(50), agg.latency_ms.Percentile(95),
+                agg.MeanVerified(), agg.MeanCompdists(), agg.MeanOptions(),
+                agg.MeanPrecision(), agg.MeanRecall());
+  }
+  std::printf("\nserved %llu / %zu, sharing rate %.3f, kinetic trees "
+              "%.3f MB, grid %.3f MB\n",
+              static_cast<unsigned long long>(stats.served),
+              requests->size(), stats.SharingRate(),
+              engine.KineticTreeMemoryBytes() / 1048576.0,
+              grid->MemoryBytes() / 1048576.0);
+  return 0;
+}
+
+int MatchOne(const FlagParser& flags) {
+  const std::string network = flags.GetString("network", "");
+  if (network.empty() || !flags.Has("from") || !flags.Has("to")) {
+    return FailUsage("match requires --network=FILE --from=V --to=V");
+  }
+  auto graph = LoadNetworkFromFile(network);
+  if (!graph.ok()) return Fail(graph.status());
+
+  const auto from = flags.GetInt("from", 0);
+  const auto to = flags.GetInt("to", 0);
+  const auto riders = flags.GetInt("riders", 1);
+  const auto wait = flags.GetDouble("wait-min", 3.0);
+  const auto epsilon = flags.GetDouble("epsilon", 0.3);
+  const auto vehicles = flags.GetInt("vehicles", 200);
+  const auto cell_size = flags.GetDouble("cell-size", 300.0);
+  const auto seed = flags.GetInt("seed", 13);
+  for (const Status& st :
+       {from.status(), to.status(), riders.status(), wait.status(),
+        epsilon.status(), vehicles.status(), cell_size.status(),
+        seed.status()}) {
+    if (!st.ok()) return Fail(st);
+  }
+  if (const int rc = CheckUnused(flags); rc != 0) return rc;
+  if (!graph->IsValidVertex(static_cast<VertexId>(*from)) ||
+      !graph->IsValidVertex(static_cast<VertexId>(*to)) || *from == *to) {
+    return FailUsage("--from/--to must be distinct vertices of the network");
+  }
+
+  auto grid = GridIndex::Build(&*graph, {.cell_size_meters = *cell_size});
+  if (!grid.ok()) return Fail(grid.status());
+  EngineOptions eopts;
+  eopts.num_vehicles = static_cast<int>(*vehicles);
+  eopts.seed = static_cast<std::uint64_t>(*seed);
+  Engine engine(&*graph, &*grid, eopts);
+  // Let the random fleet spread out a little before asking.
+  engine.AdvanceTo(120.0);
+
+  Request request;
+  request.id = 0;
+  request.start = static_cast<VertexId>(*from);
+  request.destination = static_cast<VertexId>(*to);
+  request.riders = static_cast<int>(*riders);
+  request.max_wait_dist = *wait * 60.0 * kDefaultSpeedMetersPerSec;
+  request.epsilon = *epsilon;
+  request.submit_time = engine.now();
+
+  BaselineMatcher exact;
+  std::vector<Matcher*> matchers = {&exact};
+  const auto outcome = engine.ProcessRequest(request, matchers);
+  std::printf("%zu non-dominated option(s) for %lld -> %lld (%lld riders):\n",
+              outcome.results[0].options.size(),
+              static_cast<long long>(*from), static_cast<long long>(*to),
+              static_cast<long long>(*riders));
+  for (const Option& o : outcome.results[0].options) {
+    std::printf("  vehicle %-5u pickup %7.0f m (%5.1f min)   price %10.2f\n",
+                o.vehicle, o.pickup_dist,
+                o.pickup_dist / kDefaultSpeedMetersPerSec / 60.0, o.price);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Help();
+  const std::string command = argv[1];
+  auto flags = FlagParser::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) return Fail(flags.status());
+
+  if (command == "help" || command == "--help") return Help();
+  if (command == "generate-network") return GenerateNetwork(*flags);
+  if (command == "info") return Info(*flags);
+  if (command == "generate-requests") return GenerateRequests(*flags);
+  if (command == "simulate") return Simulate(*flags);
+  if (command == "match") return MatchOne(*flags);
+  return FailUsage("unknown command '" + command + "'");
+}
+
+}  // namespace
+}  // namespace ptar::cli
+
+int main(int argc, char** argv) { return ptar::cli::Main(argc, argv); }
