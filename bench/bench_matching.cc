@@ -1,0 +1,41 @@
+// End-to-end matching cost tracker. Runs the standard BA / SSA / DSA trio on
+// the base configuration, serially and with a 4-thread pool, and writes the
+// results to BENCH_matching.json so successive revisions of the hot path can
+// be compared by tooling. The two rows also double as a quick determinism
+// smoke check: all non-timing columns must match between them.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ptar::bench;
+
+  PrintBanner("bench_matching",
+              "end-to-end matching cost, serial vs thread pool");
+
+  BenchConfig cfg;
+  Harness harness(cfg);
+
+  std::vector<BenchRow> rows;
+  PrintCostHeader("threads");
+  {
+    BenchConfig serial = cfg;
+    serial.threads = 1;
+    rows.push_back(harness.Run(serial, "threads=1"));
+    PrintCostRow("1", rows.back());
+  }
+  {
+    BenchConfig pooled = cfg;
+    pooled.threads = 4;
+    rows.push_back(harness.Run(pooled, "threads=4"));
+    PrintCostRow("4", rows.back());
+  }
+
+  if (!WriteMatchingJson("BENCH_matching.json", rows)) {
+    std::fprintf(stderr, "failed to write BENCH_matching.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_matching.json\n");
+  return 0;
+}

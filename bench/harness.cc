@@ -64,6 +64,7 @@ BenchRow Harness::RunWith(const BenchConfig& cfg, const std::string& label,
   eopts.num_vehicles = cfg.num_vehicles;
   eopts.vehicle_capacity = cfg.vehicle_capacity;
   eopts.seed = cfg.engine_seed;
+  eopts.threads = cfg.threads;
   Engine engine(&graph_, &grid, eopts);
 
   BenchRow row;
@@ -85,6 +86,47 @@ void PrintCostRow(const std::string& param_value, const BenchRow& row) {
                 param_value.c_str(), agg.name.c_str(), agg.MeanMillis(),
                 agg.MeanVerified(), agg.MeanCompdists(), agg.MeanOptions());
   }
+}
+
+bool WriteMatchingJson(const std::string& path,
+                       const std::vector<BenchRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmark\": \"matching\",\n  \"rows\": [\n");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const BenchRow& row = rows[r];
+    std::fprintf(f,
+                 "    {\n      \"label\": \"%s\",\n"
+                 "      \"served\": %llu,\n"
+                 "      \"unserved\": %llu,\n"
+                 "      \"shared\": %llu,\n"
+                 "      \"matchers\": [\n",
+                 row.label.c_str(),
+                 static_cast<unsigned long long>(row.stats.served),
+                 static_cast<unsigned long long>(row.stats.unserved),
+                 static_cast<unsigned long long>(row.stats.shared));
+    for (std::size_t m = 0; m < row.stats.matchers.size(); ++m) {
+      const MatcherAggregate& agg = row.stats.matchers[m];
+      std::fprintf(
+          f,
+          "        {\"name\": \"%s\", \"requests\": %llu, "
+          "\"mean_ms\": %.6f, \"mean_compdists\": %.3f, "
+          "\"mean_verified\": %.3f, \"mean_options\": %.3f, "
+          "\"total_compdists\": %llu, \"total_verified\": %llu, "
+          "\"precision\": %.6f, \"recall\": %.6f}%s\n",
+          agg.name.c_str(), static_cast<unsigned long long>(agg.requests),
+          agg.MeanMillis(), agg.MeanCompdists(), agg.MeanVerified(),
+          agg.MeanOptions(),
+          static_cast<unsigned long long>(agg.totals.compdists),
+          static_cast<unsigned long long>(agg.totals.verified_vehicles),
+          agg.MeanPrecision(), agg.MeanRecall(),
+          m + 1 < row.stats.matchers.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
 }
 
 void PrintBanner(const std::string& experiment, const std::string& what) {

@@ -46,6 +46,8 @@ struct BenchConfig {
   double verified_grid_fraction = 0.16;
   std::uint64_t workload_seed = 7;
   std::uint64_t engine_seed = 13;
+  /// Worker threads for shadow-matcher evaluation (EngineOptions::threads).
+  int threads = 1;
 };
 
 struct BenchRow {
@@ -86,6 +88,14 @@ void PrintCostRow(const std::string& param_value, const BenchRow& row);
 
 /// Frees benches from duplicating the figure banner boilerplate.
 void PrintBanner(const std::string& experiment, const std::string& what);
+
+/// Writes the rows as machine-readable JSON (one object per row: label,
+/// served/unserved/shared counts, and per-matcher mean ms / compdists /
+/// verified / options plus precision and recall) so successive runs of the
+/// bench suite can be diffed by tooling. Returns false if the file cannot
+/// be written.
+bool WriteMatchingJson(const std::string& path,
+                       const std::vector<BenchRow>& rows);
 
 }  // namespace ptar::bench
 

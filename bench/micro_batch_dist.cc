@@ -1,0 +1,121 @@
+// Micro-benchmark: one batched one-to-many sweep (DistanceOracle::BatchDist)
+// vs the equivalent sequence of point-to-point Dist calls, on the standard
+// synthetic grid city. Targets are uniform random vertices, a pessimistic
+// stand-in for a request's candidate batch (real candidate sets cluster
+// around the request's start cell, which favors the sweep further).
+//
+// Startup verifies that both paths return bit-identical distances and count
+// identical compdists before any timing runs.
+
+#include <cstdio>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "graph/distance_oracle.h"
+#include "graph/generators.h"
+
+namespace ptar {
+namespace {
+
+const RoadNetwork& City() {
+  static const RoadNetwork* city = [] {
+    GridCityOptions opts;
+    opts.rows = 40;
+    opts.cols = 40;
+    opts.spacing_meters = 120.0;
+    opts.seed = 42;
+    auto built = MakeGridCity(opts);
+    PTAR_CHECK(built.ok()) << built.status();
+    return new RoadNetwork(std::move(built).value());
+  }();
+  return *city;
+}
+
+std::vector<VertexId> PickTargets(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> targets;
+  targets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    targets.push_back(
+        static_cast<VertexId>(rng.UniformIndex(City().num_vertices())));
+  }
+  return targets;
+}
+
+VertexId PickSource() {
+  return static_cast<VertexId>(City().num_vertices() / 2);
+}
+
+void BM_SerialDist(benchmark::State& state) {
+  const auto targets =
+      PickTargets(static_cast<std::size_t>(state.range(0)), 7);
+  const VertexId source = PickSource();
+  DistanceOracle oracle(&City());
+  for (auto _ : state) {
+    oracle.ClearCache();
+    Distance sum = 0.0;
+    for (const VertexId t : targets) sum += oracle.Dist(source, t);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(targets.size()));
+}
+BENCHMARK(BM_SerialDist)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_BatchDist(benchmark::State& state) {
+  const auto targets =
+      PickTargets(static_cast<std::size_t>(state.range(0)), 7);
+  const VertexId source = PickSource();
+  DistanceOracle oracle(&City());
+  std::vector<Distance> dists;
+  for (auto _ : state) {
+    oracle.ClearCache();
+    oracle.BatchDist(source, targets, &dists);
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(targets.size()));
+}
+BENCHMARK(BM_BatchDist)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+/// The acceptance bar for the batch path: identical bits, identical
+/// compdists, for every benchmarked batch size.
+void VerifyBatchMatchesSerial() {
+  const VertexId source = PickSource();
+  for (const std::size_t n : {8u, 32u, 128u, 512u}) {
+    const auto targets = PickTargets(n, 7);
+    DistanceOracle serial(&City());
+    DistanceOracle batched(&City());
+    std::vector<Distance> expected;
+    expected.reserve(n);
+    for (const VertexId t : targets) {
+      expected.push_back(serial.Dist(source, t));
+    }
+    std::vector<Distance> got;
+    batched.BatchDist(source, targets, &got);
+    PTAR_CHECK(got.size() == expected.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      PTAR_CHECK(got[i] == expected[i])
+          << "bit mismatch at target " << i << " (n=" << n << ")";
+    }
+    PTAR_CHECK(batched.compdists() == serial.compdists())
+        << "compdist mismatch at n=" << n;
+  }
+  std::printf("verified: BatchDist == serial Dist (bits and compdists) "
+              "for n in {8, 32, 128, 512}\n");
+}
+
+}  // namespace
+}  // namespace ptar
+
+int main(int argc, char** argv) {
+  ptar::VerifyBatchMatchesSerial();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,42 @@
 
 namespace ptar {
 
+/// Instrumentation for batched one-to-many distance queries
+/// (DistanceOracle::BatchDist / WarmFrom). Tracks how well the batching
+/// amortizes Dijkstra sweeps: one sweep serving k pairs replaces k
+/// point-to-point searches. compdists accounting is separate and unchanged
+/// by batching; these counters only describe *how* pairs were produced.
+struct BatchStats {
+  /// BatchDist invocations (WarmFrom calls are counted via sweeps only).
+  std::uint64_t batch_calls = 0;
+  /// One-to-many Dijkstra sweeps actually run (0-target batches run none).
+  std::uint64_t sweeps = 0;
+  /// Total pairs requested across all BatchDist calls (incl. duplicates).
+  std::uint64_t pairs_requested = 0;
+  /// Pairs answered from the memo cache without any search.
+  std::uint64_t pairs_from_cache = 0;
+  /// Pairs settled by a one-to-many sweep (each counted one compdist).
+  std::uint64_t pairs_swept = 0;
+  /// Dist() calls served from a WarmFrom prefetch (counted one compdist at
+  /// that moment, exactly when an unbatched run would have computed them).
+  std::uint64_t warm_hits = 0;
+
+  double MeanPairsPerSweep() const {
+    return sweeps == 0 ? 0.0
+                       : static_cast<double>(pairs_swept) /
+                             static_cast<double>(sweeps);
+  }
+
+  void MergeFrom(const BatchStats& other) {
+    batch_calls += other.batch_calls;
+    sweeps += other.sweeps;
+    pairs_requested += other.pairs_requested;
+    pairs_from_cache += other.pairs_from_cache;
+    pairs_swept += other.pairs_swept;
+    warm_hits += other.warm_hits;
+  }
+};
+
 /// A bag of named monotonically increasing counters. Not thread-safe; each
 /// matcher / engine owns its own set.
 class CounterSet {

@@ -1,0 +1,52 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ptar {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(
+        [this](std::stop_token stop) { Worker(std::move(stop)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (std::jthread& w : workers_) w.request_stop();
+  cv_.notify_all();
+  // std::jthread joins on destruction.
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  PTAR_CHECK(fn != nullptr);
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::Worker(std::stop_token stop) {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait(lock, stop, [this] { return !queue_.empty(); })) {
+        return;  // stop requested and queue empty
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace ptar

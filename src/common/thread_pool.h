@@ -1,0 +1,56 @@
+// Fixed-size thread pool for evaluating independent shadow matchers.
+//
+// Deliberately minimal: a single mutex-guarded FIFO queue drained by N
+// std::jthread workers, no work stealing, no task priorities. The engine
+// submits a handful of coarse tasks per request (one per matcher), so a
+// simple queue is contention-free in practice and keeps the execution order
+// — and therefore every scheduling-independent result — easy to reason
+// about. Determinism note: tasks may *finish* in any order; callers that
+// need deterministic output must write results into pre-assigned slots and
+// join via the returned futures.
+
+#ifndef PTAR_COMMON_THREAD_POOL_H_
+#define PTAR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptar {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Requests stop and joins all workers. Tasks already dequeued run to
+  /// completion; queued-but-unstarted tasks are abandoned (their futures
+  /// are broken), so callers should drain their futures before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future that becomes ready when it finishes.
+  /// Exceptions thrown by `fn` propagate through future::get().
+  std::future<void> Submit(std::function<void()> fn);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void Worker(std::stop_token stop);
+
+  std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::jthread> workers_;  // last member: joins before teardown
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_COMMON_THREAD_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace ptar {
 
 Distance DistanceOracle::Dist(VertexId a, VertexId b) {
@@ -9,14 +11,102 @@ Distance DistanceOracle::Dist(VertexId a, VertexId b) {
   const std::uint64_t key = Key(a, b);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
-  // Always search from the smaller id: dist(a, b) and dist(b, a) are equal
-  // mathematically but can differ in the last ulp (different float
-  // summation order), and callers compare prices for exact dominance ties.
-  // A canonical direction makes every caller see bit-identical values.
-  const Distance d = engine_.PointToPoint(std::min(a, b), std::max(a, b));
+  if (!warm_.empty()) {
+    auto wit = warm_.find(key);
+    if (wit != warm_.end()) {
+      // Promote a prefetched pair: this is the moment an unbatched run
+      // would have computed it, so this is the moment it counts.
+      ++compdists_;
+      ++batch_stats_.warm_hits;
+      cache_.emplace(key, wit->second);
+      return wit->second;
+    }
+  }
+  const Distance d = engine_.PointToPoint(a, b);
   ++compdists_;
   cache_.emplace(key, d);
   return d;
+}
+
+void DistanceOracle::BatchDist(VertexId source,
+                               std::span<const VertexId> targets,
+                               std::vector<Distance>* out) {
+  ++batch_stats_.batch_calls;
+  batch_stats_.pairs_requested += targets.size();
+  out->clear();
+  out->resize(targets.size(), kInfDistance);
+
+  // Pass 1: serve what the cache (or warm store) already has and collect the
+  // distinct pairs that genuinely need a search.
+  sweep_targets_.clear();
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const VertexId t = targets[i];
+    if (t == source) {
+      (*out)[i] = 0.0;
+      continue;
+    }
+    const std::uint64_t key = Key(source, t);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      (*out)[i] = it->second;
+      ++batch_stats_.pairs_from_cache;
+      continue;
+    }
+    if (auto wit = warm_.find(key); wit != warm_.end()) {
+      // Same promotion rule as Dist(): counted on first real use.
+      ++compdists_;
+      ++batch_stats_.warm_hits;
+      cache_.emplace(key, wit->second);
+      (*out)[i] = wit->second;
+      continue;
+    }
+    // Mark as pending so a duplicate later in `targets` is not swept (or
+    // counted) twice; resolved in pass 2.
+    if (cache_.emplace(key, kInfDistance).second) {
+      sweep_targets_.push_back(t);
+    }
+  }
+
+  if (!sweep_targets_.empty()) {
+    // One sweep settles every pending target with bit-identical values to
+    // per-target PointToPoint(source, t) runs: Dijkstra's heap evolution up
+    // to each settlement is independent of the stopping rule.
+    engine_.SingleSourceToTargets(source, sweep_targets_);
+    ++batch_stats_.sweeps;
+    batch_stats_.pairs_swept += sweep_targets_.size();
+    compdists_ += sweep_targets_.size();
+    for (const VertexId t : sweep_targets_) {
+      cache_[Key(source, t)] = engine_.Dist(t);
+    }
+  }
+
+  // Pass 2: fill the slots that were pending (including duplicates).
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const VertexId t = targets[i];
+    if (t == source || (*out)[i] != kInfDistance) continue;
+    const auto it = cache_.find(Key(source, t));
+    PTAR_DCHECK(it != cache_.end());
+    (*out)[i] = it->second;
+  }
+}
+
+void DistanceOracle::WarmFrom(VertexId source,
+                              std::span<const VertexId> targets) {
+  sweep_targets_.clear();
+  for (const VertexId t : targets) {
+    if (t == source) continue;
+    const std::uint64_t key = Key(source, t);
+    if (cache_.contains(key)) continue;
+    // emplace doubles as the dedup check within this batch.
+    if (warm_.emplace(key, kInfDistance).second) {
+      sweep_targets_.push_back(t);
+    }
+  }
+  if (sweep_targets_.empty()) return;
+  engine_.SingleSourceToTargets(source, sweep_targets_);
+  ++batch_stats_.sweeps;
+  for (const VertexId t : sweep_targets_) {
+    warm_[Key(source, t)] = engine_.Dist(t);
+  }
 }
 
 std::vector<VertexId> DistanceOracle::Path(VertexId a, VertexId b) {

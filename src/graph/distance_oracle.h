@@ -6,13 +6,34 @@
 // is uniform across BA / SSA / DSA. A per-oracle memo cache means a pair is
 // computed (and counted) at most once until the cache is cleared; matchers
 // clear it per request.
+//
+// Bit-determinism contract: within one cache epoch (between ClearCache
+// calls) every query for a pair returns the exact same double, because the
+// first computation is memoized under a symmetric key. The value is the
+// Dijkstra result in the direction the pair was first asked, which is itself
+// deterministic for a deterministic query sequence. BatchDist(s, ts)
+// preserves this bit-for-bit: a Dijkstra sweep from s settles every target
+// with exactly the value PointToPoint(s, t) would produce, because the heap
+// evolution up to t's settlement does not depend on the stopping rule.
+//
+// Two tiers of batching:
+//  - BatchDist: for pairs the caller is *guaranteed* to need. Counts one
+//    compdist per uncached pair, exactly like the equivalent serial Dist
+//    calls, so the paper's Section VII accounting is unchanged.
+//  - WarmFrom: speculative prefetch for pairs a pruning hook may skip.
+//    Sweeps the targets but parks the results in an uncounted side store;
+//    Dist() promotes a warmed pair into the real cache and counts it at
+//    that moment — the same moment a serial run would have computed it.
 
 #ifndef PTAR_GRAPH_DISTANCE_ORACLE_H_
 #define PTAR_GRAPH_DISTANCE_ORACLE_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
+#include "common/counters.h"
 #include "graph/dijkstra.h"
 #include "graph/road_network.h"
 #include "graph/types.h"
@@ -21,8 +42,15 @@ namespace ptar {
 
 class DistanceOracle {
  public:
+  /// Expected live pairs per request; used to pre-size the memo cache so the
+  /// per-request fill never rehashes.
+  static constexpr std::size_t kDefaultCacheReserve = 1024;
+
   explicit DistanceOracle(const RoadNetwork* graph)
-      : graph_(graph), engine_(graph) {}
+      : graph_(graph), engine_(graph) {
+    cache_.reserve(kDefaultCacheReserve);
+    warm_.reserve(kDefaultCacheReserve);
+  }
 
   DistanceOracle(const DistanceOracle&) = delete;
   DistanceOracle& operator=(const DistanceOracle&) = delete;
@@ -30,6 +58,23 @@ class DistanceOracle {
   /// Exact shortest-path distance between a and b (undirected, so symmetric).
   /// Counts one compdist unless the pair is already cached.
   Distance Dist(VertexId a, VertexId b);
+
+  /// Distances from `source` to every target, in target order, via (at most)
+  /// one one-to-many Dijkstra sweep. Semantically identical — including
+  /// compdist accounting and returned bits — to calling Dist(source, t) for
+  /// each t in order: cached pairs are served from the cache, every distinct
+  /// uncached pair counts exactly one compdist, duplicates count once, and
+  /// source==target pairs are 0.0 and free. `out` is resized to
+  /// targets.size().
+  void BatchDist(VertexId source, std::span<const VertexId> targets,
+                 std::vector<Distance>* out);
+
+  /// Speculative prefetch: one sweep from `source` covering every target not
+  /// already cached or warmed. Counts **no** compdists and does not populate
+  /// the memo cache; results wait in a side store until a Dist() call
+  /// promotes (and counts) them. Safe to over-approximate the target set —
+  /// pairs never asked for are never counted.
+  void WarmFrom(VertexId source, std::span<const VertexId> targets);
 
   /// Shortest path (vertex sequence) between a and b. Counts one compdist and
   /// caches the endpoint distance.
@@ -40,14 +85,27 @@ class DistanceOracle {
   std::uint64_t compdists() const { return compdists_; }
   void ResetStats() { compdists_ = 0; }
 
-  /// Drops all memoized pairs (typically between requests).
-  void ClearCache() { cache_.clear(); }
+  /// Batching instrumentation (sweeps run, pairs per sweep, warm hits).
+  const BatchStats& batch_stats() const { return batch_stats_; }
+  void ResetBatchStats() { batch_stats_ = BatchStats{}; }
+
+  /// Drops all memoized pairs (typically between requests) but keeps the
+  /// tables' bucket capacity, so steady-state request processing does not
+  /// rehash every request.
+  void ClearCache() {
+    cache_.clear();
+    warm_.clear();
+  }
   std::size_t cache_size() const { return cache_.size(); }
+  std::size_t cache_bucket_count() const { return cache_.bucket_count(); }
 
   const RoadNetwork& graph() const { return *graph_; }
 
  private:
   static std::uint64_t Key(VertexId a, VertexId b) {
+    static_assert(sizeof(VertexId) <= sizeof(std::uint32_t),
+                  "Key() packs two VertexIds into 64 bits; widen the key "
+                  "before widening VertexId");
     if (a > b) std::swap(a, b);
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
@@ -55,7 +113,13 @@ class DistanceOracle {
   const RoadNetwork* graph_;
   DijkstraEngine engine_;
   std::unordered_map<std::uint64_t, Distance> cache_;
+  /// Uncounted prefetch results from WarmFrom; promoted into cache_ (and
+  /// counted) on first Dist() use.
+  std::unordered_map<std::uint64_t, Distance> warm_;
   std::uint64_t compdists_ = 0;
+  BatchStats batch_stats_;
+  /// Scratch for BatchDist/WarmFrom (avoids per-call allocation).
+  std::vector<VertexId> sweep_targets_;
 };
 
 }  // namespace ptar

@@ -114,32 +114,40 @@ std::span<const KineticEdgeEntry> VehicleRegistry::NonEmptyEntries(
   return state->edges;
 }
 
+void VehicleRegistry::RebuildAggregates(CellId cell,
+                                        const CellState& state) const {
+  CellAggregates agg;
+  for (const KineticEdgeEntry& entry : state.edges) {
+    agg.any = true;
+    agg.has_tail = agg.has_tail || entry.tail;
+    agg.max_capacity = std::max(agg.max_capacity, entry.capacity);
+    agg.max_detour = std::max(agg.max_detour, entry.detour);
+    // Triangle-inequality corrections for endpoints outside this cell
+    // (see the CellAggregates contract in the header).
+    const bool ox_in = grid_->CellOfVertex(entry.ox) == cell;
+    const bool oy_in = !entry.tail && grid_->CellOfVertex(entry.oy) == cell;
+    const Distance adj_dist_tr =
+        entry.dist_tr - (ox_in ? 0.0 : entry.leg_dist);
+    const int endpoints_in = (ox_in ? 1 : 0) + (oy_in ? 1 : 0);
+    const Distance adj_leg = (3 - endpoints_in) * entry.leg_dist;
+    agg.min_dist_tr = std::min(agg.min_dist_tr, adj_dist_tr);
+    agg.max_leg_dist = std::max(agg.max_leg_dist, adj_leg);
+  }
+  state.aggregates = agg;
+  state.aggregates_dirty = false;
+}
+
 const CellAggregates& VehicleRegistry::Aggregates(CellId cell) const {
   const CellState* state = FindState(cell);
   if (state == nullptr) return kEmptyAggregates;
-  if (state->aggregates_dirty) {
-    CellAggregates agg;
-    for (const KineticEdgeEntry& entry : state->edges) {
-      agg.any = true;
-      agg.has_tail = agg.has_tail || entry.tail;
-      agg.max_capacity = std::max(agg.max_capacity, entry.capacity);
-      agg.max_detour = std::max(agg.max_detour, entry.detour);
-      // Triangle-inequality corrections for endpoints outside this cell
-      // (see the CellAggregates contract in the header).
-      const bool ox_in = grid_->CellOfVertex(entry.ox) == cell;
-      const bool oy_in =
-          !entry.tail && grid_->CellOfVertex(entry.oy) == cell;
-      const Distance adj_dist_tr =
-          entry.dist_tr - (ox_in ? 0.0 : entry.leg_dist);
-      const int endpoints_in = (ox_in ? 1 : 0) + (oy_in ? 1 : 0);
-      const Distance adj_leg = (3 - endpoints_in) * entry.leg_dist;
-      agg.min_dist_tr = std::min(agg.min_dist_tr, adj_dist_tr);
-      agg.max_leg_dist = std::max(agg.max_leg_dist, adj_leg);
-    }
-    state->aggregates = agg;
-    state->aggregates_dirty = false;
-  }
+  if (state->aggregates_dirty) RebuildAggregates(cell, *state);
   return state->aggregates;
+}
+
+void VehicleRegistry::RebuildDirtyAggregates() {
+  for (auto& [cell, state] : cells_) {
+    if (state.aggregates_dirty) RebuildAggregates(cell, state);
+  }
 }
 
 std::size_t VehicleRegistry::MemoryBytes() const {

@@ -116,7 +116,17 @@ class VehicleRegistry {
   std::span<const KineticEdgeEntry> NonEmptyEntries(CellId cell) const;
 
   /// Aggregates for the cell-level pruning lemmas; rebuilt lazily.
+  ///
+  /// The lazy rebuild writes through `mutable` members, so concurrent
+  /// readers (parallel shadow matchers) must call RebuildDirtyAggregates()
+  /// first; afterwards this is a pure read until the next mutation.
   const CellAggregates& Aggregates(CellId cell) const;
+
+  /// Eagerly rebuilds every dirty cell's aggregates. Aggregate values only
+  /// depend on the cell's registered edges, so eager and lazy rebuilds
+  /// produce identical results; this just moves the work before a parallel
+  /// read phase.
+  void RebuildDirtyAggregates();
 
   /// Approximate resident memory of the dynamic lists, in bytes.
   std::size_t MemoryBytes() const;
@@ -133,6 +143,7 @@ class VehicleRegistry {
 
   CellState& StateFor(CellId cell);
   const CellState* FindState(CellId cell) const;
+  void RebuildAggregates(CellId cell, const CellState& state) const;
 
   const GridIndex* grid_;
   // Sparse: only cells that ever held a vehicle get state.

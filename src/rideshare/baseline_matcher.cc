@@ -20,6 +20,22 @@ MatchResult BaselineMatcher::Match(const Request& request, MatchContext& ctx) {
   MatchStats stats;
   const InsertionHooks no_hooks;  // BA never prunes
 
+  // BA verifies the whole fleet, so the whole fleet is one candidate batch.
+  // Only empty vehicles the group can board go into the counted batch:
+  // VerifyEmptyVehicle computes no distance for the others.
+  std::vector<VehicleId> batch_empty;
+  std::vector<VehicleId> batch_nonempty;
+  for (const KineticTree& tree : *ctx.fleet) {
+    if (tree.IsEmpty()) {
+      if (tree.capacity() >= request.riders) {
+        batch_empty.push_back(tree.vehicle());
+      }
+    } else {
+      batch_nonempty.push_back(tree.vehicle());
+    }
+  }
+  internal::PrefetchBatchDistances(env, ctx, batch_empty, batch_nonempty);
+
   for (KineticTree& tree : *ctx.fleet) {
     if (tree.IsEmpty()) {
       internal::VerifyEmptyVehicle(tree, env, ctx, skyline, stats);

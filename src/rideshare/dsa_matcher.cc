@@ -55,6 +55,8 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
                                        stats, &empty_candidates);
       internal::CollectStartCandidates(g_s, env, ctx, skyline, emitted_s,
                                        stats, &s_new);
+      // Counted batch for the empty candidates' pickup distances.
+      internal::PrefetchBatchDistances(env, ctx, empty_candidates, {});
       for (const VehicleId v : empty_candidates) {
         internal::VerifyEmptyVehicle((*ctx.fleet)[v], env, ctx, skyline,
                                      stats);
@@ -75,6 +77,9 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
         if (s_candidate[v] && !verified[v]) to_verify.push_back(v);
       }
     }
+    // Warm the intersection batch from both query endpoints before the
+    // per-vehicle enumerations (dual-sided: start and destination sweeps).
+    internal::PrefetchBatchDistances(env, ctx, {}, to_verify);
     for (const VehicleId v : to_verify) {
       if (verified[v]) continue;  // could appear twice in one round
       verified[v] = 1;

@@ -241,6 +241,36 @@ void CollectDestCandidates(CellId cell, const RequestEnv& env,
   }
 }
 
+void CollectSchedulePoints(const KineticTree& tree,
+                           std::vector<VertexId>* out) {
+  out->push_back(tree.location());
+  for (const Schedule& branch : tree.schedules()) {
+    for (const Stop& stop : branch.stops) out->push_back(stop.location);
+  }
+}
+
+void PrefetchBatchDistances(const RequestEnv& env, MatchContext& ctx,
+                            std::span<const VehicleId> empty_candidates,
+                            std::span<const VehicleId> nonempty_candidates) {
+  if (!empty_candidates.empty()) {
+    std::vector<VertexId> locations;
+    locations.reserve(empty_candidates.size());
+    for (const VehicleId v : empty_candidates) {
+      locations.push_back((*ctx.fleet)[v].location());
+    }
+    std::vector<Distance> dists;
+    ctx.oracle->BatchDist(env.request->start, locations, &dists);
+  }
+  if (!nonempty_candidates.empty()) {
+    std::vector<VertexId> points;
+    for (const VehicleId v : nonempty_candidates) {
+      CollectSchedulePoints((*ctx.fleet)[v], &points);
+    }
+    ctx.oracle->WarmFrom(env.request->start, points);
+    ctx.oracle->WarmFrom(env.request->destination, points);
+  }
+}
+
 std::size_t VerifiedCellLimit(std::size_t num_cells, double fraction) {
   if (num_cells == 0) return 0;
   const double raw = fraction * static_cast<double>(num_cells);

@@ -40,6 +40,9 @@ MatchResult SsaMatcher::Match(const Request& request, MatchContext& ctx) {
                                      &empty_candidates);
     internal::CollectStartCandidates(cell, env, ctx, skyline, emitted, stats,
                                      &nonempty_candidates);
+    // One batched sweep per cell batch instead of per-pair searches.
+    internal::PrefetchBatchDistances(env, ctx, empty_candidates,
+                                     nonempty_candidates);
     for (const VehicleId v : empty_candidates) {
       internal::VerifyEmptyVehicle((*ctx.fleet)[v], env, ctx, skyline, stats);
     }

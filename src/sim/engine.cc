@@ -38,6 +38,10 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
   PTAR_CHECK(graph != nullptr && grid != nullptr);
   PTAR_CHECK(options.num_vehicles >= 1);
   PTAR_CHECK(options.vehicle_capacity >= 1);
+  PTAR_CHECK(options.threads >= 1);
+  if (options.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options.threads);
+  }
   fleet_.reserve(options.num_vehicles);
   runtimes_.resize(options.num_vehicles);
   for (int i = 0; i < options.num_vehicles; ++i) {
@@ -59,6 +63,21 @@ MatchContext Engine::MakeMatchContext() {
   ctx.oracle = &match_oracle_;
   ctx.price_model = PriceModel{};
   return ctx;
+}
+
+MatchContext Engine::MakeMatchContextFor(std::size_t m) {
+  MatchContext ctx = MakeMatchContext();
+  if (m > 0) {
+    PTAR_DCHECK(m - 1 < matcher_oracles_.size());
+    ctx.oracle = matcher_oracles_[m - 1].get();
+  }
+  return ctx;
+}
+
+void Engine::EnsureMatcherOracles(std::size_t num_matchers) {
+  while (matcher_oracles_.size() + 1 < num_matchers) {
+    matcher_oracles_.push_back(std::make_unique<DistanceOracle>(graph_));
+  }
 }
 
 std::size_t Engine::KineticTreeMemoryBytes() const {
@@ -297,10 +316,29 @@ Engine::RequestOutcome Engine::ProcessRequest(
   RefreshStaleTrees();
 
   RequestOutcome outcome;
-  MatchContext ctx = MakeMatchContext();
-  outcome.results.reserve(matchers.size());
-  for (Matcher* matcher : matchers) {
-    outcome.results.push_back(matcher->Match(request, ctx));
+  outcome.results.resize(matchers.size());
+  EnsureMatcherOracles(matchers.size());
+  if (pool_ != nullptr && matchers.size() > 1) {
+    // Matchers only read the shared world state (trees were refreshed
+    // above, so Refresh() is a no-op), but the registry's cell aggregates
+    // rebuild lazily through mutable members — make them clean so
+    // Aggregates() is a pure read during the concurrent phase.
+    registry_.RebuildDirtyAggregates();
+    std::vector<std::future<void>> pending;
+    pending.reserve(matchers.size());
+    for (std::size_t m = 0; m < matchers.size(); ++m) {
+      pending.push_back(pool_->Submit([this, m, &request, &outcome,
+                                       matchers] {
+        MatchContext ctx = MakeMatchContextFor(m);
+        outcome.results[m] = matchers[m]->Match(request, ctx);
+      }));
+    }
+    for (std::future<void>& f : pending) f.get();
+  } else {
+    for (std::size_t m = 0; m < matchers.size(); ++m) {
+      MatchContext ctx = MakeMatchContextFor(m);
+      outcome.results[m] = matchers[m]->Match(request, ctx);
+    }
   }
 
   const Option* chosen = ChooseOption(outcome.results[0].options);

@@ -25,6 +25,7 @@
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "graph/distance_oracle.h"
 #include "grid/grid_index.h"
 #include "grid/vehicle_registry.h"
@@ -48,6 +49,11 @@ struct EngineOptions {
   double tick_seconds = 1.0;
   ChoicePolicy policy = ChoicePolicy::kMinPrice;
   std::uint64_t seed = 13;
+  /// Worker threads for evaluating the shadow matchers of one request
+  /// concurrently (one task per matcher; each matcher gets its own
+  /// DistanceOracle). 1 = serial. Results are bit-identical either way:
+  /// matchers only read shared state and write into pre-assigned slots.
+  int threads = 1;
 };
 
 /// Aggregated per-matcher measurements across a run.
@@ -150,6 +156,11 @@ class Engine {
   };
 
   KineticTree::DistFn MaintenanceDistFn();
+  /// Context for matcher slot `m`: slot 0 gets match_oracle_, every other
+  /// slot its own oracle (created by EnsureMatcherOracles) so concurrent
+  /// matcher evaluations never share mutable state.
+  MatchContext MakeMatchContextFor(std::size_t m);
+  void EnsureMatcherOracles(std::size_t num_matchers);
   Distance ArcWeight(VertexId u, VertexId v) const;
   void TickVehicle(VehicleId v, double budget_meters);
   /// Serves co-located stops, fixes the vehicle's registry membership, and
@@ -173,6 +184,10 @@ class Engine {
 
   DistanceOracle match_oracle_;        ///< Counted, cleared per request.
   DistanceOracle maintenance_oracle_;  ///< Engine bookkeeping, uncounted.
+  /// Per-matcher oracles for slots >= 1 (slot 0 keeps match_oracle_).
+  std::vector<std::unique_ptr<DistanceOracle>> matcher_oracles_;
+  /// Workers for shadow-matcher evaluation; null when options.threads == 1.
+  std::unique_ptr<ThreadPool> pool_;
 
   std::unordered_set<RequestId> shared_requests_;
   std::uint64_t served_ = 0;

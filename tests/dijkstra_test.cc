@@ -102,6 +102,86 @@ TEST(DijkstraTest, TargetsWithDuplicates) {
   EXPECT_DOUBLE_EQ(engine.Dist(8), 400.0);
 }
 
+TEST(DijkstraTest, TargetsDisconnectedAreInfinity) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddVertex(Coord{1, 0});
+  b.AddVertex(Coord{2, 0});  // isolated
+  b.AddVertex(Coord{3, 0});  // isolated
+  b.AddEdge(0, 1, 5.0);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  DijkstraEngine engine(&*g);
+  // The run must terminate (heap exhaustion) even though two targets can
+  // never be settled, and reachable targets must still be exact.
+  const std::vector<VertexId> targets = {1, 2, 3};
+  engine.SingleSourceToTargets(0, targets);
+  EXPECT_DOUBLE_EQ(engine.Dist(1), 5.0);
+  EXPECT_TRUE(engine.Settled(1));
+  EXPECT_EQ(engine.Dist(2), kInfDistance);
+  EXPECT_FALSE(engine.Settled(2));
+  EXPECT_EQ(engine.Dist(3), kInfDistance);
+  EXPECT_FALSE(engine.Settled(3));
+}
+
+TEST(DijkstraTest, TargetsContainingSource) {
+  const RoadNetwork g = testing::MakeSmallGrid(100.0);
+  DijkstraEngine engine(&g);
+  const std::vector<VertexId> targets = {0, 8};
+  engine.SingleSourceToTargets(0, targets);
+  EXPECT_DOUBLE_EQ(engine.Dist(0), 0.0);
+  EXPECT_TRUE(engine.Settled(0));
+  EXPECT_DOUBLE_EQ(engine.Dist(8), 400.0);
+  EXPECT_TRUE(engine.Settled(8));
+}
+
+TEST(DijkstraTest, TargetsOnlySource) {
+  const RoadNetwork g = testing::MakeSmallGrid(100.0);
+  DijkstraEngine engine(&g);
+  const std::vector<VertexId> targets = {4, 4};
+  engine.SingleSourceToTargets(4, targets);
+  EXPECT_DOUBLE_EQ(engine.Dist(4), 0.0);
+  EXPECT_TRUE(engine.Settled(4));
+  // A later unrelated run must not be confused by the degenerate one.
+  engine.SingleSourceToTargets(0, std::vector<VertexId>{8});
+  EXPECT_DOUBLE_EQ(engine.Dist(8), 400.0);
+}
+
+TEST(DijkstraTest, TargetsMixedDuplicatesSourceAndUnreachable) {
+  RoadNetwork::Builder b;
+  for (int i = 0; i < 5; ++i) b.AddVertex(Coord{double(i), 0});
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 2.0);
+  b.AddEdge(3, 4, 1.0);  // separate component
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  DijkstraEngine engine(&*g);
+  const std::vector<VertexId> targets = {2, 0, 2, 4, 0, 4};
+  engine.SingleSourceToTargets(0, targets);
+  EXPECT_DOUBLE_EQ(engine.Dist(0), 0.0);
+  EXPECT_DOUBLE_EQ(engine.Dist(2), 3.0);
+  EXPECT_EQ(engine.Dist(4), kInfDistance);
+}
+
+TEST(DijkstraTest, TargetsMatchBitIdenticalPointToPoint) {
+  // The batched distance engine relies on a sweep settling every target
+  // with exactly the value an early-terminated point-to-point run reports.
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(60, 90, 29);
+  DijkstraEngine sweep(&g);
+  DijkstraEngine p2p(&g);
+  const VertexId source = 31;
+  std::vector<VertexId> targets;
+  for (VertexId t = 0; t < g.num_vertices(); t += 4) targets.push_back(t);
+  sweep.SingleSourceToTargets(source, targets);
+  std::vector<Distance> swept;
+  swept.reserve(targets.size());
+  for (const VertexId t : targets) swept.push_back(sweep.Dist(t));
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const Distance direct = p2p.PointToPoint(source, targets[i]);
+    EXPECT_EQ(swept[i], direct) << "t=" << targets[i];  // exact bits
+  }
+}
+
 TEST(DijkstraTest, BoundedStopsAtRadius) {
   const RoadNetwork g = testing::MakeSmallGrid(100.0);
   DijkstraEngine engine(&g);

@@ -88,5 +88,129 @@ TEST(DistanceOracleTest, AgreesWithFloydWarshall) {
   }
 }
 
+TEST(DistanceOracleTest, ClearCacheKeepsBucketCapacity) {
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(40, 60, 5);
+  DistanceOracle oracle(&g);
+  for (VertexId t = 1; t < g.num_vertices(); ++t) oracle.Dist(0, t);
+  const std::size_t buckets = oracle.cache_bucket_count();
+  EXPECT_GT(buckets, 0u);
+  oracle.ClearCache();
+  EXPECT_EQ(oracle.cache_size(), 0u);
+  // Steady-state request processing must not rehash from scratch.
+  EXPECT_EQ(oracle.cache_bucket_count(), buckets);
+}
+
+TEST(BatchDistTest, MatchesSerialDistBitForBit) {
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(50, 80, 17);
+  DistanceOracle serial(&g);
+  DistanceOracle batched(&g);
+  const VertexId source = 23;
+  std::vector<VertexId> targets;
+  for (VertexId t = 0; t < g.num_vertices(); t += 3) targets.push_back(t);
+  std::vector<Distance> expected;
+  for (const VertexId t : targets) expected.push_back(serial.Dist(source, t));
+  std::vector<Distance> got;
+  batched.BatchDist(source, targets, &got);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "i=" << i;  // exact bits, not NEAR
+  }
+  EXPECT_EQ(batched.compdists(), serial.compdists());
+}
+
+TEST(BatchDistTest, CountsEachUncachedPairOnce) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  DistanceOracle oracle(&g);
+  std::vector<Distance> out;
+  // 5 requested pairs: one duplicate, one source==target.
+  const std::vector<VertexId> targets = {8, 2, 8, 0, 6};
+  oracle.BatchDist(0, targets, &out);
+  EXPECT_EQ(oracle.compdists(), 3u);  // {8, 2, 6}
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+  EXPECT_EQ(out[0], out[2]);
+  EXPECT_EQ(oracle.batch_stats().sweeps, 1u);
+  EXPECT_EQ(oracle.batch_stats().pairs_swept, 3u);
+  // Re-batching the same targets is all cache hits: no sweep, no count.
+  oracle.BatchDist(0, targets, &out);
+  EXPECT_EQ(oracle.compdists(), 3u);
+  EXPECT_EQ(oracle.batch_stats().sweeps, 1u);
+}
+
+TEST(BatchDistTest, MixedCachedAndUncached) {
+  const RoadNetwork g = testing::MakeSmallGrid(100.0);
+  DistanceOracle oracle(&g);
+  const Distance d8 = oracle.Dist(0, 8);
+  EXPECT_EQ(oracle.compdists(), 1u);
+  std::vector<Distance> out;
+  const std::vector<VertexId> targets = {8, 4, 2};
+  oracle.BatchDist(0, targets, &out);
+  EXPECT_EQ(out[0], d8);  // served from cache, identical bits
+  EXPECT_DOUBLE_EQ(out[1], 200.0);
+  EXPECT_DOUBLE_EQ(out[2], 200.0);
+  EXPECT_EQ(oracle.compdists(), 3u);
+  EXPECT_EQ(oracle.batch_stats().pairs_from_cache, 1u);
+}
+
+TEST(BatchDistTest, UnreachableTargetIsInfinity) {
+  RoadNetwork::Builder b;
+  b.AddVertex(Coord{0, 0});
+  b.AddVertex(Coord{1, 0});
+  b.AddVertex(Coord{2, 0});
+  b.AddEdge(0, 1, 1.0);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  DistanceOracle oracle(&*g);
+  std::vector<Distance> out;
+  const std::vector<VertexId> targets = {1, 2};
+  oracle.BatchDist(0, targets, &out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], kInfDistance);
+  EXPECT_EQ(oracle.compdists(), 2u);  // unreachable still counts, like Dist
+  EXPECT_EQ(oracle.Dist(0, 2), kInfDistance);
+  EXPECT_EQ(oracle.compdists(), 2u);  // ... and is cached
+}
+
+TEST(WarmFromTest, CountsOnlyOnUse) {
+  const RoadNetwork g = testing::MakeSmallGrid(100.0);
+  DistanceOracle oracle(&g);
+  const std::vector<VertexId> targets = {8, 4, 2};
+  oracle.WarmFrom(0, targets);
+  EXPECT_EQ(oracle.compdists(), 0u);  // speculative: nothing counted yet
+  EXPECT_EQ(oracle.batch_stats().sweeps, 1u);
+  EXPECT_DOUBLE_EQ(oracle.Dist(8, 0), 400.0);  // promoted (either direction)
+  EXPECT_EQ(oracle.compdists(), 1u);
+  EXPECT_EQ(oracle.batch_stats().warm_hits, 1u);
+  oracle.Dist(0, 8);  // now a plain cache hit
+  // Pairs never asked for ({0,4}, {0,2}) are never counted.
+  EXPECT_EQ(oracle.compdists(), 1u);
+}
+
+TEST(WarmFromTest, WarmValueMatchesFreshSweepBits) {
+  const RoadNetwork g = testing::MakeRandomConnectedGraph(40, 70, 9);
+  DistanceOracle warmed(&g);
+  DistanceOracle batched(&g);
+  const VertexId source = 11;
+  std::vector<VertexId> targets;
+  for (VertexId t = 0; t < g.num_vertices(); t += 2) targets.push_back(t);
+  warmed.WarmFrom(source, targets);
+  std::vector<Distance> direct;
+  batched.BatchDist(source, targets, &direct);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] == source) continue;
+    EXPECT_EQ(warmed.Dist(source, targets[i]), direct[i]) << "i=" << i;
+  }
+  EXPECT_EQ(warmed.compdists(), batched.compdists());
+}
+
+TEST(WarmFromTest, ClearCacheDropsWarmStore) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  DistanceOracle oracle(&g);
+  oracle.WarmFrom(0, std::vector<VertexId>{8});
+  oracle.ClearCache();
+  oracle.Dist(0, 8);
+  EXPECT_EQ(oracle.compdists(), 1u);
+  EXPECT_EQ(oracle.batch_stats().warm_hits, 0u);  // computed, not promoted
+}
+
 }  // namespace
 }  // namespace ptar

@@ -1,0 +1,174 @@
+// Determinism of pooled shadow-matcher evaluation: running the BA/SSA/DSA
+// trio with --threads=4 must be bit-identical to --threads=1 on the same
+// seed — same served/unserved/shared totals, same per-matcher counters
+// (compdists in particular), same chosen options, and same skyline contents
+// for every request. Matchers only read shared world state and write into
+// pre-assigned result slots, and each matcher slot gets its own
+// DistanceOracle, so the parallel schedule cannot influence any value.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "rideshare/baseline_matcher.h"
+#include "rideshare/dsa_matcher.h"
+#include "rideshare/ssa_matcher.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+
+namespace ptar {
+namespace {
+
+struct World {
+  RoadNetwork graph;
+  std::unique_ptr<GridIndex> grid;
+};
+
+World MakeWorld(std::uint64_t seed = 3) {
+  World w;
+  GridCityOptions copts;
+  copts.rows = 12;
+  copts.cols = 12;
+  copts.seed = seed;
+  auto g = MakeGridCity(copts);
+  PTAR_CHECK(g.ok());
+  w.graph = std::move(g).value();
+  auto grid = GridIndex::Build(&w.graph, {.cell_size_meters = 300.0});
+  PTAR_CHECK(grid.ok());
+  w.grid = std::make_unique<GridIndex>(std::move(grid).value());
+  return w;
+}
+
+std::vector<Request> MakeRequests(const RoadNetwork& g, std::size_t n,
+                                  std::uint64_t seed = 8) {
+  WorkloadOptions opts;
+  opts.num_requests = n;
+  opts.duration_seconds = 600.0;
+  opts.epsilon = 0.5;
+  opts.waiting_minutes = 3.0;
+  opts.seed = seed;
+  auto reqs = GenerateWorkload(g, opts);
+  PTAR_CHECK(reqs.ok());
+  return std::move(reqs).value();
+}
+
+/// Per-request observables that must not depend on the thread count.
+struct RequestTrace {
+  bool served = false;
+  Option chosen;
+  std::vector<std::vector<Option>> skylines;  ///< One per matcher.
+  std::vector<std::uint64_t> compdists;       ///< One per matcher.
+};
+
+std::vector<RequestTrace> TraceRun(const World& w,
+                                   std::span<const Request> requests,
+                                   int threads) {
+  EngineOptions opts;
+  opts.num_vehicles = 20;
+  opts.seed = 13;
+  opts.threads = threads;
+  Engine engine(&w.graph, w.grid.get(), opts);
+  BaselineMatcher ba;
+  SsaMatcher ssa;
+  DsaMatcher dsa;
+  std::vector<Matcher*> matchers = {&ba, &ssa, &dsa};
+  std::vector<RequestTrace> traces;
+  traces.reserve(requests.size());
+  for (const Request& r : requests) {
+    auto outcome = engine.ProcessRequest(r, matchers);
+    RequestTrace t;
+    t.served = outcome.served;
+    t.chosen = outcome.chosen;
+    for (const MatchResult& res : outcome.results) {
+      t.skylines.push_back(res.options);
+      t.compdists.push_back(res.stats.compdists);
+    }
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+RunStats StatsRun(const World& w, std::span<const Request> requests,
+                  int threads) {
+  EngineOptions opts;
+  opts.num_vehicles = 20;
+  opts.seed = 13;
+  opts.threads = threads;
+  Engine engine(&w.graph, w.grid.get(), opts);
+  BaselineMatcher ba;
+  SsaMatcher ssa;
+  DsaMatcher dsa;
+  std::vector<Matcher*> matchers = {&ba, &ssa, &dsa};
+  return engine.Run(requests, matchers);
+}
+
+TEST(EngineThreadsTest, PerRequestOutcomesBitIdenticalAcrossThreadCounts) {
+  const World w = MakeWorld();
+  const std::vector<Request> requests = MakeRequests(w.graph, 25);
+  const auto serial = TraceRun(w, requests, 1);
+  const auto pooled = TraceRun(w, requests, 4);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_EQ(serial[i].served, pooled[i].served);
+    EXPECT_EQ(serial[i].chosen, pooled[i].chosen);
+    ASSERT_EQ(serial[i].skylines.size(), pooled[i].skylines.size());
+    for (std::size_t m = 0; m < serial[i].skylines.size(); ++m) {
+      SCOPED_TRACE("matcher " + std::to_string(m));
+      // Option operator== is exact (==, not NEAR): skyline contents, order
+      // included, are bitwise identical.
+      EXPECT_EQ(serial[i].skylines[m], pooled[i].skylines[m]);
+      EXPECT_EQ(serial[i].compdists[m], pooled[i].compdists[m]);
+    }
+  }
+}
+
+TEST(EngineThreadsTest, RunStatsIdenticalAcrossThreadCounts) {
+  const World w = MakeWorld();
+  const std::vector<Request> requests = MakeRequests(w.graph, 25);
+  const RunStats serial = StatsRun(w, requests, 1);
+  const RunStats pooled = StatsRun(w, requests, 4);
+
+  EXPECT_EQ(serial.served, pooled.served);
+  EXPECT_EQ(serial.unserved, pooled.unserved);
+  EXPECT_EQ(serial.shared, pooled.shared);
+  ASSERT_EQ(serial.matchers.size(), pooled.matchers.size());
+  for (std::size_t m = 0; m < serial.matchers.size(); ++m) {
+    SCOPED_TRACE("matcher " + serial.matchers[m].name);
+    const MatcherAggregate& a = serial.matchers[m];
+    const MatcherAggregate& b = pooled.matchers[m];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.options_sum, b.options_sum);
+    // Exact bits: precision/recall are sums of ratios of identical counts.
+    EXPECT_EQ(a.precision_sum, b.precision_sum);
+    EXPECT_EQ(a.recall_sum, b.recall_sum);
+    // Every non-timing counter, compdists above all (the paper's metric).
+    EXPECT_EQ(a.totals.compdists, b.totals.compdists);
+    EXPECT_EQ(a.totals.verified_vehicles, b.totals.verified_vehicles);
+    EXPECT_EQ(a.totals.scanned_cells, b.totals.scanned_cells);
+    EXPECT_EQ(a.totals.pruned_cells, b.totals.pruned_cells);
+    EXPECT_EQ(a.totals.pruned_vehicles, b.totals.pruned_vehicles);
+  }
+  // Sanity: the run actually exercised the matchers.
+  EXPECT_EQ(serial.served + serial.unserved, requests.size());
+  EXPECT_GT(serial.matchers[0].totals.compdists, 0u);
+}
+
+TEST(EngineThreadsTest, OversizedPoolIsHarmless) {
+  // More threads than matchers: extra workers just idle.
+  const World w = MakeWorld(5);
+  const std::vector<Request> requests = MakeRequests(w.graph, 10, 21);
+  const RunStats serial = StatsRun(w, requests, 1);
+  const RunStats pooled = StatsRun(w, requests, 8);
+  EXPECT_EQ(serial.served, pooled.served);
+  ASSERT_EQ(serial.matchers.size(), pooled.matchers.size());
+  for (std::size_t m = 0; m < serial.matchers.size(); ++m) {
+    EXPECT_EQ(serial.matchers[m].totals.compdists,
+              pooled.matchers[m].totals.compdists);
+  }
+}
+
+}  // namespace
+}  // namespace ptar

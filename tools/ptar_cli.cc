@@ -65,6 +65,7 @@ int Help() {
       "  simulate --network=FILE --requests=FILE [--vehicles=N]\n"
       "      [--capacity=N] [--cell-size=M] [--adaptive] [--fraction=F]\n"
       "      [--policy=price|time|balanced|random] [--shadow] [--seed=N]\n"
+      "      [--threads=N]\n"
       "  match --network=FILE --from=V --to=V [--riders=N] [--wait-min=MIN]\n"
       "      [--epsilon=E] [--vehicles=N] [--cell-size=M] [--seed=N]\n"
       "  help\n");
@@ -205,12 +206,13 @@ int Simulate(const FlagParser& flags) {
   const auto fraction = flags.GetDouble("fraction", 0.16);
   const auto seed = flags.GetInt("seed", 13);
   const auto shadow = flags.GetBool("shadow", false);
+  const auto threads = GetThreadsFlag(flags);
   const bool adaptive = flags.Has("adaptive");
   const auto policy = ParsePolicy(flags.GetString("policy", "price"));
   for (const Status& st :
        {vehicles.status(), capacity.status(), cell_size.status(),
         fraction.status(), seed.status(), shadow.status(),
-        policy.status()}) {
+        threads.status(), policy.status()}) {
     if (!st.ok()) return Fail(st);
   }
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
@@ -226,6 +228,7 @@ int Simulate(const FlagParser& flags) {
   eopts.vehicle_capacity = static_cast<int>(*capacity);
   eopts.policy = *policy;
   eopts.seed = static_cast<std::uint64_t>(*seed);
+  eopts.threads = *threads;
   Engine engine(&*graph, &*grid, eopts);
 
   BaselineMatcher ba;
