@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "common/timer.h"
 #include "graph/generators.h"
 #include "grid/grid_index.h"
@@ -17,6 +18,7 @@
 #include "rideshare/dsa_matcher.h"
 #include "rideshare/ssa_matcher.h"
 #include "sim/engine.h"
+#include "sim/run_report.h"
 #include "sim/workload.h"
 
 using namespace ptar;
@@ -25,7 +27,8 @@ namespace {
 
 void RunVariant(const char* label, const RoadNetwork& graph,
                 const GridIndex& index,
-                const std::vector<Request>& requests) {
+                const std::vector<Request>& requests,
+                bench::ObsSession& obs) {
   EngineOptions eopts;
   eopts.num_vehicles = 300;
   eopts.seed = 13;
@@ -35,6 +38,8 @@ void RunVariant(const char* label, const RoadNetwork& graph,
   DsaMatcher dsa(0.16);
   std::vector<Matcher*> matchers = {&ba, &ssa, &dsa};
   const RunStats stats = engine.Run(requests, matchers);
+  obs.Add(label, BuildRunReport(stats, engine.metrics(),
+                                std::string("bench ") + label));
   for (const MatcherAggregate& agg : stats.matchers) {
     std::printf("%-22s %-5s %10.3f %10.1f %12.1f %8.4f\n", label,
                 agg.name.c_str(), agg.MeanMillis(), agg.MeanVerified(),
@@ -44,7 +49,8 @@ void RunVariant(const char* label, const RoadNetwork& graph,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv, "ablation_index");
   std::printf("=== Ablation: uniform grid vs. quadtree partition ===\n");
   std::printf("(ring-radial city: dense hub, sparse outskirts)\n\n");
 
@@ -100,7 +106,7 @@ int main() {
   std::printf("\n%-22s %-5s %10s %10s %12s %8s\n", "index", "algo",
               "time(ms)", "verified", "compdists", "recall");
   for (const IndexRow& row : rows) {
-    RunVariant(row.label.c_str(), *graph, *row.index, *requests);
+    RunVariant(row.label.c_str(), *graph, *row.index, *requests, obs);
   }
   return 0;
 }

@@ -18,13 +18,15 @@
 #include "rideshare/baseline_matcher.h"
 #include "rideshare/ssa_matcher.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar;
   using namespace ptar::bench;
   PrintBanner("Ablation", "pruning-family contribution to SSA cost");
 
   BenchConfig base;
+  ObsSession obs(argc, argv, "ablation_pruning");
   Harness harness(base);
+  harness.AttachObs(&obs);
 
   struct Variant {
     const char* label;

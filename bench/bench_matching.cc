@@ -8,14 +8,16 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar::bench;
 
   PrintBanner("bench_matching",
               "end-to-end matching cost, serial vs thread pool");
 
   BenchConfig cfg;
+  ObsSession obs(argc, argv, "bench_matching");
   Harness harness(cfg);
+  harness.AttachObs(&obs);
 
   std::vector<BenchRow> rows;
   PrintCostHeader("threads");

@@ -6,12 +6,14 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar::bench;
   PrintBanner("Figure 7", "cost vs. number of verified grid cells (%)");
 
   BenchConfig base;
+  ObsSession obs(argc, argv, "fig07_verified_grids");
   Harness harness(base);
+  harness.AttachObs(&obs);
 
   PrintCostHeader("verified(%)");
   for (const double fraction : {0.08, 0.16, 0.32, 0.64, 1.0}) {

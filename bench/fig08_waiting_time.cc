@@ -4,12 +4,14 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar::bench;
   PrintBanner("Figure 8", "cost vs. waiting time w (minutes)");
 
   BenchConfig base;
+  ObsSession obs(argc, argv, "fig08_waiting_time");
   Harness harness(base);
+  harness.AttachObs(&obs);
 
   PrintCostHeader("w(min)");
   for (const double w : {2.0, 3.0, 4.0, 5.0, 6.0}) {

@@ -6,12 +6,14 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar::bench;
   PrintBanner("Figure 9", "cost vs. service constraint epsilon");
 
   BenchConfig base;
+  ObsSession obs(argc, argv, "fig09_service_constraint");
   Harness harness(base);
+  harness.AttachObs(&obs);
 
   PrintCostHeader("epsilon");
   for (const double eps : {0.2, 0.3, 0.4, 0.5, 0.6}) {

@@ -4,13 +4,15 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar::bench;
   PrintBanner("Figure 10", "cost vs. vehicle capacity");
 
   BenchConfig base;
   base.riders = 2;  // rider groups of two make the capacity sweep bite
+  ObsSession obs(argc, argv, "fig10_capacity");
   Harness harness(base);
+  harness.AttachObs(&obs);
 
   PrintCostHeader("capacity");
   for (const int capacity : {2, 3, 4, 5, 6}) {

@@ -6,12 +6,14 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar::bench;
   PrintBanner("Figure 11", "cost vs. number of vehicles (paper: 12K-20K)");
 
   BenchConfig base;
+  ObsSession obs(argc, argv, "fig11_num_vehicles");
   Harness harness(base);
+  harness.AttachObs(&obs);
 
   PrintCostHeader("vehicles");
   for (const int vehicles : {240, 280, 320, 360, 400}) {

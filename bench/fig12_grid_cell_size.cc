@@ -6,12 +6,14 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar::bench;
   PrintBanner("Figure 12", "cost vs. grid cell size (meters)");
 
   BenchConfig base;
+  ObsSession obs(argc, argv, "fig12_grid_cell_size");
   Harness harness(base);
+  harness.AttachObs(&obs);
 
   PrintCostHeader("cell(m)");
   for (const double cell : {1200.0, 600.0, 300.0, 160.0, 100.0}) {

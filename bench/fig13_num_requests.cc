@@ -8,13 +8,15 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar::bench;
   PrintBanner("Figure 13",
               "cost and sharing rate vs. number of requests (paper: 1K-9K)");
 
   BenchConfig base;
+  ObsSession obs(argc, argv, "fig13_num_requests");
   Harness harness(base);
+  harness.AttachObs(&obs);
 
   PrintCostHeader("requests");
   for (const std::size_t n : {30u, 90u, 150u, 210u, 270u}) {

@@ -1,12 +1,77 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <cstring>
 
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+#include "obs/version.h"
 #include "rideshare/baseline_matcher.h"
 #include "rideshare/dsa_matcher.h"
 #include "rideshare/ssa_matcher.h"
+#include "sim/run_report.h"
 
 namespace ptar::bench {
+
+ObsSession::ObsSession(int argc, char* const* argv,
+                       const std::string& bench_name)
+    : bench_name_(bench_name) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace_out=", 12) == 0) {
+      trace_out_ = arg + 12;
+    } else if (std::strncmp(arg, "--report_out=", 13) == 0) {
+      report_out_ = arg + 13;
+    }
+  }
+  if (!trace_out_.empty()) obs::TraceRecorder::Global().Start();
+}
+
+void ObsSession::Add(const std::string& label, obs::RunReport report) {
+  if (report_out_.empty()) return;
+  rows_.emplace_back(label, std::move(report));
+}
+
+ObsSession::~ObsSession() {
+  if (!trace_out_.empty()) {
+    obs::TraceRecorder::Global().Stop();
+    const Status st = obs::TraceRecorder::Global().WriteJson(trace_out_);
+    if (st.ok()) {
+      std::printf("wrote trace: %s\n", trace_out_.c_str());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  if (report_out_.empty()) return;
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.KV("schema_version",
+            static_cast<std::int64_t>(obs::kReportSchemaVersion));
+  writer.KV("git_describe", obs::GitDescribe());
+  writer.KV("bench", bench_name_);
+  writer.Key("rows");
+  writer.BeginArray();
+  for (const auto& [label, report] : rows_) {
+    writer.BeginObject();
+    writer.KV("label", label);
+    obs::WriteRunReportFieldsJson(writer, report);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  const std::string json = writer.TakeResult();
+  std::FILE* f = std::fopen(report_out_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open report file: %s\n",
+                 report_out_.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote report: %s (schema v%d)\n", report_out_.c_str(),
+              obs::kReportSchemaVersion);
+}
 
 Harness::Harness(const BenchConfig& base) : base_(base) {
   GridCityOptions copts;
@@ -72,6 +137,10 @@ BenchRow Harness::RunWith(const BenchConfig& cfg, const std::string& label,
   row.stats = engine.Run(*requests, matchers);
   row.grid_memory_bytes = grid.MemoryBytes();
   row.tree_memory_bytes = engine.KineticTreeMemoryBytes();
+  if (obs_ != nullptr) {
+    obs_->Add(label, BuildRunReport(row.stats, engine.metrics(),
+                                    "bench " + label));
+  }
   return row;
 }
 
@@ -92,7 +161,13 @@ bool WriteMatchingJson(const std::string& path,
                        const std::vector<BenchRow>& rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "{\n  \"benchmark\": \"matching\",\n  \"rows\": [\n");
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"matching\",\n"
+               "  \"schema_version\": %d,\n"
+               "  \"git_describe\": \"%s\",\n"
+               "  \"rows\": [\n",
+               obs::kReportSchemaVersion,
+               obs::JsonWriter::Escape(obs::GitDescribe()).c_str());
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const BenchRow& row = rows[r];
     std::fprintf(f,

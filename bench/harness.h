@@ -22,6 +22,7 @@
 
 #include "graph/generators.h"
 #include "grid/grid_index.h"
+#include "obs/report.h"
 #include "sim/engine.h"
 #include "sim/workload.h"
 
@@ -57,9 +58,37 @@ struct BenchRow {
   std::size_t tree_memory_bytes = 0;
 };
 
+/// Optional observability side channel for a bench binary. Construct from
+/// main's argv: recognizes --trace_out=FILE (record a Chrome trace of the
+/// whole bench) and --report_out=FILE (dump one versioned run report per
+/// bench row); all other arguments are ignored, so benches stay zero-config
+/// by default. Attach to a Harness and every Run()/RunWith() adds a row;
+/// the destructor writes the requested files.
+class ObsSession {
+ public:
+  ObsSession(int argc, char* const* argv, const std::string& bench_name);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Records one bench row's report (called by Harness).
+  void Add(const std::string& label, obs::RunReport report);
+
+ private:
+  std::string bench_name_;
+  std::string trace_out_;
+  std::string report_out_;
+  std::vector<std::pair<std::string, obs::RunReport>> rows_;
+};
+
 class Harness {
  public:
   explicit Harness(const BenchConfig& base);
+
+  /// Routes every subsequent Run()/RunWith() row into `session` (which must
+  /// outlive the harness). Null detaches.
+  void AttachObs(ObsSession* session) { obs_ = session; }
 
   /// Runs one parameter point with the standard BA / SSA / DSA trio. Only
   /// the swept fields of `cfg` may differ from the base config; the city
@@ -79,6 +108,7 @@ class Harness {
   BenchConfig base_;
   RoadNetwork graph_;
   std::map<long long, std::unique_ptr<GridIndex>> grids_;  // key: size in mm
+  ObsSession* obs_ = nullptr;
 };
 
 /// Prints the standard per-row report: one line per algorithm with mean

@@ -6,12 +6,14 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar::bench;
   PrintBanner("Table III", "precision / recall vs. verified grid cells (%)");
 
   BenchConfig base;
+  ObsSession obs(argc, argv, "table03_precision_recall");
   Harness harness(base);
+  harness.AttachObs(&obs);
 
   std::printf("%-14s %-5s %10s %10s\n", "verified(%)", "algo", "precision",
               "recall");

@@ -8,12 +8,14 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptar::bench;
   PrintBanner("Table IV", "memory cost vs. grid cell size");
 
   BenchConfig base;
+  ObsSession obs(argc, argv, "table04_memory");
   Harness harness(base);
+  harness.AttachObs(&obs);
 
   std::printf("fixed road-network memory: %.2f MB\n\n",
               harness.graph().MemoryBytes() / 1048576.0);

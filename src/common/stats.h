@@ -17,10 +17,7 @@ namespace ptar {
 /// not millions.
 class SampleSummary {
  public:
-  void Add(double value) {
-    samples_.push_back(value);
-    sorted_ = false;
-  }
+  void Add(double value) { samples_.push_back(value); }
 
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
@@ -58,23 +55,28 @@ class SampleSummary {
   void MergeFrom(const SampleSummary& other) {
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
-    sorted_ = false;
   }
 
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  /// Incremental: only the samples added since the last query are sorted
+  /// and merged into the already-sorted prefix, so an Add/Percentile
+  /// interleaving costs O(k log k + n) per query (k = new samples) instead
+  /// of re-sorting all n every time.
   void EnsureSorted() const {
-    if (!sorted_) {
-      sorted_samples_ = samples_;
-      std::sort(sorted_samples_.begin(), sorted_samples_.end());
-      sorted_ = true;
-    }
+    if (sorted_samples_.size() == samples_.size()) return;
+    const std::size_t prefix = sorted_samples_.size();
+    sorted_samples_.insert(sorted_samples_.end(),
+                           samples_.begin() + prefix, samples_.end());
+    std::sort(sorted_samples_.begin() + prefix, sorted_samples_.end());
+    std::inplace_merge(sorted_samples_.begin(),
+                       sorted_samples_.begin() + prefix,
+                       sorted_samples_.end());
   }
 
   std::vector<double> samples_;
   mutable std::vector<double> sorted_samples_;
-  mutable bool sorted_ = false;
 };
 
 }  // namespace ptar

@@ -24,28 +24,43 @@ ThreadPool::~ThreadPool() {
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   PTAR_CHECK(fn != nullptr);
-  std::packaged_task<void()> task(std::move(fn));
-  std::future<void> future = task.get_future();
+  QueuedTask entry{std::packaged_task<void()>(std::move(fn)), Clock::now()};
+  std::future<void> future = entry.task.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(entry));
   }
   cv_.notify_one();
   return future;
 }
 
+void ThreadPool::SetTaskWaitObserver(TaskWaitObserver observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wait_observer_ = std::move(observer);
+}
+
 void ThreadPool::Worker(std::stop_token stop) {
   while (true) {
-    std::packaged_task<void()> task;
+    QueuedTask entry;
+    TaskWaitObserver observer;
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (!cv_.wait(lock, stop, [this] { return !queue_.empty(); })) {
         return;  // stop requested and queue empty
       }
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
+      observer = wait_observer_;  // copy under the lock; cheap when unset
     }
-    task();
+    const double wait_micros =
+        std::chrono::duration<double, std::micro>(Clock::now() -
+                                                  entry.enqueued)
+            .count();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    total_wait_micros_.fetch_add(static_cast<std::uint64_t>(wait_micros),
+                                 std::memory_order_relaxed);
+    if (observer) observer(wait_micros);
+    entry.task();
   }
 }
 

@@ -12,7 +12,10 @@
 #ifndef PTAR_COMMON_THREAD_POOL_H_
 #define PTAR_COMMON_THREAD_POOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -25,6 +28,12 @@ namespace ptar {
 
 class ThreadPool {
  public:
+  /// Called on the worker thread right before a task runs, with the time
+  /// the task spent queued (microseconds). Lets observability layers
+  /// record queue-wait spans on the worker's own track without the pool
+  /// depending on them.
+  using TaskWaitObserver = std::function<void(double wait_micros)>;
+
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(int num_threads);
 
@@ -42,12 +51,37 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Installs (or clears, with nullptr) the queue-wait observer. Not
+  /// thread-safe against concurrent Submit; set it while the pool is idle
+  /// (typically right after construction).
+  void SetTaskWaitObserver(TaskWaitObserver observer);
+
+  /// Lifetime aggregates of queue dwell time, readable at any time (the
+  /// counters are atomic). wait is reported in integer microseconds.
+  std::uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_wait_micros() const {
+    return total_wait_micros_.load(std::memory_order_relaxed);
+  }
+
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Queue entry: the task plus its enqueue time for wait accounting.
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    Clock::time_point enqueued;
+  };
+
   void Worker(std::stop_token stop);
 
   std::mutex mu_;
   std::condition_variable_any cv_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<QueuedTask> queue_;
+  TaskWaitObserver wait_observer_;  ///< May be empty; see setter.
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> total_wait_micros_{0};
   std::vector<std::jthread> workers_;  // last member: joins before teardown
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ptar {
 
@@ -22,6 +23,9 @@ Distance DistanceOracle::Dist(VertexId a, VertexId b) {
       return wit->second;
     }
   }
+  // Only the real search gets a span: cache and warm hits are nanosecond
+  // paths and are accounted by BatchStats counters instead.
+  PTAR_TRACE_SPAN("oracle_p2p");
   const Distance d = engine_.PointToPoint(a, b);
   ++compdists_;
   cache_.emplace(key, d);
@@ -70,6 +74,8 @@ void DistanceOracle::BatchDist(VertexId source,
     // One sweep settles every pending target with bit-identical values to
     // per-target PointToPoint(source, t) runs: Dijkstra's heap evolution up
     // to each settlement is independent of the stopping rule.
+    obs::TraceSpan span("oracle_sweep");
+    span.AddArg("targets", static_cast<std::int64_t>(sweep_targets_.size()));
     engine_.SingleSourceToTargets(source, sweep_targets_);
     ++batch_stats_.sweeps;
     batch_stats_.pairs_swept += sweep_targets_.size();
@@ -102,6 +108,8 @@ void DistanceOracle::WarmFrom(VertexId source,
     }
   }
   if (sweep_targets_.empty()) return;
+  obs::TraceSpan span("oracle_warm_sweep");
+  span.AddArg("targets", static_cast<std::int64_t>(sweep_targets_.size()));
   engine_.SingleSourceToTargets(source, sweep_targets_);
   ++batch_stats_.sweeps;
   for (const VertexId t : sweep_targets_) {
@@ -111,6 +119,7 @@ void DistanceOracle::WarmFrom(VertexId source,
 
 std::vector<VertexId> DistanceOracle::Path(VertexId a, VertexId b) {
   if (a == b) return {a};
+  PTAR_TRACE_SPAN("oracle_path");
   const Distance d = engine_.PointToPoint(a, b);
   ++compdists_;
   cache_[Key(a, b)] = d;

@@ -1,0 +1,133 @@
+#include "obs/json_writer.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ptar::obs {
+
+std::string JsonWriter::TakeResult() {
+  PTAR_DCHECK(stack_.empty()) << "unclosed JSON container";
+  out_.push_back('\n');
+  return std::move(out_);
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string escaped;
+  escaped.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          escaped += buf;
+        } else {
+          escaped.push_back(c);
+        }
+    }
+  }
+  return escaped;
+}
+
+void JsonWriter::Indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;  // top-level value
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // Key() already positioned us
+  }
+  PTAR_DCHECK(stack_.back().is_array) << "object member needs a Key()";
+  if (stack_.back().has_value) out_.push_back(',');
+  out_.push_back('\n');
+  Indent();
+  stack_.back().has_value = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  PTAR_DCHECK(!stack_.empty() && !stack_.back().is_array);
+  if (stack_.back().has_value) out_.push_back(',');
+  out_.push_back('\n');
+  Indent();
+  out_ += "\"" + Escape(key) + "\": ";
+  stack_.back().has_value = true;
+  pending_key_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back({/*is_array=*/false, /*has_value=*/false});
+}
+
+void JsonWriter::EndObject() {
+  PTAR_DCHECK(!stack_.empty() && !stack_.back().is_array);
+  const bool had_values = stack_.back().has_value;
+  stack_.pop_back();
+  if (had_values) {
+    out_.push_back('\n');
+    Indent();
+  }
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back({/*is_array=*/true, /*has_value=*/false});
+}
+
+void JsonWriter::EndArray() {
+  PTAR_DCHECK(!stack_.empty() && stack_.back().is_array);
+  const bool had_values = stack_.back().has_value;
+  stack_.pop_back();
+  if (had_values) {
+    out_.push_back('\n');
+    Indent();
+  }
+  out_.push_back(']');
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += "\"" + Escape(value) + "\"";
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(std::uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+}  // namespace ptar::obs

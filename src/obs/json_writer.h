@@ -1,0 +1,74 @@
+// Minimal streaming JSON writer used by the run-report and bench emitters.
+//
+// Produces deterministic, human-diffable output: two-space indentation,
+// keys in insertion order, doubles via "%.6f" unless written as raw. The
+// writer checks nesting with DCHECKs; it is for trusted internal emitters,
+// not a general-purpose serializer.
+
+#ifndef PTAR_OBS_JSON_WRITER_H_
+#define PTAR_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptar::obs {
+
+class JsonWriter {
+ public:
+  std::string TakeResult();
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Starts a named value inside an object; follow with a value or Begin*.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(std::int64_t value);
+  void UInt(std::uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+
+  // Conveniences for the common key/value cases.
+  void KV(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void KV(std::string_view key, std::int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void KV(std::string_view key, std::uint64_t value) {
+    Key(key);
+    UInt(value);
+  }
+  void KV(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  /// One frame per open container: whether it is an array and whether a
+  /// value has been emitted (for comma placement).
+  struct Frame {
+    bool is_array = false;
+    bool has_value = false;
+  };
+
+  void BeforeValue();
+  void Indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ptar::obs
+
+#endif  // PTAR_OBS_JSON_WRITER_H_

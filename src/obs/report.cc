@@ -1,0 +1,107 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+#include "obs/json_writer.h"
+#include "obs/version.h"
+
+namespace ptar::obs {
+
+void WriteHistogramJson(JsonWriter& writer,
+                        const LatencyHistogram& histogram) {
+  writer.BeginObject();
+  writer.KV("count", histogram.count());
+  writer.KV("sum", histogram.Sum());
+  writer.KV("min", histogram.Min());
+  writer.KV("max", histogram.Max());
+  writer.KV("mean", histogram.Mean());
+  writer.KV("p50", histogram.Percentile(50));
+  writer.KV("p95", histogram.Percentile(95));
+  writer.KV("p99", histogram.Percentile(99));
+  // Sparse bucket encoding: [index, count] pairs for non-empty buckets;
+  // bucket i covers [BucketLowerBound(i), BucketLowerBound(i + 1)).
+  writer.Key("buckets");
+  writer.BeginArray();
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    if (histogram.buckets()[i] == 0) continue;
+    writer.BeginArray();
+    writer.Int(i);
+    writer.UInt(histogram.buckets()[i]);
+    writer.EndArray();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+void WriteMetricsJson(JsonWriter& writer, const MetricsRegistry& metrics) {
+  writer.BeginObject();
+  writer.Key("counters");
+  writer.BeginObject();
+  for (const auto& [name, value] : metrics.counters()) {
+    writer.KV(name, value);
+  }
+  writer.EndObject();
+  writer.Key("histograms");
+  writer.BeginObject();
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    writer.Key(name);
+    WriteHistogramJson(writer, histogram);
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+void WriteRunReportFieldsJson(JsonWriter& writer, const RunReport& report) {
+  writer.KV("tool", report.tool);
+  writer.KV("served", report.served);
+  writer.KV("unserved", report.unserved);
+  writer.KV("shared", report.shared);
+  writer.Key("matchers");
+  writer.BeginArray();
+  for (const MatcherReport& m : report.matchers) {
+    writer.BeginObject();
+    writer.KV("name", m.name);
+    writer.KV("requests", m.requests);
+    writer.KV("options_sum", m.options_sum);
+    writer.KV("verified_vehicles", m.verified_vehicles);
+    writer.KV("compdists", m.compdists);
+    writer.KV("scanned_cells", m.scanned_cells);
+    writer.KV("pruned_cells", m.pruned_cells);
+    writer.KV("pruned_vehicles", m.pruned_vehicles);
+    writer.KV("elapsed_micros", m.elapsed_micros);
+    writer.KV("precision_sum", m.precision_sum);
+    writer.KV("recall_sum", m.recall_sum);
+    writer.Key("latency_ms");
+    WriteHistogramJson(writer, m.latency_ms);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("metrics");
+  WriteMetricsJson(writer, report.metrics);
+}
+
+std::string RunReportToJson(const RunReport& report) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KV("schema_version",
+            static_cast<std::int64_t>(kReportSchemaVersion));
+  writer.KV("git_describe", GitDescribe());
+  WriteRunReportFieldsJson(writer, report);
+  writer.EndObject();
+  return writer.TakeResult();
+}
+
+Status WriteRunReport(const RunReport& report, const std::string& path) {
+  const std::string json = RunReportToJson(report);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open report file: " + path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  if (std::fclose(f) != 0 || written != json.size()) {
+    return Status::IoError("error writing report file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ptar::obs

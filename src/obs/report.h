@@ -1,0 +1,77 @@
+// Versioned machine-readable run report.
+//
+// A run report is the export format for everything the paper's Section VII
+// measures: per-matcher totals (compdists, verified vehicles, pruning
+// hits), per-request latency histograms, and the unified metrics registry
+// (engine phase timings, oracle batching stats, thread-pool queue stats).
+// The JSON schema is documented in DESIGN.md "Observability"; bump
+// kReportSchemaVersion on any incompatible change.
+//
+// Layering: obs knows nothing about the simulator, so the report consumes
+// a neutral mirror of MatcherAggregate (MatcherReport). sim/run_report.h
+// converts RunStats into a RunReport.
+
+#ifndef PTAR_OBS_REPORT_H_
+#define PTAR_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace ptar::obs {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Per-matcher slice of the report; field-for-field what Section VII's
+/// tables need (totals plus the sums means are derived from).
+struct MatcherReport {
+  std::string name;
+  std::uint64_t requests = 0;
+  std::uint64_t options_sum = 0;
+  std::uint64_t verified_vehicles = 0;
+  std::uint64_t compdists = 0;
+  std::uint64_t scanned_cells = 0;
+  std::uint64_t pruned_cells = 0;
+  std::uint64_t pruned_vehicles = 0;
+  double elapsed_micros = 0.0;
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  LatencyHistogram latency_ms;  ///< Per-request matching latency.
+};
+
+struct RunReport {
+  std::string tool;  ///< Producing surface, e.g. "ptar_cli simulate".
+  std::uint64_t served = 0;
+  std::uint64_t unserved = 0;
+  std::uint64_t shared = 0;
+  std::vector<MatcherReport> matchers;
+  MetricsRegistry metrics;
+};
+
+/// Renders the report (schema_version and git describe included).
+std::string RunReportToJson(const RunReport& report);
+
+/// Writes the report's fields (tool .. metrics, no schema envelope) into an
+/// already-open JSON object. Lets multi-row emitters (the bench harness)
+/// embed one report per row under a single schema header.
+void WriteRunReportFieldsJson(class JsonWriter& writer,
+                              const RunReport& report);
+
+Status WriteRunReport(const RunReport& report, const std::string& path);
+
+/// Serializes one histogram as an object ({count, sum, min, max, mean,
+/// p50, p95, p99, buckets: [[index, count], ...]}). Shared with the bench
+/// emitter.
+void WriteHistogramJson(class JsonWriter& writer,
+                        const LatencyHistogram& histogram);
+
+/// Serializes a registry as {"counters": {...}, "histograms": {...}}.
+void WriteMetricsJson(class JsonWriter& writer,
+                      const MetricsRegistry& metrics);
+
+}  // namespace ptar::obs
+
+#endif  // PTAR_OBS_REPORT_H_

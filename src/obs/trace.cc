@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+
+namespace ptar::obs {
+
+const char* InternSpanName(std::string_view name) {
+  static std::mutex* mu = new std::mutex();
+  static auto* interned = new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(*mu);
+  return interned->emplace(name).first->c_str();
+}
+
+namespace {
+
+/// Thread-local cache of this thread's buffer. The raw pointer stays valid
+/// for the process lifetime because the recorder owns the buffer; a dying
+/// thread simply abandons its (recorder-owned) buffer.
+thread_local internal::TraceBuffer* tls_buffer = nullptr;
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) buffer->events.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+internal::TraceBuffer* TraceRecorder::ThisThreadBuffer() {
+  if (tls_buffer != nullptr) return tls_buffer;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buffer = std::make_unique<internal::TraceBuffer>();
+  buffer->tid = static_cast<int>(buffers_.size());
+  buffer->events.reserve(1024);
+  tls_buffer = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  return tls_buffer;
+}
+
+void TraceRecorder::RecordEndingNow(const char* name, double dur_micros) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.ph = 'i';
+  event.ts_micros = NowMicros();
+  event.arg_keys[0] = "wait_us";
+  event.arg_values[0] = static_cast<std::int64_t>(dur_micros);
+  event.num_args = 1;
+  ThisThreadBuffer()->events.push_back(event);
+}
+
+std::uint64_t TraceRecorder::events_recorded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->events.size();
+  return total;
+}
+
+std::size_t TraceRecorder::buffer_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      for (const TraceEvent& e : buffer->events) {
+        if (e.ph == 'X') {
+          std::fprintf(
+              f,
+              "%s{\"name\":\"%s\",\"cat\":\"ptar\",\"ph\":\"X\","
+              "\"ts\":%" PRId64 ",\"dur\":%" PRId64 ",\"pid\":1,\"tid\":%d",
+              first ? "" : ",\n", e.name, e.ts_micros, e.dur_micros,
+              buffer->tid);
+        } else {
+          // Thread-scoped instant ("s":"t"): a point on the track.
+          std::fprintf(
+              f,
+              "%s{\"name\":\"%s\",\"cat\":\"ptar\",\"ph\":\"i\","
+              "\"s\":\"t\",\"ts\":%" PRId64 ",\"pid\":1,\"tid\":%d",
+              first ? "" : ",\n", e.name, e.ts_micros, buffer->tid);
+        }
+        if (e.num_args > 0) {
+          std::fprintf(f, ",\"args\":{");
+          for (int a = 0; a < e.num_args; ++a) {
+            std::fprintf(f, "%s\"%s\":%" PRId64, a > 0 ? "," : "",
+                         e.arg_keys[a], e.arg_values[a]);
+          }
+          std::fprintf(f, "}");
+        }
+        std::fprintf(f, "}");
+        first = false;
+      }
+    }
+  }
+  std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
+  if (std::fclose(f) != 0) {
+    return Status::IoError("error writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ptar::obs

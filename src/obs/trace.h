@@ -1,0 +1,175 @@
+// Structured tracing: a thread-safe, lock-cheap recorder of timed spans
+// that serializes to Chrome trace-event JSON (loadable in chrome://tracing
+// and Perfetto).
+//
+// Design constraints (see DESIGN.md "Observability"):
+//  - Disabled is the default and must cost a single relaxed atomic load per
+//    span site: no allocation, no lock, no clock read. Benches run with
+//    tracing off, so the hot path may be instrumented freely.
+//  - Enabled recording is lock-free on the steady path: every thread owns a
+//    private event buffer (registered once under a mutex on first use) and
+//    appends without synchronization. Buffers are merged at WriteJson time,
+//    after all spans have closed.
+//  - Span nesting is implicit: RAII spans on one thread open/close in stack
+//    order, so the emitted complete events ("ph":"X") nest by construction.
+//
+// Usage:
+//   TraceRecorder::Global().Start();
+//   { PTAR_TRACE_SPAN("verify"); ... }            // anonymous scoped span
+//   { TraceSpan span("collect"); span.AddArg("candidates", n); ... }
+//   TraceRecorder::Global().Stop();
+//   TraceRecorder::Global().WriteJson("trace.json");
+
+#ifndef PTAR_OBS_TRACE_H_
+#define PTAR_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptar::obs {
+
+/// One recorded span: a Chrome trace-event "complete" event. Args are a
+/// fixed-capacity set of integer key/values (candidate counts and the like)
+/// so recording never allocates per-arg.
+struct TraceEvent {
+  static constexpr int kMaxArgs = 3;
+  const char* name = "";            ///< Static string (macro literal).
+  std::int64_t ts_micros = 0;       ///< Start, relative to Start().
+  std::int64_t dur_micros = 0;
+  /// 'X' = complete (RAII span, stack-nested); 'i' = thread-scoped instant
+  /// (point measurements like queue waits, which may overlap freely).
+  char ph = 'X';
+  int num_args = 0;
+  const char* arg_keys[kMaxArgs] = {nullptr, nullptr, nullptr};
+  std::int64_t arg_values[kMaxArgs] = {0, 0, 0};
+};
+
+namespace internal {
+
+/// Per-thread event sink. Owned by the recorder (so it outlives the thread);
+/// appended to by exactly one thread while recording is enabled.
+struct TraceBuffer {
+  int tid = 0;                      ///< Dense track id, registration order.
+  std::vector<TraceEvent> events;
+};
+
+}  // namespace internal
+
+class TraceRecorder {
+ public:
+  /// Process-wide recorder; span macros record here. Never destroyed.
+  static TraceRecorder& Global();
+
+  /// Enables recording and clears previously recorded events. Thread
+  /// buffers (and their track ids) persist across Start() calls.
+  void Start();
+
+  /// Disables recording. Spans still open keep their buffer pointer and
+  /// will append on close; call this only after joining instrumented work.
+  void Stop();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// The calling thread's buffer, registering it on first use. Only valid
+  /// to append from that thread.
+  internal::TraceBuffer* ThisThreadBuffer();
+
+  /// Records a thread-scoped instant event stamped now, carrying
+  /// `dur_micros` as a "wait_us" arg (for intervals measured after the
+  /// fact, like queue waits — they may overlap on a track, so they must
+  /// not be complete events). No-op when disabled.
+  void RecordEndingNow(const char* name, double dur_micros);
+
+  std::int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - epoch_)
+        .count();
+  }
+
+  /// Serializes every buffer as Chrome trace-event JSON. Call after Stop();
+  /// events appended concurrently with the write are not guaranteed to
+  /// appear.
+  Status WriteJson(const std::string& path);
+
+  // --- Introspection (tests; see obs_overhead_test). ---
+  /// Events appended since the last Start() across all threads. O(threads).
+  std::uint64_t events_recorded();
+  /// Thread buffers ever registered (never shrinks).
+  std::size_t buffer_count();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  TraceRecorder() : epoch_(Clock::now()) {}
+
+  std::atomic<bool> enabled_{false};
+  Clock::time_point epoch_;  ///< ts base; fixed for the process lifetime.
+  std::mutex mu_;            ///< Guards buffers_ registration / iteration.
+  std::vector<std::unique_ptr<internal::TraceBuffer>> buffers_;
+};
+
+/// RAII scoped span. Inactive (a single branch, no clock read) when the
+/// global recorder is disabled at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    TraceRecorder& rec = TraceRecorder::Global();
+    if (!rec.enabled()) return;
+    buffer_ = rec.ThisThreadBuffer();
+    event_.name = name;
+    event_.ts_micros = rec.NowMicros();
+  }
+
+  ~TraceSpan() {
+    if (buffer_ == nullptr) return;
+    event_.dur_micros =
+        TraceRecorder::Global().NowMicros() - event_.ts_micros;
+    buffer_->events.push_back(event_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an integer annotation (candidate counts, cell ids, ...).
+  /// `key` must be a static string. Silently drops args past kMaxArgs and
+  /// is a no-op on an inactive span.
+  void AddArg(const char* key, std::int64_t value) {
+    if (buffer_ == nullptr || event_.num_args >= TraceEvent::kMaxArgs) {
+      return;
+    }
+    event_.arg_keys[event_.num_args] = key;
+    event_.arg_values[event_.num_args] = value;
+    ++event_.num_args;
+  }
+
+ private:
+  internal::TraceBuffer* buffer_ = nullptr;  ///< Null => span is inactive.
+  TraceEvent event_;
+};
+
+/// Returns a process-lifetime stable copy of `name` for use as a span
+/// name. Span events store raw `const char*`s, so dynamic names (e.g.
+/// "match_" + matcher->name()) must be interned. Intended for a small
+/// bounded set of names, not per-event payloads: entries are never freed.
+const char* InternSpanName(std::string_view name);
+
+}  // namespace ptar::obs
+
+#define PTAR_TRACE_CONCAT_INNER(a, b) a##b
+#define PTAR_TRACE_CONCAT(a, b) PTAR_TRACE_CONCAT_INNER(a, b)
+
+/// Anonymous scoped span covering the rest of the enclosing block.
+#define PTAR_TRACE_SPAN(name) \
+  ::ptar::obs::TraceSpan PTAR_TRACE_CONCAT(ptar_trace_span_, __LINE__)(name)
+
+#endif  // PTAR_OBS_TRACE_H_

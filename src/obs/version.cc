@@ -1,0 +1,11 @@
+#include "obs/version.h"
+
+namespace ptar::obs {
+
+#ifndef PTAR_GIT_DESCRIBE
+#define PTAR_GIT_DESCRIBE "unknown"
+#endif
+
+const char* GitDescribe() { return PTAR_GIT_DESCRIBE; }
+
+}  // namespace ptar::obs

@@ -1,0 +1,16 @@
+// Build provenance for machine-readable outputs.
+
+#ifndef PTAR_OBS_VERSION_H_
+#define PTAR_OBS_VERSION_H_
+
+namespace ptar::obs {
+
+/// `git describe --always --dirty` of the source tree at configure time
+/// ("unknown" when the build was configured outside a git checkout). Every
+/// versioned JSON artifact (run reports, BENCH_*.json) embeds this so runs
+/// can be attributed to a revision after the fact.
+const char* GitDescribe();
+
+}  // namespace ptar::obs
+
+#endif  // PTAR_OBS_VERSION_H_

@@ -1,6 +1,7 @@
 #include "rideshare/baseline_matcher.h"
 
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "rideshare/matcher_internal.h"
 #include "rideshare/skyline.h"
 
@@ -25,28 +26,41 @@ MatchResult BaselineMatcher::Match(const Request& request, MatchContext& ctx) {
   // VerifyEmptyVehicle computes no distance for the others.
   std::vector<VehicleId> batch_empty;
   std::vector<VehicleId> batch_nonempty;
-  for (const KineticTree& tree : *ctx.fleet) {
-    if (tree.IsEmpty()) {
-      if (tree.capacity() >= request.riders) {
-        batch_empty.push_back(tree.vehicle());
+  {
+    obs::TraceSpan span("collect");
+    for (const KineticTree& tree : *ctx.fleet) {
+      if (tree.IsEmpty()) {
+        if (tree.capacity() >= request.riders) {
+          batch_empty.push_back(tree.vehicle());
+        }
+      } else {
+        batch_nonempty.push_back(tree.vehicle());
       }
-    } else {
-      batch_nonempty.push_back(tree.vehicle());
     }
+    span.AddArg("empty", static_cast<std::int64_t>(batch_empty.size()));
+    span.AddArg("nonempty",
+                static_cast<std::int64_t>(batch_nonempty.size()));
   }
   internal::PrefetchBatchDistances(env, ctx, batch_empty, batch_nonempty);
 
-  for (KineticTree& tree : *ctx.fleet) {
-    if (tree.IsEmpty()) {
-      internal::VerifyEmptyVehicle(tree, env, ctx, skyline, stats);
-    } else {
-      internal::VerifyNonEmptyVehicle(tree, env, ctx, no_hooks, skyline,
-                                      stats);
+  {
+    PTAR_TRACE_SPAN("verify");
+    for (KineticTree& tree : *ctx.fleet) {
+      if (tree.IsEmpty()) {
+        internal::VerifyEmptyVehicle(tree, env, ctx, skyline, stats);
+      } else {
+        internal::VerifyNonEmptyVehicle(tree, env, ctx, no_hooks, skyline,
+                                        stats);
+      }
     }
   }
 
   MatchResult result;
-  result.options = skyline.Sorted();
+  {
+    obs::TraceSpan span("skyline_sort");
+    span.AddArg("options", static_cast<std::int64_t>(skyline.size()));
+    result.options = skyline.Sorted();
+  }
   stats.compdists = ctx.oracle->compdists();
   stats.elapsed_micros = timer.ElapsedMicros();
   result.stats = stats;

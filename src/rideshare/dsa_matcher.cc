@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "rideshare/matcher_internal.h"
 #include "rideshare/skyline.h"
 
@@ -48,15 +49,25 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
     to_verify.clear();
     if (idx < limit_s) {
       const CellId g_s = cells_s[idx];
+      obs::TraceSpan cell_span("expand_cell_s");
+      cell_span.AddArg("cell", g_s);
       ++stats.scanned_cells;
       empty_candidates.clear();
       s_new.clear();
-      internal::CollectEmptyCandidates(g_s, env, ctx, skyline, emitted_empty,
-                                       stats, &empty_candidates);
-      internal::CollectStartCandidates(g_s, env, ctx, skyline, emitted_s,
-                                       stats, &s_new);
+      {
+        PTAR_TRACE_SPAN("collect");
+        internal::CollectEmptyCandidates(g_s, env, ctx, skyline,
+                                         emitted_empty, stats,
+                                         &empty_candidates);
+        internal::CollectStartCandidates(g_s, env, ctx, skyline, emitted_s,
+                                         stats, &s_new);
+      }
+      cell_span.AddArg("candidates",
+                       static_cast<std::int64_t>(empty_candidates.size() +
+                                                 s_new.size()));
       // Counted batch for the empty candidates' pickup distances.
       internal::PrefetchBatchDistances(env, ctx, empty_candidates, {});
+      PTAR_TRACE_SPAN("verify");
       for (const VehicleId v : empty_candidates) {
         internal::VerifyEmptyVehicle((*ctx.fleet)[v], env, ctx, skyline,
                                      stats);
@@ -68,10 +79,16 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
     }
     if (idx < limit_d) {
       const CellId g_d = cells_d[idx];
+      obs::TraceSpan cell_span("expand_cell_d");
+      cell_span.AddArg("cell", g_d);
       ++stats.scanned_cells;
       d_new.clear();
-      internal::CollectDestCandidates(g_d, env, ctx, skyline, emitted_d,
-                                      stats, &d_new);
+      {
+        PTAR_TRACE_SPAN("collect");
+        internal::CollectDestCandidates(g_d, env, ctx, skyline, emitted_d,
+                                        stats, &d_new);
+      }
+      cell_span.AddArg("candidates", static_cast<std::int64_t>(d_new.size()));
       for (const VehicleId v : d_new) {
         d_candidate[v] = 1;
         if (s_candidate[v] && !verified[v]) to_verify.push_back(v);
@@ -80,6 +97,7 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
     // Warm the intersection batch from both query endpoints before the
     // per-vehicle enumerations (dual-sided: start and destination sweeps).
     internal::PrefetchBatchDistances(env, ctx, {}, to_verify);
+    PTAR_TRACE_SPAN("verify");
     for (const VehicleId v : to_verify) {
       if (verified[v]) continue;  // could appear twice in one round
       verified[v] = 1;
@@ -89,7 +107,11 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
   }
 
   MatchResult result;
-  result.options = skyline.Sorted();
+  {
+    obs::TraceSpan span("skyline_sort");
+    span.AddArg("options", static_cast<std::int64_t>(skyline.size()));
+    result.options = skyline.Sorted();
+  }
   stats.compdists = ctx.oracle->compdists();
   stats.elapsed_micros = timer.ElapsedMicros();
   result.stats = stats;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
 #include "rideshare/lemmas.h"
 
 namespace ptar::internal {
@@ -92,11 +93,14 @@ void VerifyNonEmptyVehicle(KineticTree& tree, const RequestEnv& env,
                            MatchContext& ctx, const InsertionHooks& hooks,
                            SkylineSet& skyline, MatchStats& stats) {
   ++stats.verified_vehicles;
+  obs::TraceSpan span("verify_insertion");
+  span.AddArg("vehicle", tree.vehicle());
   const KineticTree::DistFn dist = OracleDistFn(ctx);
   tree.Refresh(dist);
   const Distance base_total = tree.CurrentTotal();
   const std::vector<InsertionCandidate> candidates =
       tree.EnumerateInsertions(*env.request, env.direct, dist, hooks);
+  span.AddArg("candidates", static_cast<std::int64_t>(candidates.size()));
   for (const InsertionCandidate& cand : candidates) {
     Option option;
     option.vehicle = tree.vehicle();
@@ -252,6 +256,11 @@ void CollectSchedulePoints(const KineticTree& tree,
 void PrefetchBatchDistances(const RequestEnv& env, MatchContext& ctx,
                             std::span<const VehicleId> empty_candidates,
                             std::span<const VehicleId> nonempty_candidates) {
+  if (empty_candidates.empty() && nonempty_candidates.empty()) return;
+  obs::TraceSpan span("prefetch");
+  span.AddArg("empty", static_cast<std::int64_t>(empty_candidates.size()));
+  span.AddArg("nonempty",
+              static_cast<std::int64_t>(nonempty_candidates.size()));
   if (!empty_candidates.empty()) {
     std::vector<VertexId> locations;
     locations.reserve(empty_candidates.size());

@@ -1,6 +1,7 @@
 #include "rideshare/ssa_matcher.h"
 
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "rideshare/matcher_internal.h"
 #include "rideshare/skyline.h"
 
@@ -33,16 +34,26 @@ MatchResult SsaMatcher::Match(const Request& request, MatchContext& ctx) {
   std::vector<VehicleId> nonempty_candidates;
   for (std::size_t i = 0; i < limit; ++i) {
     const CellId cell = cells[i];
+    obs::TraceSpan cell_span("expand_cell");
+    cell_span.AddArg("cell", cell);
     ++stats.scanned_cells;
     empty_candidates.clear();
     nonempty_candidates.clear();
-    internal::CollectEmptyCandidates(cell, env, ctx, skyline, emitted, stats,
-                                     &empty_candidates);
-    internal::CollectStartCandidates(cell, env, ctx, skyline, emitted, stats,
-                                     &nonempty_candidates);
+    {
+      // Cell expansion + lemma pruning (Algorithms 2-3).
+      PTAR_TRACE_SPAN("collect");
+      internal::CollectEmptyCandidates(cell, env, ctx, skyline, emitted,
+                                       stats, &empty_candidates);
+      internal::CollectStartCandidates(cell, env, ctx, skyline, emitted,
+                                       stats, &nonempty_candidates);
+    }
+    cell_span.AddArg("candidates",
+                     static_cast<std::int64_t>(empty_candidates.size() +
+                                               nonempty_candidates.size()));
     // One batched sweep per cell batch instead of per-pair searches.
     internal::PrefetchBatchDistances(env, ctx, empty_candidates,
                                      nonempty_candidates);
+    PTAR_TRACE_SPAN("verify");
     for (const VehicleId v : empty_candidates) {
       internal::VerifyEmptyVehicle((*ctx.fleet)[v], env, ctx, skyline, stats);
     }
@@ -53,7 +64,11 @@ MatchResult SsaMatcher::Match(const Request& request, MatchContext& ctx) {
   }
 
   MatchResult result;
-  result.options = skyline.Sorted();
+  {
+    obs::TraceSpan span("skyline_sort");
+    span.AddArg("options", static_cast<std::int64_t>(skyline.size()));
+    result.options = skyline.Sorted();
+  }
   stats.compdists = ctx.oracle->compdists();
   stats.elapsed_micros = timer.ElapsedMicros();
   result.stats = stats;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "common/timer.h"
+#include "obs/trace.h"
+
 namespace ptar {
 
 namespace {
@@ -39,8 +42,18 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
   PTAR_CHECK(options.num_vehicles >= 1);
   PTAR_CHECK(options.vehicle_capacity >= 1);
   PTAR_CHECK(options.threads >= 1);
+  phase_advance_us_ = &metrics_.Histogram("engine/advance_us");
+  phase_refresh_us_ = &metrics_.Histogram("engine/refresh_us");
+  phase_match_us_ = &metrics_.Histogram("engine/match_us");
+  phase_commit_us_ = &metrics_.Histogram("engine/commit_us");
   if (options.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options.threads);
+    // Queue-wait intervals land on the worker's own trace track; the
+    // recorder drops them (one branch) when tracing is off.
+    pool_->SetTaskWaitObserver([](double wait_micros) {
+      obs::TraceRecorder::Global().RecordEndingNow("pool_queue_wait",
+                                                   wait_micros);
+    });
   }
   fleet_.reserve(options.num_vehicles);
   runtimes_.resize(options.num_vehicles);
@@ -312,13 +325,29 @@ void Engine::CommitChoice(const Request& request, const Option& option) {
 Engine::RequestOutcome Engine::ProcessRequest(
     const Request& request, std::span<Matcher* const> matchers) {
   PTAR_CHECK(!matchers.empty());
-  AdvanceTo(request.submit_time);
-  RefreshStaleTrees();
+  PTAR_TRACE_SPAN("request");
+  {
+    PTAR_TRACE_SPAN("advance");
+    Timer timer;
+    AdvanceTo(request.submit_time);
+    phase_advance_us_->Add(timer.ElapsedMicros());
+  }
+  {
+    PTAR_TRACE_SPAN("refresh");
+    Timer timer;
+    RefreshStaleTrees();
+    phase_refresh_us_->Add(timer.ElapsedMicros());
+  }
 
   RequestOutcome outcome;
   outcome.results.resize(matchers.size());
   EnsureMatcherOracles(matchers.size());
+  // Per-slot span names carry the matcher name; interning is only paid
+  // while tracing is enabled (the spans would drop the name otherwise).
+  const bool tracing = obs::TraceRecorder::Global().enabled();
+  Timer match_timer;
   if (pool_ != nullptr && matchers.size() > 1) {
+    PTAR_TRACE_SPAN("shadow_match");
     // Matchers only read the shared world state (trees were refreshed
     // above, so Refresh() is a no-op), but the registry's cell aggregates
     // rebuild lazily through mutable members — make them clean so
@@ -327,8 +356,13 @@ Engine::RequestOutcome Engine::ProcessRequest(
     std::vector<std::future<void>> pending;
     pending.reserve(matchers.size());
     for (std::size_t m = 0; m < matchers.size(); ++m) {
-      pending.push_back(pool_->Submit([this, m, &request, &outcome,
-                                       matchers] {
+      const char* span_name =
+          tracing ? obs::InternSpanName("match_" + matchers[m]->name())
+                  : "match";
+      pending.push_back(pool_->Submit([this, m, span_name, &request,
+                                       &outcome, matchers] {
+        obs::TraceSpan span(span_name);
+        span.AddArg("slot", static_cast<std::int64_t>(m));
         MatchContext ctx = MakeMatchContextFor(m);
         outcome.results[m] = matchers[m]->Match(request, ctx);
       }));
@@ -336,16 +370,26 @@ Engine::RequestOutcome Engine::ProcessRequest(
     for (std::future<void>& f : pending) f.get();
   } else {
     for (std::size_t m = 0; m < matchers.size(); ++m) {
+      obs::TraceSpan span(
+          tracing ? obs::InternSpanName("match_" + matchers[m]->name())
+                  : "match");
+      span.AddArg("slot", static_cast<std::int64_t>(m));
       MatchContext ctx = MakeMatchContextFor(m);
       outcome.results[m] = matchers[m]->Match(request, ctx);
     }
   }
+  phase_match_us_->Add(match_timer.ElapsedMicros());
 
-  const Option* chosen = ChooseOption(outcome.results[0].options);
-  if (chosen != nullptr) {
-    outcome.served = true;
-    outcome.chosen = *chosen;
-    CommitChoice(request, *chosen);
+  {
+    PTAR_TRACE_SPAN("commit");
+    Timer timer;
+    const Option* chosen = ChooseOption(outcome.results[0].options);
+    if (chosen != nullptr) {
+      outcome.served = true;
+      outcome.chosen = *chosen;
+      CommitChoice(request, *chosen);
+    }
+    phase_commit_us_->Add(timer.ElapsedMicros());
   }
   return outcome;
 }
@@ -358,6 +402,24 @@ RunStats Engine::Run(std::span<const Request> requests,
     stats.matchers[m].name = matchers[m]->name();
   }
 
+  // Per-request distributions, one set per matcher. Resolved once before
+  // the request loop (map values are address-stable). The latency one is
+  // timing-suffixed; compdists/options are deterministic and feed the
+  // threads=1 vs threads=N equality check in obs_trace_test.
+  struct PerMatcherHist {
+    obs::LatencyHistogram* latency_us;
+    obs::LatencyHistogram* compdists;
+    obs::LatencyHistogram* options;
+  };
+  std::vector<PerMatcherHist> hists;
+  hists.reserve(matchers.size());
+  for (std::size_t m = 0; m < matchers.size(); ++m) {
+    const std::string base = "matcher/" + matchers[m]->name();
+    hists.push_back({&metrics_.Histogram(base + "/latency_us"),
+                     &metrics_.Histogram(base + "/compdists"),
+                     &metrics_.Histogram(base + "/options")});
+  }
+
   for (const Request& request : requests) {
     const RequestOutcome outcome = ProcessRequest(request, matchers);
     const std::span<const Option> exact(outcome.results[0].options);
@@ -367,6 +429,11 @@ RunStats Engine::Run(std::span<const Request> requests,
       agg.latency_ms.Add(outcome.results[m].stats.elapsed_micros / 1e3);
       ++agg.requests;
       agg.options_sum += outcome.results[m].options.size();
+      hists[m].latency_us->Add(outcome.results[m].stats.elapsed_micros);
+      hists[m].compdists->Add(
+          static_cast<double>(outcome.results[m].stats.compdists));
+      hists[m].options->Add(
+          static_cast<double>(outcome.results[m].options.size()));
       // Precision / recall vs. the committing matcher (Table III).
       const std::span<const Option> approx(outcome.results[m].options);
       std::size_t hit = 0;
@@ -389,7 +456,30 @@ RunStats Engine::Run(std::span<const Request> requests,
     }
   }
   stats.shared = shared_requests_.size();
+  HarvestRunMetrics(matchers);
   return stats;
+}
+
+void Engine::HarvestRunMetrics(std::span<Matcher* const> matchers) {
+  for (std::size_t m = 0; m < matchers.size(); ++m) {
+    const std::string base = "matcher/" + matchers[m]->name();
+    // Oracle batching stats accumulate per oracle since construction;
+    // merge the delta since the last harvest and reset the source so two
+    // Run() calls don't double count.
+    DistanceOracle* oracle =
+        m == 0 ? &match_oracle_ : matcher_oracles_[m - 1].get();
+    metrics_.MergeBatchStats(base + "/batch", oracle->batch_stats());
+    oracle->ResetBatchStats();
+  }
+  if (pool_ != nullptr) {
+    const std::uint64_t tasks = pool_->tasks_run();
+    const std::uint64_t wait = pool_->total_wait_micros();
+    metrics_.AddCounter("pool/tasks_run", tasks - pool_tasks_harvested_);
+    metrics_.AddCounter("pool/queue_wait_micros",
+                        wait - pool_wait_harvested_);
+    pool_tasks_harvested_ = tasks;
+    pool_wait_harvested_ = wait;
+  }
 }
 
 }  // namespace ptar

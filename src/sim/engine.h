@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/distance_oracle.h"
+#include "obs/metrics.h"
 #include "grid/grid_index.h"
 #include "grid/vehicle_registry.h"
 #include "kinetic/kinetic_tree.h"
@@ -64,7 +65,10 @@ struct MatcherAggregate {
   std::uint64_t options_sum = 0;
   double precision_sum = 0.0;  ///< vs. the first matcher's option set.
   double recall_sum = 0.0;
-  SampleSummary latency_ms;  ///< Per-request matching latency distribution.
+  /// Per-request matching latency distribution. A fixed log-bucket
+  /// histogram (O(1) memory, mergeable), not a sample list: percentiles
+  /// are exact to one bucket width (~19%).
+  obs::LatencyHistogram latency_ms;
 
   double MeanMillis() const {
     return requests == 0 ? 0.0 : totals.elapsed_micros / 1e3 / requests;
@@ -124,6 +128,15 @@ class Engine {
   /// Sum of the fleet's kinetic-tree memory (Table IV's second row).
   std::size_t KineticTreeMemoryBytes() const;
 
+  /// Unified run metrics: engine phase-latency histograms
+  /// ("engine/<phase>_us"), per-matcher per-request distributions and
+  /// totals ("matcher/<name>/..."), oracle batching counters
+  /// ("matcher/<name>/batch/..."), and thread-pool queue stats ("pool/...").
+  /// Accumulates across Run() calls. Names follow the determinism
+  /// convention of obs::MetricsRegistry: only "pool/" entries and the
+  /// timing-suffixed ones may differ between equal-seed runs.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   // --- Simulation. ---
 
   /// Advances the world to absolute time `time` (seconds).
@@ -170,6 +183,9 @@ class Engine {
   void RefreshStaleTrees();
   const Option* ChooseOption(std::span<const Option> options);
   void CommitChoice(const Request& request, const Option& option);
+  /// Folds per-run oracle batching stats and pool queue stats into
+  /// metrics_ (and resets the sources so a later Run() adds only deltas).
+  void HarvestRunMetrics(std::span<Matcher* const> matchers);
 
   const RoadNetwork* graph_;
   const GridIndex* grid_;
@@ -191,6 +207,19 @@ class Engine {
 
   std::unordered_set<RequestId> shared_requests_;
   std::uint64_t served_ = 0;
+
+  obs::MetricsRegistry metrics_;
+  /// Cached phase-histogram slots (map values are address-stable), so the
+  /// per-request path does one string lookup per phase at construction
+  /// instead of per request.
+  obs::LatencyHistogram* phase_advance_us_;
+  obs::LatencyHistogram* phase_refresh_us_;
+  obs::LatencyHistogram* phase_match_us_;
+  obs::LatencyHistogram* phase_commit_us_;
+  /// Pool counter values already folded into metrics_ (the pool's atomics
+  /// are cumulative; HarvestRunMetrics adds only the delta).
+  std::uint64_t pool_tasks_harvested_ = 0;
+  std::uint64_t pool_wait_harvested_ = 0;
 };
 
 }  // namespace ptar

@@ -1,0 +1,34 @@
+#include "sim/run_report.h"
+
+namespace ptar {
+
+obs::RunReport BuildRunReport(const RunStats& stats,
+                              const obs::MetricsRegistry& metrics,
+                              const std::string& tool) {
+  obs::RunReport report;
+  report.tool = tool;
+  report.served = stats.served;
+  report.unserved = stats.unserved;
+  report.shared = stats.shared;
+  report.matchers.reserve(stats.matchers.size());
+  for (const MatcherAggregate& agg : stats.matchers) {
+    obs::MatcherReport m;
+    m.name = agg.name;
+    m.requests = agg.requests;
+    m.options_sum = agg.options_sum;
+    m.verified_vehicles = agg.totals.verified_vehicles;
+    m.compdists = agg.totals.compdists;
+    m.scanned_cells = agg.totals.scanned_cells;
+    m.pruned_cells = agg.totals.pruned_cells;
+    m.pruned_vehicles = agg.totals.pruned_vehicles;
+    m.elapsed_micros = agg.totals.elapsed_micros;
+    m.precision_sum = agg.precision_sum;
+    m.recall_sum = agg.recall_sum;
+    m.latency_ms = agg.latency_ms;
+    report.matchers.push_back(std::move(m));
+  }
+  report.metrics.MergeFrom(metrics);
+  return report;
+}
+
+}  // namespace ptar

@@ -1,0 +1,24 @@
+// RunStats -> obs::RunReport conversion (the sim side of the report
+// layering: obs defines the neutral report structs, sim knows how to fill
+// them from a finished run).
+
+#ifndef PTAR_SIM_RUN_REPORT_H_
+#define PTAR_SIM_RUN_REPORT_H_
+
+#include <string>
+
+#include "obs/report.h"
+#include "sim/engine.h"
+
+namespace ptar {
+
+/// Builds a report from a finished run: per-matcher aggregates from
+/// `stats`, the unified metrics registry snapshot from `metrics`
+/// (typically engine.metrics()), and `tool` naming the producing surface.
+obs::RunReport BuildRunReport(const RunStats& stats,
+                              const obs::MetricsRegistry& metrics,
+                              const std::string& tool);
+
+}  // namespace ptar
+
+#endif  // PTAR_SIM_RUN_REPORT_H_

@@ -66,6 +66,42 @@ TEST(SampleSummaryTest, MergeFromCombines) {
   EXPECT_DOUBLE_EQ(a.Mean(), 3.0);
 }
 
+TEST(SampleSummaryTest, InterleavedAddAndQueryMatchesBulk) {
+  // The sorted cache grows incrementally (sort the new suffix, then an
+  // inplace_merge) instead of a full re-sort per invalidation; heavy
+  // interleaving of Add and Percentile must still match a bulk-built
+  // summary exactly.
+  SampleSummary interleaved;
+  SampleSummary bulk;
+  Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.UniformReal(0, 100));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    interleaved.Add(values[i]);
+    if (i % 3 == 0) {
+      // Query mid-stream: forces the incremental path on the next Add.
+      (void)interleaved.Percentile(50);
+    }
+  }
+  for (double v : values) bulk.Add(v);
+  for (double p = 0; p <= 100; p += 7) {
+    EXPECT_DOUBLE_EQ(interleaved.Percentile(p), bulk.Percentile(p)) << p;
+  }
+}
+
+TEST(SampleSummaryTest, QueryAfterMergeSeesAllSamples) {
+  SampleSummary a;
+  SampleSummary b;
+  a.Add(10.0);
+  (void)a.Percentile(50);  // populate a's sorted cache before the merge
+  b.Add(2.0);
+  b.Add(4.0);
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.Percentile(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(100), 10.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(50), 4.0);
+}
+
 TEST(SampleSummaryTest, PercentileOrderIsMonotone) {
   SampleSummary s;
   Rng rng(17);

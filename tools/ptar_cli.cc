@@ -19,10 +19,13 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "grid/grid_index.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "rideshare/baseline_matcher.h"
 #include "rideshare/dsa_matcher.h"
 #include "rideshare/ssa_matcher.h"
 #include "sim/engine.h"
+#include "sim/run_report.h"
 #include "sim/trace_io.h"
 #include "sim/workload.h"
 
@@ -65,7 +68,7 @@ int Help() {
       "  simulate --network=FILE --requests=FILE [--vehicles=N]\n"
       "      [--capacity=N] [--cell-size=M] [--adaptive] [--fraction=F]\n"
       "      [--policy=price|time|balanced|random] [--shadow] [--seed=N]\n"
-      "      [--threads=N]\n"
+      "      [--threads=N] [--trace_out=FILE] [--report_out=FILE]\n"
       "  match --network=FILE --from=V --to=V [--riders=N] [--wait-min=MIN]\n"
       "      [--epsilon=E] [--vehicles=N] [--cell-size=M] [--seed=N]\n"
       "  help\n");
@@ -208,6 +211,8 @@ int Simulate(const FlagParser& flags) {
   const auto shadow = flags.GetBool("shadow", false);
   const auto threads = GetThreadsFlag(flags);
   const bool adaptive = flags.Has("adaptive");
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const std::string report_out = flags.GetString("report_out", "");
   const auto policy = ParsePolicy(flags.GetString("policy", "price"));
   for (const Status& st :
        {vehicles.status(), capacity.status(), cell_size.status(),
@@ -244,7 +249,9 @@ int Simulate(const FlagParser& flags) {
   std::printf("simulating %zu requests, %d vehicles, %zu cells (%s)...\n",
               requests->size(), eopts.num_vehicles,
               grid->num_active_cells(), adaptive ? "quadtree" : "uniform");
+  if (!trace_out.empty()) obs::TraceRecorder::Global().Start();
   const RunStats stats = engine.Run(*requests, matchers);
+  if (!trace_out.empty()) obs::TraceRecorder::Global().Stop();
 
   std::printf("\n%-5s %10s %10s %10s %10s %12s %9s %10s %8s\n", "algo",
               "mean(ms)", "p50(ms)", "p95(ms)", "verified", "compdists",
@@ -263,6 +270,23 @@ int Simulate(const FlagParser& flags) {
               requests->size(), stats.SharingRate(),
               engine.KineticTreeMemoryBytes() / 1048576.0,
               grid->MemoryBytes() / 1048576.0);
+  if (!trace_out.empty()) {
+    if (const Status st = obs::TraceRecorder::Global().WriteJson(trace_out);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote trace: %s (load in Perfetto / chrome://tracing)\n",
+                trace_out.c_str());
+  }
+  if (!report_out.empty()) {
+    const obs::RunReport report =
+        BuildRunReport(stats, engine.metrics(), "ptar_cli simulate");
+    if (const Status st = obs::WriteRunReport(report, report_out); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote report: %s (schema v%d)\n", report_out.c_str(),
+                obs::kReportSchemaVersion);
+  }
   return 0;
 }
 
