@@ -1,0 +1,114 @@
+// Differential runner: replays one scenario through the matchers under
+// test and the brute-force reference in lockstep and classifies every
+// per-request skyline disagreement.
+
+#ifndef PTAR_CHECK_DIFFERENTIAL_H_
+#define PTAR_CHECK_DIFFERENTIAL_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/scenario.h"
+#include "rideshare/matcher.h"
+
+namespace ptar::check {
+
+enum class DivergenceType {
+  kMissingOption,    ///< Reference has an option the matcher lacks.
+  kSpuriousOption,   ///< Matcher has an option the reference lacks.
+  kWrongPrice,       ///< Same vehicle and pickup distance, price differs.
+  kWrongPickupDist,  ///< Same vehicle and price, pickup distance differs.
+};
+
+const char* DivergenceTypeName(DivergenceType type);
+
+/// One classified disagreement between a matcher's skyline and the
+/// reference skyline for one request.
+struct Divergence {
+  std::string matcher;
+  std::size_t request_index = 0;  ///< Position in ScenarioSpec::requests.
+  RequestId request = kInvalidRequest;
+  DivergenceType type = DivergenceType::kMissingOption;
+  /// The reference's option (valid for missing / wrong-*).
+  Option expected;
+  /// The matcher's option (valid for spurious / wrong-*).
+  Option actual;
+  /// The matcher's per-lemma prune counters for this request. The
+  /// reference never prunes, so any non-zero entry names a lemma that
+  /// could have removed the lost option (the attribution the harness
+  /// reports for missing-option divergences).
+  LemmaCounters lemma_hits;
+
+  std::string Describe() const;
+};
+
+/// Drops every option *clearly* dominated by another option of the same
+/// set: not worse than the dominator by more than `tolerance` in either
+/// dimension, and better by more than `tolerance` in at least one.
+///
+/// Exact dominance is ill-conditioned at ties: when two insertions have
+/// mathematically equal pickup distances, an ulp of summation-order noise
+/// decides whether a skyline keeps one option or both, so the *exact* sets
+/// legitimately differ between implementations. Both sides of a diff are
+/// normalized with this filter first, which erases those tie ghosts while
+/// leaving every beyond-tolerance disagreement intact.
+std::vector<Option> NormalizeSkyline(std::span<const Option> options,
+                                     double tolerance);
+
+/// Classifies the disagreement between two canonically sorted skylines,
+/// normalizing both with NormalizeSkyline first. Options are equal when
+/// vehicles match and both dimensions agree within `tolerance` (per-slot
+/// oracles may first compute a pair in different sweep directions, so
+/// cross-matcher values can differ in low bits); matching ignores
+/// multiplicity, so FP-merged near-duplicates never flag. Only `type`,
+/// `expected`, and `actual` are filled in.
+std::vector<Divergence> DiffSkylines(std::span<const Option> reference,
+                                     std::span<const Option> actual,
+                                     double tolerance);
+
+struct DifferentialConfig {
+  double tolerance = 1e-6;  ///< Same as the engine's precision/recall.
+  bool stop_at_first = false;  ///< Stop after the first divergent request.
+};
+
+/// Builds the matchers under test; the reference is appended by the
+/// runner. Slot 0 commits, so it should be a full-coverage matcher.
+using MatcherFactory =
+    std::function<std::vector<std::unique_ptr<Matcher>>()>;
+
+/// BA + SSA(1.0) + DSA(1.0) — full cell coverage, where the lemmas must
+/// be answer-preserving.
+std::vector<std::unique_ptr<Matcher>> MakeDefaultMatchers();
+
+struct MatcherSummary {
+  std::string name;
+  std::uint64_t options_sum = 0;
+  MatchStats totals;
+};
+
+struct DifferentialOutcome {
+  static constexpr std::size_t kNoDivergence = static_cast<std::size_t>(-1);
+
+  std::size_t requests_run = 0;
+  std::size_t first_divergent_request = kNoDivergence;
+  std::vector<Divergence> divergences;
+  /// One entry per matcher under test (the reference is excluded).
+  std::vector<MatcherSummary> matchers;
+
+  bool ok() const { return divergences.empty(); }
+};
+
+/// Rebuilds the scenario's world and replays its request stream through
+/// the matchers (from `factory`, or MakeDefaultMatchers when null) plus
+/// the reference, committing slot 0's choice per request.
+StatusOr<DifferentialOutcome> RunDifferential(
+    const ScenarioSpec& spec, const DifferentialConfig& config,
+    const MatcherFactory& factory = nullptr);
+
+}  // namespace ptar::check
+
+#endif  // PTAR_CHECK_DIFFERENTIAL_H_

@@ -1,0 +1,98 @@
+#include "check/fault_injection.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "rideshare/lemmas.h"
+#include "rideshare/matcher_internal.h"
+#include "rideshare/skyline.h"
+
+namespace ptar::check {
+
+BrokenLemmaMatcher::BrokenLemmaMatcher(int lemma, double inflation)
+    : lemma_(lemma), inflation_(inflation) {
+  PTAR_CHECK(lemma == 1 || lemma == 3 || lemma == 11)
+      << "unsupported broken lemma " << lemma;
+  PTAR_CHECK(inflation > 1.0);
+}
+
+MatchResult BrokenLemmaMatcher::Match(const Request& request,
+                                      MatchContext& ctx) {
+  Timer timer;
+  ctx.oracle->ClearCache();
+  ctx.oracle->ResetStats();
+
+  internal::RequestEnv env;
+  env.request = &request;
+  env.direct = ctx.oracle->Dist(request.start, request.destination);
+  env.fn = ctx.price_model.Ratio(request.riders);
+
+  SkylineSet skyline;
+  MatchStats stats;
+  const GridIndex& grid = *ctx.grid;
+  const double inflation = inflation_;
+  const int lemma = lemma_;
+  const double fn = env.fn;
+  const Distance direct = env.direct;
+
+  InsertionHooks hooks;
+  if (lemma == 3) {
+    hooks.prune_s = [&request, &grid, &skyline, &stats, inflation, fn,
+                     direct](const SPositionContext& c) {
+      if (skyline.empty()) return false;
+      const VertexId s = request.start;
+      const Distance l_ox = inflation * grid.LowerBound(s, c.ox);
+      const Distance l_oy =
+          c.tail ? 0.0 : inflation * grid.LowerBound(s, c.oy);
+      if (lemmas::StartEdgePruned(l_ox, l_oy, c.leg_dist, c.tail,
+                                  c.dist_tr_ox, skyline.options(), fn,
+                                  direct)) {
+        ++stats.lemma_hits[3];
+        return true;
+      }
+      return false;
+    };
+  } else if (lemma == 11) {
+    hooks.prune_d = [&request, &grid, &skyline, &stats, inflation, fn,
+                     direct](const DPositionContext& c) {
+      if (skyline.empty()) return false;
+      const VertexId d = request.destination;
+      const Distance l_ox = inflation * grid.LowerBound(d, c.ox);
+      const Distance l_oy =
+          c.tail ? 0.0 : inflation * grid.LowerBound(d, c.oy);
+      const Distance detour_lb = lemmas::DetourLowerBound(
+          c.same_gap, c.tail, c.dist_ox_s, c.delta_s, l_ox, l_oy, c.leg_dist,
+          direct);
+      if (lemmas::AfterStartPruned(c.pickup_dist, detour_lb,
+                                   skyline.options(), fn, direct)) {
+        ++stats.lemma_hits[11];
+        return true;
+      }
+      return false;
+    };
+  }
+
+  for (KineticTree& tree : *ctx.fleet) {
+    if (tree.IsEmpty()) {
+      if (lemma == 1 && !skyline.empty() &&
+          lemmas::EmptyVehiclePruned(
+              inflation * grid.LowerBound(tree.location(), request.start),
+              skyline.options(), fn, direct)) {
+        ++stats.pruned_vehicles;
+        ++stats.lemma_hits[1];
+        continue;
+      }
+      internal::VerifyEmptyVehicle(tree, env, ctx, skyline, stats);
+    } else {
+      internal::VerifyNonEmptyVehicle(tree, env, ctx, hooks, skyline, stats);
+    }
+  }
+
+  MatchResult result;
+  result.options = skyline.Sorted();
+  stats.compdists = ctx.oracle->compdists();
+  stats.elapsed_micros = timer.ElapsedMicros();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace ptar::check

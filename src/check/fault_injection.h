@@ -1,0 +1,42 @@
+// Deliberately broken matchers for validating the differential harness.
+//
+// A correctness harness that has never caught a bug is untested itself.
+// BrokenLemmaMatcher is a full-coverage matcher (scans the whole fleet
+// like BA) whose pruning hook applies one chosen lemma with its grid lower
+// bounds inflated by a factor — the exact over-aggressive-bound bug class
+// the harness exists to catch. With a factor comfortably above the
+// network's distance/lower-bound ratio the "bound" exceeds true distances,
+// the lemma prunes options the reference keeps, and the harness must
+// report missing-option divergences attributed to that lemma's counter.
+
+#ifndef PTAR_CHECK_FAULT_INJECTION_H_
+#define PTAR_CHECK_FAULT_INJECTION_H_
+
+#include <string>
+
+#include "rideshare/matcher.h"
+
+namespace ptar::check {
+
+class BrokenLemmaMatcher : public Matcher {
+ public:
+  /// `lemma` selects the sabotaged predicate: 1 (empty-vehicle dominance),
+  /// 3 (start-edge dominance hook), or 11 (after-start dominance hook).
+  /// `inflation` scales the grid lower bounds fed to it.
+  explicit BrokenLemmaMatcher(int lemma = 3, double inflation = 3.0);
+
+  std::string name() const override {
+    return "BROKEN-L" + std::to_string(lemma_);
+  }
+  MatchResult Match(const Request& request, MatchContext& ctx) override;
+
+  int lemma() const { return lemma_; }
+
+ private:
+  int lemma_;
+  double inflation_;
+};
+
+}  // namespace ptar::check
+
+#endif  // PTAR_CHECK_FAULT_INJECTION_H_

@@ -1,0 +1,38 @@
+// Brute-force reference matcher: ground truth for BA / SSA / DSA.
+//
+// Independence from the production path is the point. The production
+// matchers share KineticTree::EnumerateInsertions, the lemma hooks, and
+// SkylineSet; a bug in any of those would make "BA == SSA" vacuous. The
+// reference enumerates every (pickup, dropoff) insertion pair of every
+// branch itself, splices the stop sequences itself, recomputes *all* legs
+// through plain oracle distances (no splicing of cached branch legs, no
+// grid lower bounds, no lemma pruning), and keeps the non-dominated set via
+// a naive quadratic end-filter instead of the incremental SkylineSet. The
+// only production code it reuses is KineticTree::IsValidSchedule — the
+// authoritative Definition-2 validator that tests exercise directly.
+
+#ifndef PTAR_CHECK_REFERENCE_MATCHER_H_
+#define PTAR_CHECK_REFERENCE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "rideshare/matcher.h"
+
+namespace ptar::check {
+
+/// Removes dominated options and exact duplicates (same vehicle and
+/// values), then sorts canonically (pickup, price, vehicle). Quadratic;
+/// exposed for the skyline property tests, which diff it against
+/// SkylineSet's incremental maintenance.
+std::vector<Option> NaiveSkyline(std::vector<Option> options);
+
+class ReferenceMatcher : public Matcher {
+ public:
+  std::string name() const override { return "REF"; }
+  MatchResult Match(const Request& request, MatchContext& ctx) override;
+};
+
+}  // namespace ptar::check
+
+#endif  // PTAR_CHECK_REFERENCE_MATCHER_H_

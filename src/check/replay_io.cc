@@ -1,0 +1,201 @@
+#include "check/replay_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/trace_io.h"
+
+namespace ptar::check {
+
+namespace {
+
+/// Next content line: skips blanks and '#' comments, strips trailing CR.
+bool NextLine(std::istream& in, std::string* line) {
+  while (std::getline(in, *line)) {
+    while (!line->empty() && line->back() == '\r') line->pop_back();
+    const std::size_t first = line->find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if ((*line)[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+Status ParseError(const std::string& what, const std::string& line) {
+  return Status::InvalidArgument("replay parse error: " + what + ": '" +
+                                 line + "'");
+}
+
+/// Parses one "key=value" token into an integer field.
+bool ParseKeyInt(const std::string& token, const std::string& key,
+                 std::int64_t* out) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) return false;
+  std::istringstream value(token.substr(prefix.size()));
+  return static_cast<bool>(value >> *out) && value.eof();
+}
+
+}  // namespace
+
+Status SaveReplay(const ScenarioSpec& spec, std::ostream& out) {
+  out << "ptar-replay " << kReplayFormatVersion << "\n";
+  out << std::setprecision(17);
+  if (spec.city == ScenarioSpec::CityKind::kGrid) {
+    out << "city grid rows=" << spec.rows << " cols=" << spec.cols
+        << " seed=" << spec.city_seed << "\n";
+  } else {
+    out << "city ring rings=" << spec.rings << " spokes=" << spec.spokes
+        << " seed=" << spec.city_seed << "\n";
+  }
+  out << "cell_size " << spec.cell_size_meters << "\n";
+  out << "capacity " << spec.vehicle_capacity << "\n";
+  out << "engine_seed " << spec.engine_seed << "\n";
+  out << "vehicles " << spec.vehicle_starts.size() << "\n";
+  for (const VertexId v : spec.vehicle_starts) out << "v " << v << "\n";
+  out << "requests\n";
+  const Status saved = SaveRequests(spec.requests, out);
+  if (!saved.ok()) return saved;
+  out << "end\n";
+  if (!out) return Status::IoError("replay write failed");
+  return Status::OK();
+}
+
+Status SaveReplayToFile(const ScenarioSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return SaveReplay(spec, out);
+}
+
+StatusOr<ScenarioSpec> LoadReplay(std::istream& in) {
+  std::string line;
+  if (!NextLine(in, &line)) return Status::IoError("empty replay");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version) || magic != "ptar-replay") {
+      return ParseError("bad header", line);
+    }
+    if (version != kReplayFormatVersion) {
+      return Status::InvalidArgument("unsupported replay version " +
+                                     std::to_string(version));
+    }
+  }
+
+  ScenarioSpec spec;
+  spec.vehicle_starts.clear();
+  std::size_t expected_vehicles = 0;
+  bool saw_city = false;
+  bool saw_requests = false;
+
+  while (NextLine(in, &line)) {
+    std::istringstream row(line);
+    std::string key;
+    row >> key;
+    if (key == "city") {
+      std::string kind;
+      row >> kind;
+      std::vector<std::string> tokens;
+      for (std::string t; row >> t;) tokens.push_back(t);
+      std::int64_t a = 0;
+      std::int64_t b = 0;
+      std::int64_t s = 0;
+      bool ok = tokens.size() == 3;
+      if (ok && kind == "grid") {
+        spec.city = ScenarioSpec::CityKind::kGrid;
+        ok = ParseKeyInt(tokens[0], "rows", &a) &&
+             ParseKeyInt(tokens[1], "cols", &b) &&
+             ParseKeyInt(tokens[2], "seed", &s);
+        spec.rows = static_cast<int>(a);
+        spec.cols = static_cast<int>(b);
+      } else if (ok && kind == "ring") {
+        spec.city = ScenarioSpec::CityKind::kRing;
+        ok = ParseKeyInt(tokens[0], "rings", &a) &&
+             ParseKeyInt(tokens[1], "spokes", &b) &&
+             ParseKeyInt(tokens[2], "seed", &s);
+        spec.rings = static_cast<int>(a);
+        spec.spokes = static_cast<int>(b);
+      } else {
+        ok = false;
+      }
+      if (!ok) return ParseError("bad city line", line);
+      spec.city_seed = static_cast<std::uint64_t>(s);
+      saw_city = true;
+    } else if (key == "cell_size") {
+      if (!(row >> spec.cell_size_meters)) {
+        return ParseError("bad cell_size", line);
+      }
+    } else if (key == "capacity") {
+      if (!(row >> spec.vehicle_capacity)) {
+        return ParseError("bad capacity", line);
+      }
+    } else if (key == "engine_seed") {
+      if (!(row >> spec.engine_seed)) {
+        return ParseError("bad engine_seed", line);
+      }
+    } else if (key == "vehicles") {
+      if (!(row >> expected_vehicles)) {
+        return ParseError("bad vehicles count", line);
+      }
+    } else if (key == "v") {
+      VertexId v = kInvalidVertex;
+      if (!(row >> v)) return ParseError("bad vehicle start", line);
+      spec.vehicle_starts.push_back(v);
+    } else if (key == "requests") {
+      saw_requests = true;
+      break;
+    } else {
+      return ParseError("unknown key", line);
+    }
+  }
+  if (!saw_city) return Status::InvalidArgument("replay missing city line");
+  if (!saw_requests) {
+    return Status::InvalidArgument("replay missing requests section");
+  }
+  if (spec.vehicle_starts.size() != expected_vehicles) {
+    return Status::InvalidArgument(
+        "replay vehicle count mismatch: declared " +
+        std::to_string(expected_vehicles) + ", found " +
+        std::to_string(spec.vehicle_starts.size()));
+  }
+
+  // Collect the CSV block verbatim up to the `end` sentinel; LoadRequests
+  // reads its stream to EOF, so it gets a bounded copy.
+  std::ostringstream csv;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    while (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    csv << line << "\n";
+  }
+  if (!saw_end) return Status::InvalidArgument("replay missing end sentinel");
+
+  auto city = BuildCity(spec);
+  if (!city.ok()) return city.status();
+  for (const VertexId v : spec.vehicle_starts) {
+    if (!city.value().IsValidVertex(v)) {
+      return Status::OutOfRange("replay vehicle start is not a city vertex: " +
+                                std::to_string(v));
+    }
+  }
+  std::istringstream csv_in(csv.str());
+  auto requests = LoadRequests(csv_in, city.value());
+  if (!requests.ok()) return requests.status();
+  spec.requests = std::move(requests).value();
+  return spec;
+}
+
+StatusOr<ScenarioSpec> LoadReplayFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return LoadReplay(in);
+}
+
+}  // namespace ptar::check

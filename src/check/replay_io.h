@@ -1,0 +1,46 @@
+// Versioned text serialization of differential scenarios.
+//
+// Format (version 1, '#' comments and blank lines allowed outside the
+// request block):
+//
+//   ptar-replay 1
+//   city grid rows=10 cols=10 seed=17      # or: city ring rings=6 spokes=12 seed=17
+//   cell_size 300
+//   capacity 4
+//   engine_seed 13
+//   vehicles 3
+//   v 37
+//   v 102
+//   v 5
+//   requests
+//   id,submit_time,start,destination,riders,max_wait_dist,epsilon
+//   0,0.5,12,87,1,900,1.5
+//   end
+//
+// The request block between `requests` and `end` is exactly the trace_io
+// CSV format, so shrunk repros double as request traces.
+
+#ifndef PTAR_CHECK_REPLAY_IO_H_
+#define PTAR_CHECK_REPLAY_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "check/scenario.h"
+#include "common/status.h"
+
+namespace ptar::check {
+
+inline constexpr int kReplayFormatVersion = 1;
+
+Status SaveReplay(const ScenarioSpec& spec, std::ostream& out);
+Status SaveReplayToFile(const ScenarioSpec& spec, const std::string& path);
+
+/// Parses and validates a replay: the city is rebuilt to validate request
+/// endpoints (through trace_io) and vehicle starts.
+StatusOr<ScenarioSpec> LoadReplay(std::istream& in);
+StatusOr<ScenarioSpec> LoadReplayFromFile(const std::string& path);
+
+}  // namespace ptar::check
+
+#endif  // PTAR_CHECK_REPLAY_IO_H_

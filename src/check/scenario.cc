@@ -1,0 +1,98 @@
+#include "check/scenario.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "sim/workload.h"
+
+namespace ptar::check {
+
+StatusOr<RoadNetwork> BuildCity(const ScenarioSpec& spec) {
+  if (spec.city == ScenarioSpec::CityKind::kGrid) {
+    GridCityOptions opts;
+    opts.rows = spec.rows;
+    opts.cols = spec.cols;
+    opts.seed = spec.city_seed;
+    return MakeGridCity(opts);
+  }
+  RingRadialCityOptions opts;
+  opts.rings = spec.rings;
+  opts.spokes = spec.spokes;
+  opts.seed = spec.city_seed;
+  return MakeRingRadialCity(opts);
+}
+
+StatusOr<BuiltScenario> BuildScenario(const ScenarioSpec& spec) {
+  auto city = BuildCity(spec);
+  if (!city.ok()) return city.status();
+  BuiltScenario built;
+  built.graph = std::make_unique<RoadNetwork>(std::move(city).value());
+  auto grid = GridIndex::Build(built.graph.get(),
+                               {.cell_size_meters = spec.cell_size_meters});
+  if (!grid.ok()) return grid.status();
+  built.grid = std::make_unique<GridIndex>(std::move(grid).value());
+
+  if (spec.vehicle_starts.empty()) {
+    return Status::InvalidArgument("scenario has no vehicles");
+  }
+  for (const VertexId v : spec.vehicle_starts) {
+    if (!built.graph->IsValidVertex(v)) {
+      return Status::OutOfRange("vehicle start is not a city vertex: " +
+                                std::to_string(v));
+    }
+  }
+  for (const Request& r : spec.requests) {
+    if (!built.graph->IsValidVertex(r.start) ||
+        !built.graph->IsValidVertex(r.destination)) {
+      return Status::OutOfRange("request references unknown vertex: id " +
+                                std::to_string(r.id));
+    }
+  }
+  return built;
+}
+
+ScenarioSpec MakeRandomSpec(std::uint64_t seed) {
+  // Decorrelate from the workload generator's own use of the seed.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+
+  ScenarioSpec spec;
+  spec.city = (seed % 2 == 0) ? ScenarioSpec::CityKind::kGrid
+                              : ScenarioSpec::CityKind::kRing;
+  spec.rows = static_cast<int>(rng.UniformInt(8, 12));
+  spec.cols = static_cast<int>(rng.UniformInt(8, 12));
+  spec.rings = static_cast<int>(rng.UniformInt(4, 7));
+  spec.spokes = static_cast<int>(rng.UniformInt(8, 16));
+  spec.city_seed = seed + 1;
+  spec.cell_size_meters = 100.0 * rng.UniformInt(2, 4);
+  spec.vehicle_capacity = static_cast<int>(rng.UniformInt(2, 6));
+  spec.engine_seed = seed * 31 + 7;
+
+  auto city = BuildCity(spec);
+  PTAR_CHECK(city.ok()) << city.status().message();
+  const RoadNetwork& graph = city.value();
+
+  const int vehicles = static_cast<int>(rng.UniformInt(4, 10));
+  spec.vehicle_starts.reserve(vehicles);
+  for (int i = 0; i < vehicles; ++i) {
+    spec.vehicle_starts.push_back(
+        static_cast<VertexId>(rng.UniformIndex(graph.num_vertices())));
+  }
+
+  WorkloadOptions wopts;
+  wopts.num_requests = static_cast<std::size_t>(rng.UniformInt(18, 30));
+  wopts.duration_seconds = 600.0;
+  wopts.riders = static_cast<int>(
+      rng.UniformInt(1, std::min(3, spec.vehicle_capacity)));
+  wopts.waiting_minutes = rng.UniformReal(3.0, 10.0);
+  wopts.epsilon = rng.UniformReal(1.2, 2.0);
+  wopts.seed = seed * 7 + 3;
+  auto requests = GenerateWorkload(graph, wopts);
+  PTAR_CHECK(requests.ok()) << requests.status().message();
+  spec.requests = std::move(requests).value();
+  return spec;
+}
+
+}  // namespace ptar::check

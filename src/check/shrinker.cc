@@ -1,0 +1,121 @@
+#include "check/shrinker.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ptar::check {
+
+namespace {
+
+/// The reduction-preserving signature: a candidate counts as "still
+/// failing" only when the same matcher produces the same kind of
+/// divergence, so shrinking never wanders onto an unrelated bug.
+struct Signature {
+  std::string matcher;
+  DivergenceType type = DivergenceType::kMissingOption;
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.matcher == b.matcher && a.type == b.type;
+  }
+};
+
+Signature SignatureOf(const Divergence& d) {
+  return Signature{d.matcher, d.type};
+}
+
+/// Truncates the stream right after the first divergent request — the
+/// suffix cannot influence it (requests are processed in order).
+void TruncateAfterDivergence(ScenarioSpec* spec,
+                             const DifferentialOutcome& outcome) {
+  if (outcome.first_divergent_request == DifferentialOutcome::kNoDivergence) {
+    return;
+  }
+  const std::size_t keep = outcome.first_divergent_request + 1;
+  if (keep < spec->requests.size()) spec->requests.resize(keep);
+}
+
+}  // namespace
+
+ShrinkResult ShrinkScenario(const ScenarioSpec& spec,
+                            const ShrinkOptions& options,
+                            const MatcherFactory& factory) {
+  DifferentialConfig config = options.config;
+  config.stop_at_first = true;
+
+  ShrinkResult result;
+  result.spec = spec;
+
+  const auto run = [&](const ScenarioSpec& candidate)
+      -> StatusOr<DifferentialOutcome> {
+    ++result.evals;
+    return RunDifferential(candidate, config, factory);
+  };
+
+  auto initial = run(spec);
+  if (!initial.ok() || initial.value().ok()) return result;
+  result.reproduced = true;
+  Signature signature = SignatureOf(initial.value().divergences.front());
+  result.divergence = initial.value().divergences.front();
+  TruncateAfterDivergence(&result.spec, initial.value());
+
+  // Accepts `candidate` if it still fails with the original signature;
+  // keeps the (possibly further truncated) candidate and its divergence.
+  const auto try_accept = [&](ScenarioSpec candidate) {
+    if (result.evals >= options.max_evals) return false;
+    auto outcome = run(candidate);
+    if (!outcome.ok() || outcome.value().ok()) return false;
+    const Divergence* match = nullptr;
+    for (const Divergence& d : outcome.value().divergences) {
+      if (SignatureOf(d) == signature) {
+        match = &d;
+        break;
+      }
+    }
+    if (match == nullptr) return false;
+    result.divergence = *match;
+    TruncateAfterDivergence(&candidate, outcome.value());
+    result.spec = std::move(candidate);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && result.evals < options.max_evals) {
+    progress = false;
+
+    // Drop requests, scanning from the end so indices stay valid. The
+    // divergent request itself is included: another request may diverge
+    // the same way without it.
+    for (std::size_t r = result.spec.requests.size(); r-- > 0;) {
+      if (result.spec.requests.size() <= 1) break;
+      ScenarioSpec candidate = result.spec;
+      candidate.requests.erase(candidate.requests.begin() +
+                               static_cast<std::ptrdiff_t>(r));
+      if (try_accept(std::move(candidate))) progress = true;
+    }
+
+    // Drop vehicles.
+    for (std::size_t v = result.spec.vehicle_starts.size(); v-- > 0;) {
+      if (result.spec.vehicle_starts.size() <= 1) break;
+      ScenarioSpec candidate = result.spec;
+      candidate.vehicle_starts.erase(candidate.vehicle_starts.begin() +
+                                     static_cast<std::ptrdiff_t>(v));
+      if (try_accept(std::move(candidate))) progress = true;
+    }
+
+    // Collapse the time horizon: all requests submitted at t=0 (vehicles
+    // never move, which also makes the repro easier to reason about).
+    bool at_zero = true;
+    for (const Request& r : result.spec.requests) {
+      if (r.submit_time != 0.0) at_zero = false;
+    }
+    if (!at_zero) {
+      ScenarioSpec candidate = result.spec;
+      for (Request& r : candidate.requests) r.submit_time = 0.0;
+      if (try_accept(std::move(candidate))) progress = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace ptar::check

@@ -1,0 +1,43 @@
+// Greedy scenario minimization for failing differential seeds.
+//
+// Given a scenario whose differential run diverges, the shrinker looks for
+// a smaller scenario that still diverges with the same signature
+// (matcher name + divergence type of the first divergence), trying in
+// order: truncating the request stream after the first divergent request,
+// dropping individual requests, dropping individual vehicles, and
+// collapsing the time horizon (shifting all submit times to zero). Each
+// accepted reduction restarts the greedy passes until a fixpoint or the
+// evaluation budget is reached.
+
+#ifndef PTAR_CHECK_SHRINKER_H_
+#define PTAR_CHECK_SHRINKER_H_
+
+#include <cstddef>
+
+#include "check/differential.h"
+#include "check/scenario.h"
+
+namespace ptar::check {
+
+struct ShrinkOptions {
+  /// Maximum number of differential runs the shrinker may spend.
+  std::size_t max_evals = 400;
+  DifferentialConfig config;  ///< stop_at_first is forced on.
+};
+
+struct ShrinkResult {
+  /// False when the input scenario did not diverge at all (nothing to
+  /// shrink; `spec` is the unmodified input).
+  bool reproduced = false;
+  ScenarioSpec spec;        ///< The minimized scenario.
+  Divergence divergence;    ///< First divergence of the minimized scenario.
+  std::size_t evals = 0;    ///< Differential runs spent.
+};
+
+ShrinkResult ShrinkScenario(const ScenarioSpec& spec,
+                            const ShrinkOptions& options,
+                            const MatcherFactory& factory = nullptr);
+
+}  // namespace ptar::check
+
+#endif  // PTAR_CHECK_SHRINKER_H_

@@ -4,6 +4,7 @@
 #ifndef PTAR_RIDESHARE_MATCHER_H_
 #define PTAR_RIDESHARE_MATCHER_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -18,6 +19,32 @@
 
 namespace ptar {
 
+/// How often each pruning lemma fired, indexed by the paper's lemma number
+/// (1-11; slot 0 is unused). The aggregate pruned_cells / pruned_vehicles
+/// counters cannot say *which* bound removed a candidate; these can, which
+/// is what the differential harness (src/check) reports when it attributes
+/// a skyline divergence to a specific over-aggressive lemma.
+struct LemmaCounters {
+  static constexpr std::size_t kNumLemmas = 11;
+  std::array<std::uint64_t, kNumLemmas + 1> hits{};
+
+  std::uint64_t& operator[](std::size_t lemma) { return hits[lemma]; }
+  std::uint64_t operator[](std::size_t lemma) const { return hits[lemma]; }
+
+  std::uint64_t Total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t h : hits) sum += h;
+    return sum;
+  }
+
+  void Accumulate(const LemmaCounters& other) {
+    for (std::size_t i = 0; i < hits.size(); ++i) hits[i] += other.hits[i];
+  }
+
+  friend bool operator==(const LemmaCounters& a,
+                         const LemmaCounters& b) = default;
+};
+
 /// Per-request cost measures — the metrics every experiment in Section VII
 /// reports.
 struct MatchStats {
@@ -26,6 +53,7 @@ struct MatchStats {
   std::uint64_t scanned_cells = 0;    ///< Grid cells visited.
   std::uint64_t pruned_cells = 0;     ///< Cells skipped by Lemmas 2/4/6/8/10.
   std::uint64_t pruned_vehicles = 0;  ///< Vehicles skipped by Lemmas 1/3/5.
+  LemmaCounters lemma_hits;           ///< Per-lemma attribution of the above.
   double elapsed_micros = 0.0;
 
   void Accumulate(const MatchStats& other) {
@@ -34,6 +62,7 @@ struct MatchStats {
     scanned_cells += other.scanned_cells;
     pruned_cells += other.pruned_cells;
     pruned_vehicles += other.pruned_vehicles;
+    lemma_hits.Accumulate(other.lemma_hits);
     elapsed_micros += other.elapsed_micros;
   }
 };

@@ -14,33 +14,36 @@ KineticTree::DistFn OracleDistFn(MatchContext& ctx) {
 }
 
 InsertionHooks MakeLemmaHooks(const RequestEnv& env, const GridIndex& grid,
-                              const SkylineSet& skyline) {
+                              const SkylineSet& skyline,
+                              LemmaCounters* counters) {
   InsertionHooks hooks;
   if (!env.pruning.insertion_hooks) return hooks;
   const Request* request = env.request;
   const Distance direct = env.direct;
   const double fn = env.fn;
 
-  hooks.prune_s = [request, direct, fn, &grid,
-                   &skyline](const SPositionContext& c) {
+  hooks.prune_s = [request, direct, fn, &grid, &skyline,
+                   counters](const SPositionContext& c) {
     const VertexId s = request->start;
     const Distance l_ox = grid.LowerBound(s, c.ox);
     const Distance l_oy = c.tail ? 0.0 : grid.LowerBound(s, c.oy);
     if (lemmas::StartEdgeInfeasible(c.free_seats, request->riders,
                                     c.detour_slack, l_ox, l_oy, c.leg_dist,
                                     c.tail)) {
+      ++(*counters)[5];
       return true;  // Lemma 5
     }
     if (!skyline.empty() &&
         lemmas::StartEdgePruned(l_ox, l_oy, c.leg_dist, c.tail, c.dist_tr_ox,
                                 skyline.options(), fn, direct)) {
+      ++(*counters)[3];
       return true;  // Lemma 3
     }
     return false;
   };
 
-  hooks.prune_d = [request, direct, fn, &grid,
-                   &skyline](const DPositionContext& c) {
+  hooks.prune_d = [request, direct, fn, &grid, &skyline,
+                   counters](const DPositionContext& c) {
     const VertexId d = request->destination;
     const Distance l_ox = grid.LowerBound(d, c.ox);
     const Distance l_oy = c.tail ? 0.0 : grid.LowerBound(d, c.oy);
@@ -49,13 +52,20 @@ InsertionHooks MakeLemmaHooks(const RequestEnv& env, const GridIndex& grid,
     if (lemmas::DestEdgeInfeasible(std::numeric_limits<int>::max(),
                                    request->riders, c.detour_slack, l_ox,
                                    l_oy, c.leg_dist, c.tail)) {
+      ++(*counters)[7];
       return true;
     }
     if (!skyline.empty()) {
-      // Lemma 9.
-      if (lemmas::DestEdgePruned(c.dist_tr_ox, l_ox, l_oy, c.leg_dist,
+      // Lemma 9 models d's predecessor as o_x, which only holds when d
+      // targets a later gap than s (Definition 7 case 1). In the same gap
+      // d follows s directly, so dist_tr_ox + ldist(o_x, d) is NOT a lower
+      // bound on dist_tr'(c.l, d) — it overshoots by up to dist(o_x, s) —
+      // and the Definition 7 bound below covers the case instead.
+      if (!c.same_gap &&
+          lemmas::DestEdgePruned(c.dist_tr_ox, l_ox, l_oy, c.leg_dist,
                                  c.tail, request->epsilon, direct,
                                  skyline.options(), fn)) {
+        ++(*counters)[9];
         return true;
       }
       // Lemma 11 with the Definition 7 detour lower bound.
@@ -64,6 +74,7 @@ InsertionHooks MakeLemmaHooks(const RequestEnv& env, const GridIndex& grid,
           direct);
       if (lemmas::AfterStartPruned(c.pickup_dist, detour_lb,
                                    skyline.options(), fn, direct)) {
+        ++(*counters)[11];
         return true;
       }
     }
@@ -123,6 +134,7 @@ void CollectEmptyCandidates(CellId cell, const RequestEnv& env,
       lemmas::EmptyCellPruned(ctx.grid->LowerBoundToCell(s, cell),
                               skyline.options(), env.fn, env.direct)) {
     ++stats.pruned_cells;
+    ++stats.lemma_hits[2];
     return;
   }
   for (const VehicleId v : list) {
@@ -139,6 +151,7 @@ void CollectEmptyCandidates(CellId cell, const RequestEnv& env,
         lemmas::EmptyVehiclePruned(ctx.grid->LowerBound(tree.location(), s),
                                    skyline.options(), env.fn, env.direct)) {
       ++stats.pruned_vehicles;
+      ++stats.lemma_hits[1];
       continue;
     }
     emitted[v] = 1;
@@ -160,6 +173,7 @@ void CollectStartCandidates(CellId cell, const RequestEnv& env,
       lemmas::StartCellInfeasible(agg.max_capacity, riders, agg.max_detour,
                                   ldist_s_g, agg.max_leg_dist)) {
     ++stats.pruned_cells;
+    ++stats.lemma_hits[6];
     return;
   }
   // Lemma 4: dominance over the whole cell.
@@ -168,6 +182,7 @@ void CollectStartCandidates(CellId cell, const RequestEnv& env,
                               agg.has_tail, skyline.options(), env.fn,
                               env.direct)) {
     ++stats.pruned_cells;
+    ++stats.lemma_hits[4];
     return;
   }
   for (const KineticEdgeEntry& entry : ctx.registry->NonEmptyEntries(cell)) {
@@ -180,6 +195,7 @@ void CollectStartCandidates(CellId cell, const RequestEnv& env,
         lemmas::StartEdgeInfeasible(entry.capacity, riders, entry.detour,
                                     l_ox, l_oy, entry.leg_dist, entry.tail)) {
       ++stats.pruned_vehicles;
+      ++stats.lemma_hits[5];
       continue;
     }
     // Lemma 3.
@@ -188,6 +204,7 @@ void CollectStartCandidates(CellId cell, const RequestEnv& env,
                                 entry.dist_tr, skyline.options(), env.fn,
                                 env.direct)) {
       ++stats.pruned_vehicles;
+      ++stats.lemma_hits[3];
       continue;
     }
     emitted[entry.vehicle] = 1;
@@ -210,6 +227,7 @@ void CollectDestCandidates(CellId cell, const RequestEnv& env,
       lemmas::DestCellInfeasible(agg.max_capacity, riders, agg.max_detour,
                                  ldist_d_g, agg.max_leg_dist)) {
     ++stats.pruned_cells;
+    ++stats.lemma_hits[8];
     return;
   }
   // Lemma 10.
@@ -218,6 +236,7 @@ void CollectDestCandidates(CellId cell, const RequestEnv& env,
                              agg.has_tail, epsilon, env.direct,
                              skyline.options(), env.fn)) {
     ++stats.pruned_cells;
+    ++stats.lemma_hits[10];
     return;
   }
   for (const KineticEdgeEntry& entry : ctx.registry->NonEmptyEntries(cell)) {
@@ -230,6 +249,7 @@ void CollectDestCandidates(CellId cell, const RequestEnv& env,
         lemmas::DestEdgeInfeasible(entry.capacity, riders, entry.detour,
                                    l_ox, l_oy, entry.leg_dist, entry.tail)) {
       ++stats.pruned_vehicles;
+      ++stats.lemma_hits[7];
       continue;
     }
     // Lemma 9.
@@ -238,6 +258,7 @@ void CollectDestCandidates(CellId cell, const RequestEnv& env,
                                entry.tail, epsilon, env.direct,
                                skyline.options(), env.fn)) {
       ++stats.pruned_vehicles;
+      ++stats.lemma_hits[9];
       continue;
     }
     emitted[entry.vehicle] = 1;

@@ -26,9 +26,11 @@ KineticTree::DistFn OracleDistFn(MatchContext& ctx);
 /// Builds insertion hooks that evaluate Lemmas 3/5 (s side) and
 /// 7/9/11 + Def. 7 (d side) against the evolving skyline. Returns null
 /// hooks (full enumeration) when env.pruning.insertion_hooks is off. The
-/// references must outlive the returned hooks.
+/// references (including `counters`, which may not be null) must outlive
+/// the returned hooks.
 InsertionHooks MakeLemmaHooks(const RequestEnv& env, const GridIndex& grid,
-                              const SkylineSet& skyline);
+                              const SkylineSet& skyline,
+                              LemmaCounters* counters);
 
 /// Verifies one empty vehicle: computes its single option exactly and
 /// inserts it (Algorithm 4, lines 1-2).

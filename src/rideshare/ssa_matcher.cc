@@ -22,7 +22,7 @@ MatchResult SsaMatcher::Match(const Request& request, MatchContext& ctx) {
   MatchStats stats;
   std::vector<char> emitted(ctx.fleet->size(), 0);
   const InsertionHooks hooks =
-      internal::MakeLemmaHooks(env, *ctx.grid, skyline);
+      internal::MakeLemmaHooks(env, *ctx.grid, skyline, &stats.lemma_hits);
 
   const CellId start_cell = ctx.grid->CellOfVertex(request.start);
   const std::span<const CellId> cells =

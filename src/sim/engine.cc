@@ -39,7 +39,14 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
       match_oracle_(graph),
       maintenance_oracle_(graph) {
   PTAR_CHECK(graph != nullptr && grid != nullptr);
-  PTAR_CHECK(options.num_vehicles >= 1);
+  if (!options_.start_vertices.empty()) {
+    options_.num_vehicles =
+        static_cast<int>(options_.start_vertices.size());
+    for (const VertexId v : options_.start_vertices) {
+      PTAR_CHECK(v < static_cast<VertexId>(graph->num_vertices()));
+    }
+  }
+  PTAR_CHECK(options_.num_vehicles >= 1);
   PTAR_CHECK(options.vehicle_capacity >= 1);
   PTAR_CHECK(options.threads >= 1);
   phase_advance_us_ = &metrics_.Histogram("engine/advance_us");
@@ -55,11 +62,13 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
                                                    wait_micros);
     });
   }
-  fleet_.reserve(options.num_vehicles);
-  runtimes_.resize(options.num_vehicles);
-  for (int i = 0; i < options.num_vehicles; ++i) {
+  fleet_.reserve(options_.num_vehicles);
+  runtimes_.resize(options_.num_vehicles);
+  for (int i = 0; i < options_.num_vehicles; ++i) {
     const auto start =
-        static_cast<VertexId>(rng_.UniformIndex(graph->num_vertices()));
+        options_.start_vertices.empty()
+            ? static_cast<VertexId>(rng_.UniformIndex(graph->num_vertices()))
+            : options_.start_vertices[i];
     fleet_.emplace_back(static_cast<VehicleId>(i), start,
                         options.vehicle_capacity);
     runtimes_[i].route.assign(1, start);

@@ -50,6 +50,11 @@ struct EngineOptions {
   double tick_seconds = 1.0;
   ChoicePolicy policy = ChoicePolicy::kMinPrice;
   std::uint64_t seed = 13;
+  /// When non-empty, vehicle i starts at start_vertices[i] instead of a
+  /// seed-derived random vertex, and the list's size overrides
+  /// num_vehicles. Replay files (src/check) use this so that removing one
+  /// vehicle during shrinking does not reshuffle every other start.
+  std::vector<VertexId> start_vertices;
   /// Worker threads for evaluating the shadow matchers of one request
   /// concurrently (one task per matcher; each matcher gets its own
   /// DistanceOracle). 1 = serial. Results are bit-identical either way:
@@ -108,7 +113,7 @@ struct RunStats {
 class Engine {
  public:
   /// The graph and grid must outlive the engine. Vehicles start at
-  /// uniformly random vertices.
+  /// uniformly random vertices unless options.start_vertices pins them.
   Engine(const RoadNetwork* graph, const GridIndex* grid,
          const EngineOptions& options);
 

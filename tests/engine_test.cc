@@ -5,52 +5,34 @@
 
 #include <gtest/gtest.h>
 
-#include "graph/generators.h"
 #include "rideshare/baseline_matcher.h"
 #include "rideshare/ssa_matcher.h"
-#include "sim/workload.h"
+#include "tests/scenario_builder.h"
 
 namespace ptar {
 namespace {
 
-struct World {
-  RoadNetwork graph;
-  std::unique_ptr<GridIndex> grid;
-};
+using testing::GridWorld;
 
-World MakeWorld(std::uint64_t seed = 3) {
-  World w;
-  GridCityOptions copts;
-  copts.rows = 12;
-  copts.cols = 12;
+GridWorld MakeWorld(std::uint64_t seed = 3) {
+  testing::GridWorldOptions copts;
   copts.seed = seed;
-  auto g = MakeGridCity(copts);
-  PTAR_CHECK(g.ok());
-  w.graph = std::move(g).value();
-  auto grid = GridIndex::Build(&w.graph, {.cell_size_meters = 300.0});
-  PTAR_CHECK(grid.ok());
-  w.grid = std::make_unique<GridIndex>(std::move(grid).value());
-  return w;
+  return testing::MakeGridWorld(copts);
 }
 
 std::vector<Request> MakeRequests(const RoadNetwork& g, std::size_t n,
                                   std::uint64_t seed = 8) {
-  WorkloadOptions opts;
+  testing::RequestStreamOptions opts;
   opts.num_requests = n;
-  opts.duration_seconds = 600.0;
-  opts.epsilon = 0.5;
-  opts.waiting_minutes = 3.0;
   opts.seed = seed;
-  auto reqs = GenerateWorkload(g, opts);
-  PTAR_CHECK(reqs.ok());
-  return std::move(reqs).value();
+  return testing::MakeRequestStream(g, opts);
 }
 
 TEST(EngineTest, FleetStartsIdleAndRegistered) {
-  World w = MakeWorld();
+  GridWorld w = MakeWorld();
   EngineOptions opts;
   opts.num_vehicles = 10;
-  Engine engine(&w.graph, w.grid.get(), opts);
+  Engine engine(w.graph.get(), w.grid.get(), opts);
   EXPECT_EQ(engine.fleet().size(), 10u);
   std::size_t registered = 0;
   for (const CellId cell : w.grid->active_cells()) {
@@ -64,10 +46,10 @@ TEST(EngineTest, FleetStartsIdleAndRegistered) {
 }
 
 TEST(EngineTest, IdleVehiclesWanderButStayRegistered) {
-  World w = MakeWorld();
+  GridWorld w = MakeWorld();
   EngineOptions opts;
   opts.num_vehicles = 8;
-  Engine engine(&w.graph, w.grid.get(), opts);
+  Engine engine(w.graph.get(), w.grid.get(), opts);
   engine.AdvanceTo(120.0);
   EXPECT_DOUBLE_EQ(engine.now(), 120.0);
   std::size_t registered = 0;
@@ -83,13 +65,13 @@ TEST(EngineTest, IdleVehiclesWanderButStayRegistered) {
 }
 
 TEST(EngineTest, ServesRequestsEndToEnd) {
-  World w = MakeWorld();
+  GridWorld w = MakeWorld();
   EngineOptions opts;
   opts.num_vehicles = 20;
-  Engine engine(&w.graph, w.grid.get(), opts);
+  Engine engine(w.graph.get(), w.grid.get(), opts);
   BaselineMatcher ba;
   std::vector<Matcher*> matchers = {&ba};
-  const std::vector<Request> requests = MakeRequests(w.graph, 30);
+  const std::vector<Request> requests = MakeRequests(*w.graph, 30);
   const RunStats stats = engine.Run(requests, matchers);
 
   EXPECT_EQ(stats.served + stats.unserved, 30u);
@@ -105,13 +87,13 @@ TEST(EngineTest, ServesRequestsEndToEnd) {
 }
 
 TEST(EngineTest, AllRequestsEventuallyCompleted) {
-  World w = MakeWorld();
+  GridWorld w = MakeWorld();
   EngineOptions opts;
   opts.num_vehicles = 15;
-  Engine engine(&w.graph, w.grid.get(), opts);
+  Engine engine(w.graph.get(), w.grid.get(), opts);
   BaselineMatcher ba;
   std::vector<Matcher*> matchers = {&ba};
-  const std::vector<Request> requests = MakeRequests(w.graph, 20);
+  const std::vector<Request> requests = MakeRequests(*w.graph, 20);
   engine.Run(requests, matchers);
   // Give the fleet ample time to finish every trip.
   engine.AdvanceTo(20000.0);
@@ -122,15 +104,15 @@ TEST(EngineTest, AllRequestsEventuallyCompleted) {
 }
 
 TEST(EngineTest, DeterministicRuns) {
-  World w = MakeWorld();
-  const std::vector<Request> requests = MakeRequests(w.graph, 25);
+  GridWorld w = MakeWorld();
+  const std::vector<Request> requests = MakeRequests(*w.graph, 25);
   RunStats a;
   RunStats b;
   for (int trial = 0; trial < 2; ++trial) {
     EngineOptions opts;
     opts.num_vehicles = 15;
     opts.seed = 77;
-    Engine engine(&w.graph, w.grid.get(), opts);
+    Engine engine(w.graph.get(), w.grid.get(), opts);
     BaselineMatcher ba;
     std::vector<Matcher*> matchers = {&ba};
     (trial == 0 ? a : b) = engine.Run(requests, matchers);
@@ -147,22 +129,22 @@ TEST(EngineTest, ChoicePoliciesAllRun) {
   for (const ChoicePolicy policy :
        {ChoicePolicy::kMinPrice, ChoicePolicy::kMinTime,
         ChoicePolicy::kBalanced, ChoicePolicy::kRandom}) {
-    World w = MakeWorld();
+    GridWorld w = MakeWorld();
     EngineOptions opts;
     opts.num_vehicles = 10;
     opts.policy = policy;
-    Engine engine(&w.graph, w.grid.get(), opts);
+    Engine engine(w.graph.get(), w.grid.get(), opts);
     BaselineMatcher ba;
     std::vector<Matcher*> matchers = {&ba};
-    const std::vector<Request> requests = MakeRequests(w.graph, 10);
+    const std::vector<Request> requests = MakeRequests(*w.graph, 10);
     const RunStats stats = engine.Run(requests, matchers);
     EXPECT_GT(stats.served, 0u) << "policy " << static_cast<int>(policy);
   }
 }
 
 TEST(EngineTest, MinPriceVsMinTimeChooseDifferently) {
-  World w = MakeWorld();
-  const std::vector<Request> requests = MakeRequests(w.graph, 25);
+  GridWorld w = MakeWorld();
+  const std::vector<Request> requests = MakeRequests(*w.graph, 25);
   std::vector<double> chosen_prices[2];
   int idx = 0;
   for (const ChoicePolicy policy :
@@ -171,7 +153,7 @@ TEST(EngineTest, MinPriceVsMinTimeChooseDifferently) {
     opts.num_vehicles = 20;
     opts.policy = policy;
     opts.seed = 5;
-    Engine engine(&w.graph, w.grid.get(), opts);
+    Engine engine(w.graph.get(), w.grid.get(), opts);
     BaselineMatcher ba;
     std::vector<Matcher*> matchers = {&ba};
     for (const Request& r : requests) {
@@ -189,10 +171,10 @@ TEST(EngineTest, MinPriceVsMinTimeChooseDifferently) {
 }
 
 TEST(EngineTest, SharingHappensWithConcentratedDemand) {
-  World w = MakeWorld();
+  GridWorld w = MakeWorld();
   EngineOptions opts;
   opts.num_vehicles = 5;  // scarce fleet forces sharing
-  Engine engine(&w.graph, w.grid.get(), opts);
+  Engine engine(w.graph.get(), w.grid.get(), opts);
   BaselineMatcher ba;
   std::vector<Matcher*> matchers = {&ba};
   WorkloadOptions wopts;
@@ -203,7 +185,7 @@ TEST(EngineTest, SharingHappensWithConcentratedDemand) {
   wopts.num_hotspots = 1;    // everyone travels the same corridor
   wopts.hotspot_prob = 1.0;
   wopts.seed = 12;
-  auto requests = GenerateWorkload(w.graph, wopts);
+  auto requests = GenerateWorkload(*w.graph, wopts);
   ASSERT_TRUE(requests.ok());
   const RunStats stats = engine.Run(*requests, matchers);
   EXPECT_GT(stats.served, 0u);
@@ -214,13 +196,13 @@ TEST(EngineTest, PartialCoverageSsaCanCommit) {
   // The committing matcher does not have to be exact: options from a
   // partial-coverage SSA are still achievable and the engine must commit
   // them without violating any invariant.
-  World w = MakeWorld();
+  GridWorld w = MakeWorld();
   EngineOptions opts;
   opts.num_vehicles = 15;
-  Engine engine(&w.graph, w.grid.get(), opts);
+  Engine engine(w.graph.get(), w.grid.get(), opts);
   SsaMatcher ssa(0.16);
   std::vector<Matcher*> matchers = {&ssa};
-  const std::vector<Request> requests = MakeRequests(w.graph, 25);
+  const std::vector<Request> requests = MakeRequests(*w.graph, 25);
   const RunStats stats = engine.Run(requests, matchers);
   EXPECT_GT(stats.served, 20u);
   engine.AdvanceTo(20000.0);
@@ -230,14 +212,14 @@ TEST(EngineTest, PartialCoverageSsaCanCommit) {
 }
 
 TEST(EngineTest, KineticMemoryTracksLoad) {
-  World w = MakeWorld();
+  GridWorld w = MakeWorld();
   EngineOptions opts;
   opts.num_vehicles = 10;
-  Engine engine(&w.graph, w.grid.get(), opts);
+  Engine engine(w.graph.get(), w.grid.get(), opts);
   const std::size_t before = engine.KineticTreeMemoryBytes();
   BaselineMatcher ba;
   std::vector<Matcher*> matchers = {&ba};
-  const std::vector<Request> requests = MakeRequests(w.graph, 10);
+  const std::vector<Request> requests = MakeRequests(*w.graph, 10);
   engine.Run(requests, matchers);
   EXPECT_GT(engine.KineticTreeMemoryBytes(), 0u);
   EXPECT_GE(engine.KineticTreeMemoryBytes(), before);

@@ -15,12 +15,12 @@
 #include <memory>
 #include <set>
 
-#include "graph/generators.h"
 #include "rideshare/baseline_matcher.h"
 #include "rideshare/dsa_matcher.h"
 #include "rideshare/ssa_matcher.h"
 #include "sim/engine.h"
-#include "sim/workload.h"
+#include "tests/scenario_builder.h"
+#include "tests/test_util.h"
 
 namespace ptar {
 namespace {
@@ -75,31 +75,29 @@ void CheckFleetInvariants(const Engine& engine) {
 TEST_P(EngineFuzzTest, InvariantsHoldThroughoutARun) {
   const FuzzParam param = GetParam();
 
-  GridCityOptions copts;
+  testing::GridWorldOptions copts;
   copts.rows = 14;
   copts.cols = 14;
-  copts.seed = param.seed * 3 + 1;
-  auto graph = MakeGridCity(copts);
-  ASSERT_TRUE(graph.ok());
-  auto grid = GridIndex::Build(&*graph, {.cell_size_meters = 350.0});
-  ASSERT_TRUE(grid.ok());
+  copts.seed = testing::DeriveSeed(param.seed, /*stream=*/0);
+  copts.cell_size_meters = 350.0;
+  testing::GridWorld world = testing::MakeGridWorld(copts);
 
-  WorkloadOptions wopts;
+  testing::RequestStreamOptions wopts;
   wopts.num_requests = 60;
   wopts.duration_seconds = 700.0;
   wopts.epsilon = param.epsilon;
   wopts.waiting_minutes = param.waiting_minutes;
   wopts.peak_sharpness = (param.seed % 2 == 0) ? 0.0 : 6.0;
-  wopts.seed = param.seed * 7 + 3;
-  auto requests = GenerateWorkload(*graph, wopts);
-  ASSERT_TRUE(requests.ok());
+  wopts.seed = testing::DeriveSeed(param.seed, /*stream=*/1);
+  const std::vector<Request> requests =
+      testing::MakeRequestStream(*world.graph, wopts);
 
   EngineOptions eopts;
   eopts.num_vehicles = param.vehicles;
   eopts.vehicle_capacity = param.capacity;
   eopts.policy = param.policy;
   eopts.seed = param.seed;
-  Engine engine(&*graph, &*grid, eopts);
+  Engine engine(world.graph.get(), world.grid.get(), eopts);
 
   BaselineMatcher ba;
   SsaMatcher ssa(param.fraction > 0 ? param.fraction : 0.16);
@@ -109,13 +107,13 @@ TEST_P(EngineFuzzTest, InvariantsHoldThroughoutARun) {
   std::vector<Matcher*> matchers = {committer};
 
   std::uint64_t served = 0;
-  for (std::size_t i = 0; i < requests->size(); ++i) {
-    const auto outcome = engine.ProcessRequest((*requests)[i], matchers);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto outcome = engine.ProcessRequest(requests[i], matchers);
     if (outcome.served) ++served;
     if (i % 10 == 0) CheckFleetInvariants(engine);
   }
   CheckFleetInvariants(engine);
-  EXPECT_GT(served, requests->size() / 2);
+  EXPECT_GT(served, requests.size() / 2);
 
   // Drain: everyone gets delivered eventually.
   engine.AdvanceTo(engine.now() + 30000.0);

@@ -7,12 +7,11 @@
 
 #include <memory>
 
-#include "graph/generators.h"
 #include "rideshare/baseline_matcher.h"
 #include "rideshare/dsa_matcher.h"
 #include "rideshare/ssa_matcher.h"
 #include "sim/engine.h"
-#include "sim/workload.h"
+#include "tests/scenario_builder.h"
 
 namespace ptar {
 namespace {
@@ -20,30 +19,23 @@ namespace {
 class IntegrationTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    GridCityOptions copts;
+    testing::GridWorldOptions copts;
     copts.rows = 18;
     copts.cols = 18;
     copts.seed = 101;
-    auto g = MakeGridCity(copts);
-    ASSERT_TRUE(g.ok());
-    graph_ = std::move(g).value();
-    auto grid = GridIndex::Build(&graph_, {.cell_size_meters = 300.0});
-    ASSERT_TRUE(grid.ok());
-    grid_ = std::make_unique<GridIndex>(std::move(grid).value());
+    world_ = testing::MakeGridWorld(copts);
 
-    WorkloadOptions wopts;
+    testing::RequestStreamOptions wopts;
     wopts.num_requests = 60;
     wopts.duration_seconds = 1200.0;
     wopts.epsilon = 0.4;
     wopts.waiting_minutes = 3.0;
     wopts.seed = 55;
-    auto reqs = GenerateWorkload(graph_, wopts);
-    ASSERT_TRUE(reqs.ok());
-    requests_ = std::move(reqs).value();
+    requests_ = testing::MakeRequestStream(*world_.graph, wopts);
   }
 
-  RoadNetwork graph_;
-  std::unique_ptr<GridIndex> grid_;
+  // The grid holds a pointer into world_.graph, so the pair moves as one.
+  testing::GridWorld world_;
   std::vector<Request> requests_;
 };
 
@@ -51,7 +43,7 @@ TEST_F(IntegrationTest, ShadowComparisonReproducesPaperRelationships) {
   EngineOptions eopts;
   eopts.num_vehicles = 40;
   eopts.seed = 9;
-  Engine engine(&graph_, grid_.get(), eopts);
+  Engine engine(world_.graph.get(), world_.grid.get(), eopts);
 
   BaselineMatcher ba;
   SsaMatcher ssa(0.16);
@@ -99,7 +91,7 @@ TEST_F(IntegrationTest, FullCoverageSearchIsExactOverWholeRun) {
   EngineOptions eopts;
   eopts.num_vehicles = 30;
   eopts.seed = 4;
-  Engine engine(&graph_, grid_.get(), eopts);
+  Engine engine(world_.graph.get(), world_.grid.get(), eopts);
 
   BaselineMatcher ba;
   SsaMatcher ssa(1.0);
@@ -118,8 +110,8 @@ TEST_F(IntegrationTest, FullCoverageSearchIsExactOverWholeRun) {
 }
 
 TEST_F(IntegrationTest, GridAndTreeMemoryAccountingBehaveLikeTableIV) {
-  auto coarse = GridIndex::Build(&graph_, {.cell_size_meters = 600.0});
-  auto fine = GridIndex::Build(&graph_, {.cell_size_meters = 150.0});
+  auto coarse = GridIndex::Build(world_.graph.get(), {.cell_size_meters = 600.0});
+  auto fine = GridIndex::Build(world_.graph.get(), {.cell_size_meters = 150.0});
   ASSERT_TRUE(coarse.ok() && fine.ok());
   // Grid-index memory grows steeply as cells shrink.
   EXPECT_GT(fine->MemoryBytes(), coarse->MemoryBytes());
@@ -127,8 +119,8 @@ TEST_F(IntegrationTest, GridAndTreeMemoryAccountingBehaveLikeTableIV) {
   // Kinetic-tree memory is independent of the grid resolution.
   EngineOptions eopts;
   eopts.num_vehicles = 20;
-  Engine coarse_engine(&graph_, &*coarse, eopts);
-  Engine fine_engine(&graph_, &*fine, eopts);
+  Engine coarse_engine(world_.graph.get(), &*coarse, eopts);
+  Engine fine_engine(world_.graph.get(), &*fine, eopts);
   BaselineMatcher ba;
   std::vector<Matcher*> matchers = {&ba};
   coarse_engine.Run(requests_, matchers);

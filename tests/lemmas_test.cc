@@ -5,9 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "check/differential.h"
+#include "check/fault_injection.h"
+#include "check/scenario.h"
 #include "common/random.h"
+#include "rideshare/baseline_matcher.h"
 #include "rideshare/price_model.h"
 
 namespace ptar {
@@ -274,6 +279,72 @@ TEST(LemmasTest, EmptyResultSetNeverPrunesDominance) {
   EXPECT_FALSE(lemmas::AfterStartPruned(1e9, 1e9, none, fn, 10.0));
   EXPECT_FALSE(lemmas::StartCellPruned(1e9, 1e9, 0.0, true, none, fn, 10.0));
   EXPECT_FALSE(lemmas::DestCellPruned(1e9, 1e9, 0.0, true, 0.2, 10.0, none, fn));
+}
+
+// --------------------------------------------------------------------------
+// End-to-end lemma soundness against the brute-force reference matcher:
+// the predicates above check the formulas in isolation; these runs check
+// the lemmas as wired into SSA/DSA, where unsound bound plumbing (stale
+// registry values, wrong-vertex lower bounds) would not show up.
+// --------------------------------------------------------------------------
+
+// Every lemma family fires at least once across the sweep, and none of the
+// firings ever removes an option the exact reference keeps.
+TEST(LemmaOracleTest, AllElevenLemmasFireAndStaySound) {
+  LemmaCounters dsa_hits;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const check::ScenarioSpec spec = check::MakeRandomSpec(seed);
+    auto outcome = check::RunDifferential(spec, {});
+    ASSERT_TRUE(outcome.ok()) << outcome.status().message();
+    for (const check::Divergence& d : outcome.value().divergences) {
+      ADD_FAILURE() << d.Describe();
+    }
+    for (const check::MatcherSummary& m : outcome.value().matchers) {
+      if (m.name == "DSA") dsa_hits.Accumulate(m.totals.lemma_hits);
+    }
+  }
+  for (std::size_t lemma = 1; lemma <= LemmaCounters::kNumLemmas; ++lemma) {
+    EXPECT_GT(dsa_hits[lemma], 0u) << "Lemma " << lemma << " never fired";
+  }
+}
+
+// A deliberately over-aggressive lemma (bound inflated 3x) must surface as
+// divergences attributed to that lemma's counter, including the lost
+// option itself as a missing-option divergence.
+TEST(LemmaOracleTest, BrokenLemmaIsCaughtAndAttributed) {
+  for (const int lemma : {1, 3, 11}) {
+    check::DifferentialConfig config;
+    config.stop_at_first = true;
+    bool caught = false;
+    for (std::uint64_t seed = 1; seed <= 20 && !caught; ++seed) {
+      auto outcome = check::RunDifferential(
+          check::MakeRandomSpec(seed), config, [lemma] {
+            std::vector<std::unique_ptr<Matcher>> m;
+            m.push_back(std::make_unique<BaselineMatcher>());
+            m.push_back(std::make_unique<check::BrokenLemmaMatcher>(lemma));
+            return m;
+          });
+      ASSERT_TRUE(outcome.ok()) << outcome.status().message();
+      bool missing = false;
+      for (const check::Divergence& d : outcome.value().divergences) {
+        EXPECT_NE(d.matcher, "BA") << d.Describe();
+        // Pruning a dominating option loses it (missing) and uncovers the
+        // option it used to evict (spurious); both trace to the same bug.
+        EXPECT_TRUE(d.type == check::DivergenceType::kMissingOption ||
+                    d.type == check::DivergenceType::kSpuriousOption)
+            << d.Describe();
+        missing |= d.type == check::DivergenceType::kMissingOption;
+        EXPECT_GT(d.lemma_hits[lemma], 0u) << d.Describe();
+        caught = true;
+      }
+      if (caught) {
+        EXPECT_TRUE(missing) << "no missing-option divergence for lemma "
+                             << lemma;
+      }
+    }
+    EXPECT_TRUE(caught) << "broken lemma " << lemma
+                        << " produced no divergence in 20 seeds";
+  }
 }
 
 }  // namespace

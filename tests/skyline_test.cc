@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "check/reference_matcher.h"
 #include "common/random.h"
 
 namespace ptar {
@@ -117,9 +120,104 @@ TEST(SkylineTest, InvariantUnderRandomInsertions) {
         for (const Option& m : members) {
           if (Dominates(m, o)) dominated = true;
         }
-        EXPECT_TRUE(dominated) << "dropped option is not dominated";
+        // Exact duplicates of a member are the one non-dominated drop.
+        bool duplicate = false;
+        for (const Option& m : members) {
+          if (m == o) duplicate = true;
+        }
+        EXPECT_TRUE(dominated || duplicate)
+            << "dropped option is not dominated";
       }
     }
+  }
+}
+
+// Options on a small integer lattice so exact ties, duplicate values, and
+// duplicate (vehicle, time, price) triples all actually occur.
+std::vector<Option> LatticeOptions(Rng& rng, int count) {
+  std::vector<Option> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(Opt(static_cast<VehicleId>(rng.UniformIndex(4)),
+                      static_cast<Distance>(rng.UniformIndex(6)),
+                      static_cast<double>(rng.UniformIndex(6))));
+  }
+  return out;
+}
+
+void ShuffleOptions(Rng& rng, std::vector<Option>& options) {
+  for (std::size_t i = options.size(); i > 1; --i) {
+    std::swap(options[i - 1], options[rng.UniformIndex(i)]);
+  }
+}
+
+TEST(DominanceTest, IrreflexiveOnRandomOptions) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const Option o = Opt(static_cast<VehicleId>(i),
+                         rng.UniformReal(0, 100), rng.UniformReal(0, 100));
+    EXPECT_FALSE(Dominates(o, o));
+  }
+}
+
+TEST(DominanceTest, AntisymmetricOnRandomPairs) {
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) {
+    const Option a = Opt(1, static_cast<Distance>(rng.UniformIndex(5)),
+                         static_cast<double>(rng.UniformIndex(5)));
+    const Option b = Opt(2, static_cast<Distance>(rng.UniformIndex(5)),
+                         static_cast<double>(rng.UniformIndex(5)));
+    EXPECT_FALSE(Dominates(a, b) && Dominates(b, a))
+        << "a=(" << a.pickup_dist << "," << a.price << ") b=("
+        << b.pickup_dist << "," << b.price << ")";
+  }
+}
+
+// Property: the skyline is a pure function of the option multiset — any
+// insertion order yields the same sorted result.
+TEST(SkylineTest, InsertionOrderDoesNotMatter) {
+  Rng rng(13);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Option> pool = LatticeOptions(rng, 40);
+    SkylineSet first;
+    for (const Option& o : pool) first.Insert(o);
+    const std::vector<Option> expected = first.Sorted();
+    for (int shuffle = 0; shuffle < 5; ++shuffle) {
+      ShuffleOptions(rng, pool);
+      SkylineSet s;
+      for (const Option& o : pool) s.Insert(o);
+      EXPECT_EQ(s.Sorted(), expected) << "round " << round;
+    }
+  }
+}
+
+TEST(SkylineTest, ExactDuplicateTriplesAreDeduped) {
+  SkylineSet s;
+  EXPECT_TRUE(s.Insert(Opt(1, 5, 10)));
+  EXPECT_FALSE(s.Insert(Opt(1, 5, 10)));  // same vehicle, time, and price
+  EXPECT_EQ(s.size(), 1u);
+
+  // Randomized: no two identical triples survive any insertion sequence.
+  Rng rng(14);
+  for (int round = 0; round < 20; ++round) {
+    SkylineSet set;
+    for (const Option& o : LatticeOptions(rng, 60)) set.Insert(o);
+    const std::vector<Option> sorted = set.Sorted();
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      EXPECT_FALSE(sorted[i - 1] == sorted[i]) << "duplicate survived";
+    }
+  }
+}
+
+// The maintained skyline agrees with the brute-force quadratic filter used
+// by the differential reference matcher.
+TEST(SkylineTest, MatchesNaiveReferenceSkyline) {
+  Rng rng(15);
+  for (int round = 0; round < 30; ++round) {
+    const std::vector<Option> pool = LatticeOptions(rng, 50);
+    SkylineSet s;
+    for (const Option& o : pool) s.Insert(o);
+    EXPECT_EQ(s.Sorted(), check::NaiveSkyline(pool)) << "round " << round;
   }
 }
 

@@ -1,0 +1,344 @@
+// ptar_check — differential correctness harness for the matching
+// algorithms.
+//
+// Replays randomized scenarios through BA, SSA(1.0), DSA(1.0) and the
+// brute-force reference matcher in lockstep, comparing skylines per
+// request. Any divergence is a correctness bug in a matcher or a pruning
+// lemma; the harness classifies it, optionally shrinks the scenario to a
+// minimal repro, and serializes the repro as a replay file.
+//
+// Modes:
+//   (default)   fuzz --seeds randomized scenarios; exit 1 on divergence
+//   --replay    run one saved replay file instead of random scenarios
+//   --selftest  sabotage a lemma on purpose and demand the harness catch,
+//               classify, and shrink it (validates the harness itself)
+//
+// All randomness is seed-driven; identical invocations are bit-identical.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/differential.h"
+#include "check/fault_injection.h"
+#include "check/replay_io.h"
+#include "check/scenario.h"
+#include "check/shrinker.h"
+#include "common/flags.h"
+#include "obs/report.h"
+#include "rideshare/baseline_matcher.h"
+
+namespace ptar::check {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int FailUsage(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n(run 'ptar_check --help' for usage)\n",
+               message.c_str());
+  return 2;
+}
+
+int CheckUnused(const FlagParser& flags) {
+  const std::vector<std::string> unused = flags.UnusedFlags();
+  if (unused.empty()) return 0;
+  std::string joined;
+  for (const std::string& name : unused) joined += " --" + name;
+  return FailUsage("unknown flag(s):" + joined);
+}
+
+int Help() {
+  std::printf(
+      "ptar_check — differential oracle harness (BA/SSA/DSA vs brute "
+      "force)\n\n"
+      "usage: ptar_check [--seeds=N] [--first_seed=N] [--shrink]\n"
+      "                  [--repro_out=FILE] [--replay=FILE] [--selftest]\n"
+      "                  [--broken_lemma=1|3|11] [--report_out=FILE]\n"
+      "                  [--verbose] [--help]\n\n"
+      "  --seeds=N         randomized scenarios to fuzz (default 50)\n"
+      "  --first_seed=N    first seed of the range (default 1)\n"
+      "  --shrink          minimize the first failing scenario\n"
+      "  --repro_out=FILE  where to write the shrunk replay "
+      "(default repro.replay)\n"
+      "  --replay=FILE     run one saved replay file and exit\n"
+      "  --selftest        verify the harness catches a sabotaged lemma\n"
+      "  --broken_lemma=N  which lemma the selftest sabotages (default 3)\n"
+      "  --report_out=FILE versioned JSON run report (schema v1, "
+      "\"differential\" counters)\n");
+  return 0;
+}
+
+/// Accumulates per-run statistics destined for the obs report pipeline.
+struct HarnessStats {
+  std::uint64_t scenarios = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t divergences = 0;
+  std::vector<MatcherSummary> matchers;  ///< Merged across scenarios.
+
+  void Fold(const DifferentialOutcome& outcome) {
+    ++scenarios;
+    requests += outcome.requests_run;
+    divergences += outcome.divergences.size();
+    if (matchers.empty()) {
+      matchers = outcome.matchers;
+      return;
+    }
+    for (std::size_t m = 0;
+         m < matchers.size() && m < outcome.matchers.size(); ++m) {
+      matchers[m].options_sum += outcome.matchers[m].options_sum;
+      matchers[m].totals.Accumulate(outcome.matchers[m].totals);
+    }
+  }
+};
+
+/// Emits the run through the standard report pipeline: every harness
+/// counter lives under the "differential/" metrics section; per-matcher
+/// totals reuse the MatcherReport rows.
+int WriteReport(const HarnessStats& stats, const std::string& path) {
+  if (path.empty()) return 0;
+  obs::RunReport report;
+  report.tool = "ptar_check";
+  report.metrics.AddCounter("differential/scenarios", stats.scenarios);
+  report.metrics.AddCounter("differential/requests", stats.requests);
+  report.metrics.AddCounter("differential/divergences", stats.divergences);
+  for (const MatcherSummary& m : stats.matchers) {
+    obs::MatcherReport row;
+    row.name = m.name;
+    row.options_sum = m.options_sum;
+    row.verified_vehicles = m.totals.verified_vehicles;
+    row.compdists = m.totals.compdists;
+    row.scanned_cells = m.totals.scanned_cells;
+    row.pruned_cells = m.totals.pruned_cells;
+    row.pruned_vehicles = m.totals.pruned_vehicles;
+    row.elapsed_micros = m.totals.elapsed_micros;
+    report.matchers.push_back(row);
+    for (std::size_t l = 1; l <= LemmaCounters::kNumLemmas; ++l) {
+      if (m.totals.lemma_hits[l] == 0) continue;
+      report.metrics.AddCounter(
+          "differential/" + m.name + "/lemma" + std::to_string(l) + "_hits",
+          m.totals.lemma_hits[l]);
+    }
+  }
+  const Status status = obs::WriteRunReport(report, path);
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
+
+void PrintDivergences(const DifferentialOutcome& outcome, std::size_t limit) {
+  std::size_t shown = 0;
+  for (const Divergence& d : outcome.divergences) {
+    if (shown++ >= limit) {
+      std::printf("  ... %zu more divergence(s)\n",
+                  outcome.divergences.size() - limit);
+      break;
+    }
+    std::printf("  %s\n", d.Describe().c_str());
+  }
+}
+
+/// Shrinks a failing spec and writes the repro; prints the reduction.
+int ShrinkAndSave(const ScenarioSpec& spec, const std::string& repro_out,
+                  const MatcherFactory& factory) {
+  ShrinkOptions sopts;
+  const ShrinkResult shrunk = ShrinkScenario(spec, sopts, factory);
+  if (!shrunk.reproduced) {
+    std::fprintf(stderr, "error: divergence did not reproduce for shrink\n");
+    return 1;
+  }
+  std::printf(
+      "shrunk to %zu vehicle(s), %zu request(s) in %zu eval(s):\n  %s\n",
+      shrunk.spec.vehicle_starts.size(), shrunk.spec.requests.size(),
+      shrunk.evals, shrunk.divergence.Describe().c_str());
+  if (!repro_out.empty()) {
+    const Status saved = SaveReplayToFile(shrunk.spec, repro_out);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("repro written to %s\n", repro_out.c_str());
+  }
+  return 0;
+}
+
+int RunOneReplay(const std::string& path, bool shrink,
+                 const std::string& repro_out,
+                 const std::string& report_out) {
+  auto spec = LoadReplayFromFile(path);
+  if (!spec.ok()) return Fail(spec.status());
+  auto outcome = RunDifferential(spec.value(), DifferentialConfig{});
+  if (!outcome.ok()) return Fail(outcome.status());
+
+  HarnessStats stats;
+  stats.Fold(outcome.value());
+  if (const int rc = WriteReport(stats, report_out); rc != 0) return rc;
+
+  if (!outcome.value().ok()) {
+    std::printf("FAIL %s: %zu divergence(s) over %zu request(s)\n",
+                path.c_str(), outcome.value().divergences.size(),
+                outcome.value().requests_run);
+    PrintDivergences(outcome.value(), 10);
+    if (shrink) {
+      if (const int rc = ShrinkAndSave(spec.value(), repro_out, nullptr);
+          rc != 0) {
+        return rc;
+      }
+    }
+    return 1;
+  }
+  std::printf("OK %s: %zu request(s), no divergence\n", path.c_str(),
+              outcome.value().requests_run);
+  return 0;
+}
+
+int Fuzz(std::uint64_t first_seed, std::uint64_t seeds, bool shrink,
+         const std::string& repro_out, const std::string& report_out,
+         bool verbose) {
+  HarnessStats stats;
+  for (std::uint64_t seed = first_seed; seed < first_seed + seeds; ++seed) {
+    const ScenarioSpec spec = MakeRandomSpec(seed);
+    auto outcome = RunDifferential(spec, DifferentialConfig{});
+    if (!outcome.ok()) return Fail(outcome.status());
+    stats.Fold(outcome.value());
+    if (!outcome.value().ok()) {
+      std::printf("FAIL seed %llu: %zu divergence(s)\n",
+                  static_cast<unsigned long long>(seed),
+                  outcome.value().divergences.size());
+      PrintDivergences(outcome.value(), 10);
+      WriteReport(stats, report_out);
+      if (shrink) {
+        if (const int rc = ShrinkAndSave(spec, repro_out, nullptr); rc != 0) {
+          return rc;
+        }
+      }
+      return 1;
+    }
+    if (verbose) {
+      std::printf("seed %llu ok (%zu requests)\n",
+                  static_cast<unsigned long long>(seed),
+                  outcome.value().requests_run);
+    }
+  }
+  if (const int rc = WriteReport(stats, report_out); rc != 0) return rc;
+  std::printf(
+      "OK: %llu scenario(s), %llu request(s), 0 divergences across %zu "
+      "matcher(s)\n",
+      static_cast<unsigned long long>(stats.scenarios),
+      static_cast<unsigned long long>(stats.requests),
+      stats.matchers.size());
+  return 0;
+}
+
+/// Validates the harness end to end: a sabotaged lemma must produce a
+/// divergence that is caught, classified as missing-option, attributed to
+/// the sabotaged lemma's counter, and shrunk to a small repro.
+int SelfTest(int broken_lemma, std::uint64_t seeds,
+             const std::string& repro_out) {
+  const MatcherFactory factory = [broken_lemma] {
+    std::vector<std::unique_ptr<Matcher>> matchers;
+    matchers.push_back(std::make_unique<BaselineMatcher>());
+    matchers.push_back(std::make_unique<BrokenLemmaMatcher>(broken_lemma));
+    return matchers;
+  };
+
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const ScenarioSpec spec = MakeRandomSpec(seed);
+    auto outcome = RunDifferential(spec, DifferentialConfig{}, factory);
+    if (!outcome.ok()) return Fail(outcome.status());
+    if (outcome.value().ok()) continue;
+
+    const Divergence& first = outcome.value().divergences.front();
+    std::printf("selftest: seed %llu diverged: %s\n",
+                static_cast<unsigned long long>(seed),
+                first.Describe().c_str());
+    if (first.type != DivergenceType::kMissingOption) {
+      std::fprintf(stderr,
+                   "selftest FAIL: expected missing-option, got %s\n",
+                   DivergenceTypeName(first.type));
+      return 1;
+    }
+    if (first.lemma_hits[static_cast<std::size_t>(broken_lemma)] == 0) {
+      std::fprintf(stderr,
+                   "selftest FAIL: lemma %d counter is zero in the "
+                   "divergent request\n",
+                   broken_lemma);
+      return 1;
+    }
+    ShrinkOptions sopts;
+    const ShrinkResult shrunk = ShrinkScenario(spec, sopts, factory);
+    if (!shrunk.reproduced) {
+      std::fprintf(stderr, "selftest FAIL: shrink did not reproduce\n");
+      return 1;
+    }
+    std::printf("selftest: shrunk to %zu vehicle(s), %zu request(s)\n",
+                shrunk.spec.vehicle_starts.size(),
+                shrunk.spec.requests.size());
+    if (shrunk.spec.vehicle_starts.size() > 4 ||
+        shrunk.spec.requests.size() > 6) {
+      std::fprintf(stderr, "selftest FAIL: repro not minimal enough\n");
+      return 1;
+    }
+    if (!repro_out.empty()) {
+      const Status saved = SaveReplayToFile(shrunk.spec, repro_out);
+      if (!saved.ok()) return Fail(saved);
+      std::printf("selftest repro written to %s\n", repro_out.c_str());
+    }
+    std::printf("selftest PASS (broken lemma %d caught)\n", broken_lemma);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "selftest FAIL: no divergence in %llu seed(s) — the broken "
+               "lemma was not caught\n",
+               static_cast<unsigned long long>(seeds));
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  auto parsed = FlagParser::Parse(argc, argv);
+  if (!parsed.ok()) return FailUsage(parsed.status().message());
+  const FlagParser& flags = parsed.value();
+
+  const auto help = flags.GetBool("help", false);
+  if (!help.ok()) return Fail(help.status());
+  if (*help) return Help();
+
+  const auto seeds = flags.GetInt("seeds", 50);
+  const auto first_seed = flags.GetInt("first_seed", 1);
+  const auto shrink = flags.GetBool("shrink", false);
+  const auto selftest = flags.GetBool("selftest", false);
+  const auto broken_lemma = flags.GetInt("broken_lemma", 3);
+  const auto verbose = flags.GetBool("verbose", false);
+  const std::string replay = flags.GetString("replay", "");
+  const std::string repro_out = flags.GetString("repro_out", "repro.replay");
+  const std::string report_out = flags.GetString("report_out", "");
+  if (!seeds.ok()) return Fail(seeds.status());
+  if (!first_seed.ok()) return Fail(first_seed.status());
+  if (!shrink.ok()) return Fail(shrink.status());
+  if (!selftest.ok()) return Fail(selftest.status());
+  if (!broken_lemma.ok()) return Fail(broken_lemma.status());
+  if (!verbose.ok()) return Fail(verbose.status());
+  if (*seeds < 1) return FailUsage("--seeds must be >= 1");
+  if (*first_seed < 0) return FailUsage("--first_seed must be >= 0");
+  if (const int rc = CheckUnused(flags); rc != 0) return rc;
+
+  if (*selftest) {
+    if (*broken_lemma != 1 && *broken_lemma != 3 && *broken_lemma != 11) {
+      return FailUsage("--broken_lemma must be 1, 3, or 11");
+    }
+    return SelfTest(static_cast<int>(*broken_lemma),
+                    static_cast<std::uint64_t>(*seeds), repro_out);
+  }
+  if (!replay.empty()) {
+    return RunOneReplay(replay, *shrink, repro_out, report_out);
+  }
+  return Fuzz(static_cast<std::uint64_t>(*first_seed),
+              static_cast<std::uint64_t>(*seeds), *shrink, repro_out,
+              report_out, *verbose);
+}
+
+}  // namespace
+}  // namespace ptar::check
+
+int main(int argc, char** argv) {
+  return ptar::check::Main(argc, argv);
+}
