@@ -1,8 +1,9 @@
 // End-to-end matching cost tracker. Runs the standard BA / SSA / DSA trio on
-// the base configuration, serially and with a 4-thread pool, and writes the
-// results to BENCH_matching.json so successive revisions of the hot path can
-// be compared by tooling. The two rows also double as a quick determinism
-// smoke check: all non-timing columns must match between them.
+// the base configuration — serially, with a 4-thread pool, and on the CH
+// distance backend — and writes the results to BENCH_matching.json so
+// successive revisions of the hot path can be compared by tooling. The
+// threads=1/threads=4 rows also double as a quick determinism smoke check:
+// all non-timing columns must match between them.
 
 #include <cstdio>
 
@@ -32,6 +33,20 @@ int main(int argc, char** argv) {
     pooled.threads = 4;
     rows.push_back(harness.Run(pooled, "threads=4"));
     PrintCostRow("4", rows.back());
+  }
+  {
+    BenchConfig ch = cfg;
+    ch.threads = 1;
+    ch.distance_backend = ptar::DistanceBackend::kCH;
+    rows.push_back(harness.Run(ch, "threads=1,backend=ch"));
+    PrintCostRow("1 (ch)", rows.back());
+  }
+  {
+    BenchConfig ch = cfg;
+    ch.threads = 4;
+    ch.distance_backend = ptar::DistanceBackend::kCH;
+    rows.push_back(harness.Run(ch, "threads=4,backend=ch"));
+    PrintCostRow("4 (ch)", rows.back());
   }
 
   if (!WriteMatchingJson("BENCH_matching.json", rows)) {

@@ -130,6 +130,7 @@ BenchRow Harness::RunWith(const BenchConfig& cfg, const std::string& label,
   eopts.vehicle_capacity = cfg.vehicle_capacity;
   eopts.seed = cfg.engine_seed;
   eopts.threads = cfg.threads;
+  eopts.distance_backend = cfg.distance_backend;
   Engine engine(&graph_, &grid, eopts);
 
   BenchRow row;

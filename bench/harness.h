@@ -49,6 +49,10 @@ struct BenchConfig {
   std::uint64_t engine_seed = 13;
   /// Worker threads for shadow-matcher evaluation (EngineOptions::threads).
   int threads = 1;
+  /// Oracle backend (EngineOptions::distance_backend); kCH pays a one-time
+  /// preprocessing cost per engine and then answers each sweep with bucket
+  /// queries instead of a Dijkstra drain.
+  DistanceBackend distance_backend = DistanceBackend::kDijkstra;
 };
 
 struct BenchRow {

@@ -177,6 +177,7 @@ StatusOr<DifferentialOutcome> RunDifferential(
   eopts.vehicle_capacity = spec.vehicle_capacity;
   eopts.seed = spec.engine_seed;
   eopts.start_vertices = spec.vehicle_starts;
+  eopts.distance_backend = config.distance_backend;
   Engine engine(built.value().graph.get(), built.value().grid.get(), eopts);
 
   DifferentialOutcome outcome;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "check/scenario.h"
+#include "graph/distance_oracle.h"
 #include "rideshare/matcher.h"
 
 namespace ptar::check {
@@ -73,6 +74,10 @@ std::vector<Divergence> DiffSkylines(std::span<const Option> reference,
 struct DifferentialConfig {
   double tolerance = 1e-6;  ///< Same as the engine's precision/recall.
   bool stop_at_first = false;  ///< Stop after the first divergent request.
+  /// Backend for every oracle in the run — matchers under test *and* the
+  /// reference share it, so a divergence is always a matcher bug, never a
+  /// backend rounding mismatch.
+  DistanceBackend distance_backend = DistanceBackend::kDijkstra;
 };
 
 /// Builds the matchers under test; the reference is appended by the

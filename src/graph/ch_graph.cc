@@ -1,0 +1,36 @@
+#include "graph/ch_graph.h"
+
+#include "common/logging.h"
+
+namespace ptar {
+
+void CHGraph::UnpackArc(std::uint32_t p, VertexId from,
+                        std::vector<VertexId>* out) const {
+  const PoolArc& arc = pool_[p];
+  PTAR_DCHECK(arc.u == from || arc.v == from);
+  if (arc.child_a == kNoChild) {
+    out->push_back(arc.u == from ? arc.v : arc.u);
+    return;
+  }
+  // The two halves share the contracted middle vertex; exactly one of them
+  // touches `from` (the middle differs from both shortcut endpoints).
+  const PoolArc& first = pool_[arc.child_a];
+  const std::uint32_t near_half =
+      (first.u == from || first.v == from) ? arc.child_a : arc.child_b;
+  const std::uint32_t far_half =
+      near_half == arc.child_a ? arc.child_b : arc.child_a;
+  UnpackArc(near_half, from, out);
+  UnpackArc(far_half, out->back(), out);
+}
+
+std::size_t CHGraph::MemoryBytes() const {
+  return rank_.size() * sizeof(std::uint32_t) +
+         by_rank_desc_.size() * sizeof(VertexId) +
+         pool_.size() * sizeof(PoolArc) +
+         up_offsets_.size() * sizeof(std::size_t) +
+         up_arcs_.size() * sizeof(UpArc) +
+         sweep_offsets_.size() * sizeof(std::size_t) +
+         sweep_arcs_.size() * sizeof(SweepArc);
+}
+
+}  // namespace ptar

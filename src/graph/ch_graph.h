@@ -1,0 +1,130 @@
+// Contraction-hierarchy search structure.
+//
+// A CHGraph is the immutable output of CHPreprocessor: every vertex carries
+// a contraction rank, and the arc pool holds the original undirected edges
+// plus every shortcut added during contraction. Because the road network is
+// undirected, a single *upward* CSR (arcs from each vertex to its
+// higher-ranked neighbors) serves both the forward and the backward side of
+// a bidirectional query — the downward graph is exactly the upward graph
+// with arcs reversed, so a "downward search toward t" is an upward search
+// *from* t.
+//
+// Shortcuts remember the two pool arcs they replaced, so any query-time arc
+// can be unpacked recursively into the original-edge vertex sequence it
+// represents (used by DistanceOracle::Path).
+//
+// A CHGraph is plain immutable data after construction: concurrent readers
+// (one CHQuery workspace per DistanceOracle) need no synchronization.
+
+#ifndef PTAR_GRAPH_CH_GRAPH_H_
+#define PTAR_GRAPH_CH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "graph/types.h"
+
+namespace ptar {
+
+class CHGraph {
+ public:
+  /// Sentinel pool index: the arc is an original edge, not a shortcut.
+  static constexpr std::uint32_t kNoChild = 0xFFFFFFFFu;
+
+  /// One undirected arc of the hierarchy. Original edges have
+  /// child_a == child_b == kNoChild; a shortcut (u, v) created while
+  /// contracting m stores its two halves (u, m) and (m, v) as pool indices.
+  struct PoolArc {
+    VertexId u = kInvalidVertex;
+    VertexId v = kInvalidVertex;
+    Distance weight = 0.0;
+    std::uint32_t child_a = kNoChild;
+    std::uint32_t child_b = kNoChild;
+  };
+
+  /// One entry of the upward CSR: an arc from a vertex to a strictly
+  /// higher-ranked neighbor. `pool` indexes the PoolArc for unpacking.
+  struct UpArc {
+    VertexId head = kInvalidVertex;
+    Distance weight = 0.0;
+    std::uint32_t pool = kNoChild;
+  };
+
+  CHGraph() = default;
+
+  std::size_t num_vertices() const { return rank_.size(); }
+  std::size_t num_arcs() const { return pool_.size(); }
+  std::size_t num_shortcuts() const { return num_shortcuts_; }
+
+  /// Contraction order position of v: 0 = contracted first (least
+  /// important), n-1 = contracted last. Ranks are a permutation of [0, n).
+  std::uint32_t rank(VertexId v) const { return rank_[v]; }
+
+  /// Arcs from v to its higher-ranked neighbors (original + shortcuts).
+  std::span<const UpArc> UpArcs(VertexId v) const {
+    return {up_arcs_.data() + up_offsets_[v],
+            up_offsets_[v + 1] - up_offsets_[v]};
+  }
+
+  /// Every vertex, ordered by descending rank (most important first). The
+  /// PHAST-style downward sweep scans this order: when a vertex is visited,
+  /// all its upward neighbors already hold final distances.
+  std::span<const VertexId> VerticesByRankDescending() const {
+    return by_rank_desc_;
+  }
+
+  /// One entry of the sweep CSR: the upward CSR re-indexed by descending
+  /// rank so the downward sweep streams memory linearly. `head_pos` is the
+  /// *position* of the arc head in VerticesByRankDescending() — always
+  /// strictly smaller than the tail's position, so a single forward pass
+  /// over positions reads only already-final slots.
+  struct SweepArc {
+    std::uint32_t head_pos = 0;
+    Distance weight = 0.0;
+  };
+
+  /// Position of v in VerticesByRankDescending() (0 = highest rank).
+  std::uint32_t SweepPos(VertexId v) const {
+    return static_cast<std::uint32_t>(rank_.size()) - 1 - rank_[v];
+  }
+
+  /// Upward arcs of the vertex at sweep position `pos`, heads given as
+  /// sweep positions (same arcs as UpArcs(by_rank_desc_[pos])).
+  std::span<const SweepArc> SweepArcs(std::uint32_t pos) const {
+    return {sweep_arcs_.data() + sweep_offsets_[pos],
+            sweep_offsets_[pos + 1] - sweep_offsets_[pos]};
+  }
+
+  const PoolArc& pool_arc(std::uint32_t p) const { return pool_[p]; }
+
+  /// Appends the original-graph vertex sequence of pool arc `p`, walked
+  /// starting from endpoint `from`, to *out. `from` itself is not appended;
+  /// the far endpoint is. Every consecutive pair of the appended sequence
+  /// (including `from` -> first appended vertex) is an original edge.
+  void UnpackArc(std::uint32_t p, VertexId from,
+                 std::vector<VertexId>* out) const;
+
+  /// Approximate resident memory of the hierarchy, in bytes.
+  std::size_t MemoryBytes() const;
+
+  const RoadNetwork& graph() const { return *graph_; }
+
+ private:
+  friend class CHPreprocessor;
+
+  const RoadNetwork* graph_ = nullptr;
+  std::vector<std::uint32_t> rank_;
+  std::vector<VertexId> by_rank_desc_;  ///< Inverse rank permutation.
+  std::vector<PoolArc> pool_;
+  std::vector<std::size_t> up_offsets_;
+  std::vector<UpArc> up_arcs_;
+  std::vector<std::size_t> sweep_offsets_;
+  std::vector<SweepArc> sweep_arcs_;
+  std::size_t num_shortcuts_ = 0;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_GRAPH_CH_GRAPH_H_

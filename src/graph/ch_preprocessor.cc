@@ -1,0 +1,265 @@
+#include "graph/ch_preprocessor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace ptar {
+
+namespace {
+
+/// Far endpoint of an undirected pool arc seen from `from`.
+VertexId Other(const CHGraph::PoolArc& arc, VertexId from) {
+  return arc.u == from ? arc.v : arc.u;
+}
+
+/// Lazy priority-queue entry; ties broken on vertex id so the contraction
+/// order is a pure function of the graph.
+struct OrderEntry {
+  double priority;
+  VertexId vertex;
+  friend bool operator>(const OrderEntry& a, const OrderEntry& b) {
+    return a.priority > b.priority ||
+           (a.priority == b.priority && a.vertex > b.vertex);
+  }
+};
+
+}  // namespace
+
+std::size_t CHPreprocessor::ContractionShortcuts(VertexId v, bool simulate) {
+  // Gather the uncontracted neighbors of v, compacting stale adjacency
+  // entries in place and collapsing parallel arcs to the lightest one (the
+  // only one shortest paths can use).
+  neighbors_.clear();
+  neighbor_weight_.clear();
+  neighbor_arc_.clear();
+  std::vector<std::uint32_t>& adj = adj_[v];
+  std::size_t live = 0;
+  for (const std::uint32_t p : adj) {
+    const CHGraph::PoolArc& arc = pool_[p];
+    const VertexId u = Other(arc, v);
+    if (contracted_[u]) continue;
+    adj[live++] = p;
+    bool merged = false;
+    for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+      if (neighbors_[i] != u) continue;
+      if (arc.weight < neighbor_weight_[i]) {
+        neighbor_weight_[i] = arc.weight;
+        neighbor_arc_[i] = p;
+      }
+      merged = true;
+      break;
+    }
+    if (!merged) {
+      neighbors_.push_back(u);
+      neighbor_weight_.push_back(arc.weight);
+      neighbor_arc_.push_back(p);
+    }
+  }
+  adj.resize(live);
+  if (neighbors_.size() < 2) return 0;
+
+  // Deterministic pair order (and final arc order) regardless of how the
+  // adjacency list happened to be permuted.
+  std::vector<std::size_t> order(neighbors_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](std::size_t a, std::size_t b) {
+              return neighbors_[a] < neighbors_[b];
+            });
+
+  std::size_t shortcuts = 0;
+  for (std::size_t oi = 0; oi + 1 < order.size(); ++oi) {
+    const std::size_t i = order[oi];
+    const VertexId a = neighbors_[i];
+    const Distance wav = neighbor_weight_[i];
+
+    // One bounded witness search from a covers every partner b: Dijkstra in
+    // the remaining graph with v removed, stopped at the largest detour
+    // length or at the settle budget. Tentative labels are genuine path
+    // lengths, so they certify witnesses even when the budget ran out
+    // before settling b.
+    Distance limit = 0.0;
+    for (std::size_t oj = oi + 1; oj < order.size(); ++oj) {
+      limit = std::max(limit, wav + neighbor_weight_[order[oj]]);
+    }
+    ++wrun_;
+    if (wrun_ == 0) {
+      std::fill(wstamp_.begin(), wstamp_.end(), 0);
+      wrun_ = 1;
+    }
+    wheap_.clear();
+    wdist_[a] = 0.0;
+    wstamp_[a] = wrun_;
+    wheap_.push_back({0.0, a});
+    std::size_t settled = 0;
+    while (!wheap_.empty() && settled < options_.witness_settle_limit) {
+      std::pop_heap(wheap_.begin(), wheap_.end(), std::greater<>());
+      const WitnessQueueEntry top = wheap_.back();
+      wheap_.pop_back();
+      if (top.dist > wdist_[top.vertex]) continue;  // stale entry
+      if (top.dist > limit) break;
+      ++settled;
+      for (const std::uint32_t p : adj_[top.vertex]) {
+        const CHGraph::PoolArc& arc = pool_[p];
+        const VertexId f = Other(arc, top.vertex);
+        if (f == v || contracted_[f]) continue;
+        const Distance nd = top.dist + arc.weight;
+        if (nd > limit) continue;
+        if (wstamp_[f] != wrun_ || nd < wdist_[f]) {
+          wstamp_[f] = wrun_;
+          wdist_[f] = nd;
+          wheap_.push_back({nd, f});
+          std::push_heap(wheap_.begin(), wheap_.end(), std::greater<>());
+        }
+      }
+    }
+
+    for (std::size_t oj = oi + 1; oj < order.size(); ++oj) {
+      const std::size_t j = order[oj];
+      const VertexId b = neighbors_[j];
+      const Distance needed = wav + neighbor_weight_[j];
+      if (wstamp_[b] == wrun_ && wdist_[b] <= needed) continue;  // witness
+      ++shortcuts;
+      if (simulate) continue;
+      CHGraph::PoolArc shortcut;
+      shortcut.u = a;
+      shortcut.v = b;
+      shortcut.weight = needed;
+      shortcut.child_a = neighbor_arc_[i];
+      shortcut.child_b = neighbor_arc_[j];
+      const std::uint32_t idx = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(shortcut);
+      adj_[a].push_back(idx);
+      adj_[b].push_back(idx);
+    }
+  }
+  return shortcuts;
+}
+
+double CHPreprocessor::Priority(VertexId v) {
+  const std::size_t shortcuts = ContractionShortcuts(v, /*simulate=*/true);
+  return static_cast<double>(shortcuts) -
+         static_cast<double>(neighbors_.size()) +
+         options_.deleted_neighbor_weight * deleted_neighbors_[v];
+}
+
+CHGraph CHPreprocessor::Build(const RoadNetwork& graph) {
+  obs::TraceSpan span("ch_preprocess");
+  const std::size_t n = graph.num_vertices();
+  graph_ = &graph;
+  pool_.clear();
+  pool_.reserve(graph.num_edges() * 2);  // edges + a shortcut allowance
+  adj_.assign(n, {});
+  contracted_.assign(n, 0);
+  deleted_neighbors_.assign(n, 0);
+  wdist_.assign(n, kInfDistance);
+  wstamp_.assign(n, 0);
+  wrun_ = 0;
+
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    CHGraph::PoolArc arc;
+    arc.u = graph.EdgeU(e);
+    arc.v = graph.EdgeV(e);
+    arc.weight = graph.EdgeWeight(e);
+    const std::uint32_t idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(arc);
+    adj_[arc.u].push_back(idx);
+    adj_[arc.v].push_back(idx);
+  }
+
+  CHGraph ch;
+  ch.graph_ = &graph;
+  ch.rank_.assign(n, 0);
+
+  // Lazy edge-difference ordering: recompute the popped vertex's priority;
+  // contract it only if it is still (deterministically) the minimum.
+  std::vector<OrderEntry> heap;
+  heap.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    heap.push_back({Priority(v), v});
+  }
+  std::make_heap(heap.begin(), heap.end(), std::greater<>());
+
+  std::uint32_t next_rank = 0;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+    const OrderEntry top = heap.back();
+    heap.pop_back();
+    const VertexId v = top.vertex;
+    if (contracted_[v]) continue;  // stale duplicate entry
+    const double priority = Priority(v);
+    if (!heap.empty()) {
+      const OrderEntry& next = heap.front();
+      if (priority > next.priority ||
+          (priority == next.priority && v > next.vertex)) {
+        heap.push_back({priority, v});
+        std::push_heap(heap.begin(), heap.end(), std::greater<>());
+        continue;
+      }
+    }
+    ContractionShortcuts(v, /*simulate=*/false);
+    contracted_[v] = 1;
+    ch.rank_[v] = next_rank++;
+    for (const VertexId u : neighbors_) ++deleted_neighbors_[u];
+  }
+  PTAR_CHECK(next_rank == n);
+  ch.by_rank_desc_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    ch.by_rank_desc_[n - 1 - ch.rank_[v]] = v;
+  }
+
+  // Flatten the pool into the upward CSR: every arc hangs off its
+  // lower-ranked endpoint. Arc order within a vertex is (head rank, pool
+  // index) — fixed by construction, so queries are deterministic.
+  ch.pool_ = std::move(pool_);
+  ch.num_shortcuts_ = ch.pool_.size() - graph.num_edges();
+  ch.up_offsets_.assign(n + 1, 0);
+  for (const CHGraph::PoolArc& arc : ch.pool_) {
+    const VertexId tail = ch.rank_[arc.u] < ch.rank_[arc.v] ? arc.u : arc.v;
+    ++ch.up_offsets_[tail + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    ch.up_offsets_[v + 1] += ch.up_offsets_[v];
+  }
+  ch.up_arcs_.resize(ch.pool_.size());
+  std::vector<std::size_t> cursor(ch.up_offsets_.begin(),
+                                  ch.up_offsets_.end() - 1);
+  for (std::uint32_t p = 0; p < ch.pool_.size(); ++p) {
+    const CHGraph::PoolArc& arc = ch.pool_[p];
+    const bool u_low = ch.rank_[arc.u] < ch.rank_[arc.v];
+    const VertexId tail = u_low ? arc.u : arc.v;
+    const VertexId head = u_low ? arc.v : arc.u;
+    ch.up_arcs_[cursor[tail]++] = {head, arc.weight, p};
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(ch.up_arcs_.begin() + ch.up_offsets_[v],
+              ch.up_arcs_.begin() + ch.up_offsets_[v + 1],
+              [&ch](const CHGraph::UpArc& a, const CHGraph::UpArc& b) {
+                const std::uint32_t ra = ch.rank_[a.head];
+                const std::uint32_t rb = ch.rank_[b.head];
+                return ra < rb || (ra == rb && a.pool < b.pool);
+              });
+  }
+
+  // Sweep CSR: the upward CSR re-laid-out in descending rank order with
+  // heads as sweep positions, so the downward sweep touches offsets, arcs,
+  // and the distance array in a single forward streaming pass.
+  ch.sweep_offsets_.assign(n + 1, 0);
+  ch.sweep_arcs_.reserve(ch.up_arcs_.size());
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    const VertexId v = ch.by_rank_desc_[pos];
+    for (const CHGraph::UpArc& arc : ch.UpArcs(v)) {
+      ch.sweep_arcs_.push_back({ch.SweepPos(arc.head), arc.weight});
+    }
+    ch.sweep_offsets_[pos + 1] = ch.sweep_arcs_.size();
+  }
+
+  span.AddArg("vertices", static_cast<std::int64_t>(n));
+  span.AddArg("shortcuts", static_cast<std::int64_t>(ch.num_shortcuts_));
+  adj_.clear();
+  return ch;
+}
+
+}  // namespace ptar

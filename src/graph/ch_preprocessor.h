@@ -1,0 +1,92 @@
+// Offline contraction-hierarchy construction.
+//
+// Contracts the vertices of a RoadNetwork one by one in lazy
+// edge-difference order: the next vertex contracted is (approximately) the
+// one whose removal adds the fewest shortcuts relative to the arcs it
+// removes, re-evaluated lazily at pop time so the priority queue never has
+// to be rebuilt. For every pair of uncontracted neighbors (a, b) of the
+// contracted vertex v, a *witness search* — a bounded local Dijkstra from a
+// that ignores v — decides whether the detour through v is needed; only
+// when no witness path of length <= w(a,v) + w(v,b) is found is the
+// shortcut (a, b) added. The witness search is capped (settled-vertex
+// budget), which can only *add* unnecessary shortcuts, never miss a needed
+// one, so the hierarchy stays exact.
+//
+// All tie-breaking is on vertex id, so the contraction order — and hence
+// every downstream query result — is deterministic for a given graph.
+
+#ifndef PTAR_GRAPH_CH_PREPROCESSOR_H_
+#define PTAR_GRAPH_CH_PREPROCESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ch_graph.h"
+#include "graph/road_network.h"
+
+namespace ptar {
+
+struct CHPreprocessorOptions {
+  /// Settled-vertex budget per witness search. Larger values find more
+  /// witnesses (fewer shortcuts, slower preprocessing); smaller values
+  /// preprocess faster but emit more shortcuts. Exactness is unaffected.
+  std::size_t witness_settle_limit = 64;
+  /// Weight of the deleted-neighbors term in the lazy priority (favors
+  /// spreading contractions uniformly over the graph).
+  double deleted_neighbor_weight = 1.0;
+};
+
+class CHPreprocessor {
+ public:
+  explicit CHPreprocessor(const CHPreprocessorOptions& options = {})
+      : options_(options) {}
+
+  /// Contracts every vertex of `graph` and returns the finished hierarchy.
+  /// The graph must outlive the returned CHGraph.
+  CHGraph Build(const RoadNetwork& graph);
+
+ private:
+  /// Live (uncontracted-endpoint) arcs incident to v, as pool indices.
+  struct WitnessSearch;
+
+  /// Counts (simulate == true) or materializes (simulate == false) the
+  /// shortcuts required to contract v. Returns the number of shortcuts.
+  std::size_t ContractionShortcuts(VertexId v, bool simulate);
+
+  /// Lazy priority of v: edge difference plus the deleted-neighbors term.
+  double Priority(VertexId v);
+
+  CHPreprocessorOptions options_;
+
+  // --- Build-time state (reset per Build call). ---
+  const RoadNetwork* graph_ = nullptr;
+  std::vector<CHGraph::PoolArc> pool_;
+  /// Per-vertex live adjacency: pool indices of arcs whose far endpoint is
+  /// not yet contracted.
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<std::uint8_t> contracted_;
+  std::vector<std::uint32_t> deleted_neighbors_;
+
+  // Witness-search scratch (stamped so clears are O(touched)).
+  std::vector<Distance> wdist_;
+  std::vector<std::uint32_t> wstamp_;
+  std::uint32_t wrun_ = 0;
+  struct WitnessQueueEntry {
+    Distance dist;
+    VertexId vertex;
+    friend bool operator>(const WitnessQueueEntry& a,
+                          const WitnessQueueEntry& b) {
+      return a.dist > b.dist || (a.dist == b.dist && a.vertex > b.vertex);
+    }
+  };
+  std::vector<WitnessQueueEntry> wheap_;
+
+  // Scratch for ContractionShortcuts.
+  std::vector<VertexId> neighbors_;
+  std::vector<Distance> neighbor_weight_;
+  std::vector<std::uint32_t> neighbor_arc_;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_GRAPH_CH_PREPROCESSOR_H_

@@ -3,9 +3,56 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "graph/generators.h"
 #include "obs/trace.h"
 
 namespace ptar {
+
+const char* DistanceBackendName(DistanceBackend backend) {
+  switch (backend) {
+    case DistanceBackend::kDijkstra:
+      return "dijkstra";
+    case DistanceBackend::kCH:
+      return "ch";
+  }
+  return "unknown";
+}
+
+StatusOr<DistanceBackend> ParseDistanceBackend(const std::string& name) {
+  if (name == "dijkstra") return DistanceBackend::kDijkstra;
+  if (name == "ch") return DistanceBackend::kCH;
+  return Status::InvalidArgument("unknown distance backend '" + name +
+                                 "' (expected dijkstra or ch)");
+}
+
+DistanceOracle::DistanceOracle(const RoadNetwork* graph, const CHGraph* ch)
+    : graph_(graph), ch_(ch), engine_(graph) {
+  if (ch_ != nullptr) {
+    PTAR_CHECK(&ch_->graph() == graph);
+    ch_query_ = std::make_unique<CHQuery>(ch_);
+  }
+  component_ = ConnectedComponents(*graph).label;
+  cache_.reserve(kDefaultCacheReserve);
+  warm_.reserve(kDefaultCacheReserve);
+}
+
+Distance DistanceOracle::ComputePointToPoint(VertexId a, VertexId b) {
+  if (ch_query_ != nullptr) return ch_query_->PointToPoint(a, b);
+  return engine_.PointToPoint(a, b);
+}
+
+void DistanceOracle::ComputeSweep(VertexId source) {
+  sweep_dists_.assign(sweep_targets_.size(), kInfDistance);
+  if (ch_query_ != nullptr) {
+    ch_query_->OneToMany(source, sweep_targets_,
+                         std::span<Distance>(sweep_dists_));
+    return;
+  }
+  engine_.SingleSourceToTargets(source, sweep_targets_);
+  for (std::size_t i = 0; i < sweep_targets_.size(); ++i) {
+    sweep_dists_[i] = engine_.Dist(sweep_targets_[i]);
+  }
+}
 
 Distance DistanceOracle::Dist(VertexId a, VertexId b) {
   if (a == b) return 0.0;
@@ -23,10 +70,16 @@ Distance DistanceOracle::Dist(VertexId a, VertexId b) {
       return wit->second;
     }
   }
+  if (!SameComponent(a, b)) {
+    // Unreachable: counted and cached like any computation, no search.
+    ++compdists_;
+    cache_.emplace(key, kInfDistance);
+    return kInfDistance;
+  }
   // Only the real search gets a span: cache and warm hits are nanosecond
   // paths and are accounted by BatchStats counters instead.
   PTAR_TRACE_SPAN("oracle_p2p");
-  const Distance d = engine_.PointToPoint(a, b);
+  const Distance d = ComputePointToPoint(a, b);
   ++compdists_;
   cache_.emplace(key, d);
   return d;
@@ -43,6 +96,7 @@ void DistanceOracle::BatchDist(VertexId source,
   // Pass 1: serve what the cache (or warm store) already has and collect the
   // distinct pairs that genuinely need a search.
   sweep_targets_.clear();
+  std::size_t pending = 0;
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const VertexId t = targets[i];
     if (t == source) {
@@ -64,24 +118,35 @@ void DistanceOracle::BatchDist(VertexId source,
       continue;
     }
     // Mark as pending so a duplicate later in `targets` is not swept (or
-    // counted) twice; resolved in pass 2.
+    // counted) twice; resolved in pass 2. For a different-component target
+    // the pending marker kInfDistance *is* the answer, so it never joins
+    // the sweep.
     if (cache_.emplace(key, kInfDistance).second) {
-      sweep_targets_.push_back(t);
+      ++pending;
+      if (SameComponent(source, t)) sweep_targets_.push_back(t);
     }
   }
 
-  if (!sweep_targets_.empty()) {
-    // One sweep settles every pending target with bit-identical values to
-    // per-target PointToPoint(source, t) runs: Dijkstra's heap evolution up
-    // to each settlement is independent of the stopping rule.
-    obs::TraceSpan span("oracle_sweep");
-    span.AddArg("targets", static_cast<std::int64_t>(sweep_targets_.size()));
-    engine_.SingleSourceToTargets(source, sweep_targets_);
+  if (pending > 0) {
+    // Every distinct pending pair counts as one computation whether it was
+    // resolved by the sweep or by the component labels — identical to the
+    // pre-label accounting, where unreachable targets rode the sweep.
     ++batch_stats_.sweeps;
-    batch_stats_.pairs_swept += sweep_targets_.size();
-    compdists_ += sweep_targets_.size();
-    for (const VertexId t : sweep_targets_) {
-      cache_[Key(source, t)] = engine_.Dist(t);
+    batch_stats_.pairs_swept += pending;
+    compdists_ += pending;
+    if (!sweep_targets_.empty()) {
+      // One sweep settles every pending target with bit-identical values to
+      // per-target PointToPoint(source, t) runs: Dijkstra's heap evolution
+      // up to each settlement is independent of the stopping rule, and the
+      // CH bucket join minimizes the same label sums as the bidirectional
+      // query.
+      obs::TraceSpan span("oracle_sweep");
+      span.AddArg("targets",
+                  static_cast<std::int64_t>(sweep_targets_.size()));
+      ComputeSweep(source);
+      for (std::size_t i = 0; i < sweep_targets_.size(); ++i) {
+        cache_[Key(source, sweep_targets_[i])] = sweep_dists_[i];
+      }
     }
   }
 
@@ -98,30 +163,45 @@ void DistanceOracle::BatchDist(VertexId source,
 void DistanceOracle::WarmFrom(VertexId source,
                               std::span<const VertexId> targets) {
   sweep_targets_.clear();
+  std::size_t pending = 0;
   for (const VertexId t : targets) {
     if (t == source) continue;
     const std::uint64_t key = Key(source, t);
     if (cache_.contains(key)) continue;
-    // emplace doubles as the dedup check within this batch.
+    // emplace doubles as the dedup check within this batch; as in
+    // BatchDist, the kInfDistance marker is already correct for
+    // different-component targets.
     if (warm_.emplace(key, kInfDistance).second) {
-      sweep_targets_.push_back(t);
+      ++pending;
+      if (SameComponent(source, t)) sweep_targets_.push_back(t);
     }
   }
+  if (pending > 0) ++batch_stats_.sweeps;
   if (sweep_targets_.empty()) return;
   obs::TraceSpan span("oracle_warm_sweep");
   span.AddArg("targets", static_cast<std::int64_t>(sweep_targets_.size()));
-  engine_.SingleSourceToTargets(source, sweep_targets_);
-  ++batch_stats_.sweeps;
-  for (const VertexId t : sweep_targets_) {
-    warm_[Key(source, t)] = engine_.Dist(t);
+  ComputeSweep(source);
+  for (std::size_t i = 0; i < sweep_targets_.size(); ++i) {
+    warm_[Key(source, sweep_targets_[i])] = sweep_dists_[i];
   }
 }
 
 std::vector<VertexId> DistanceOracle::Path(VertexId a, VertexId b) {
   if (a == b) return {a};
+  if (!SameComponent(a, b)) {
+    ++compdists_;
+    cache_[Key(a, b)] = kInfDistance;
+    return {};
+  }
   PTAR_TRACE_SPAN("oracle_path");
-  const Distance d = engine_.PointToPoint(a, b);
   ++compdists_;
+  if (ch_query_ != nullptr) {
+    Distance d = kInfDistance;
+    std::vector<VertexId> path = ch_query_->Path(a, b, &d);
+    cache_[Key(a, b)] = d;
+    return path;
+  }
+  const Distance d = engine_.PointToPoint(a, b);
   cache_[Key(a, b)] = d;
   return engine_.PathTo(b);
 }

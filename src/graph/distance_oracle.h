@@ -7,14 +7,31 @@
 // computed (and counted) at most once until the cache is cleared; matchers
 // clear it per request.
 //
+// Two interchangeable exact backends sit below the cache:
+//  - kDijkstra (default): plain Dijkstra sweeps (DijkstraEngine), one
+//    one-to-many sweep per batch.
+//  - kCH: contraction-hierarchy queries (CHQuery over a shared prebuilt
+//    CHGraph) — bidirectional point-to-point; one-to-many via buckets for
+//    small batches or a PHAST-style downward sweep for large ones.
+// Both are exact; compdist accounting and BatchStats semantics are
+// backend-independent. Values may differ between backends in the low bits
+// (floating-point sums associate differently along shortcuts), which is
+// inside the tolerance every cross-implementation comparison in this
+// codebase already applies.
+//
 // Bit-determinism contract: within one cache epoch (between ClearCache
 // calls) every query for a pair returns the exact same double, because the
 // first computation is memoized under a symmetric key. The value is the
-// Dijkstra result in the direction the pair was first asked, which is itself
-// deterministic for a deterministic query sequence. BatchDist(s, ts)
-// preserves this bit-for-bit: a Dijkstra sweep from s settles every target
-// with exactly the value PointToPoint(s, t) would produce, because the heap
-// evolution up to t's settlement does not depend on the stopping rule.
+// backend's result in the direction the pair was first asked, which is
+// itself deterministic for a deterministic query sequence. On kDijkstra,
+// BatchDist(s, ts) is additionally bit-identical to the equivalent serial
+// Dist calls: a sweep settles every target with exactly the value
+// PointToPoint(s, t) would produce (the heap evolution up to t's
+// settlement does not depend on the stopping rule). On kCH, batch and
+// serial answers for the same pair may differ in the low bits when the
+// batch takes the downward-sweep path (its sums associate top-down while
+// the bidirectional query adds fwd + bwd halves) — the memo cache still
+// makes whichever value was computed first the epoch-stable answer.
 //
 // Two tiers of batching:
 //  - BatchDist: for pairs the caller is *guaranteed* to need. Counts one
@@ -24,21 +41,41 @@
 //    Sweeps the targets but parks the results in an uncounted side store;
 //    Dist() promotes a warmed pair into the real cache and counts it at
 //    that moment — the same moment a serial run would have computed it.
+//
+// Connected-component labels (computed once at construction) short-circuit
+// unreachable pairs: they are answered kInfDistance — still cached and
+// counted exactly as before — without running a search, so a sweep with
+// unreachable targets no longer drains the whole component's queue.
 
 #ifndef PTAR_GRAPH_DISTANCE_ORACLE_H_
 #define PTAR_GRAPH_DISTANCE_ORACLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/status.h"
+#include "graph/ch_graph.h"
+#include "graph/ch_query.h"
 #include "graph/dijkstra.h"
 #include "graph/road_network.h"
 #include "graph/types.h"
 
 namespace ptar {
+
+/// Which exact shortest-path engine serves a DistanceOracle's misses.
+enum class DistanceBackend {
+  kDijkstra,  ///< Plain Dijkstra sweeps; no preprocessing.
+  kCH,        ///< Contraction hierarchy + bucket one-to-many queries.
+};
+
+/// "dijkstra" / "ch" (the --distance_backend flag vocabulary).
+const char* DistanceBackendName(DistanceBackend backend);
+StatusOr<DistanceBackend> ParseDistanceBackend(const std::string& name);
 
 class DistanceOracle {
  public:
@@ -46,24 +83,30 @@ class DistanceOracle {
   /// per-request fill never rehashes.
   static constexpr std::size_t kDefaultCacheReserve = 1024;
 
+  /// Dijkstra-backed oracle.
   explicit DistanceOracle(const RoadNetwork* graph)
-      : graph_(graph), engine_(graph) {
-    cache_.reserve(kDefaultCacheReserve);
-    warm_.reserve(kDefaultCacheReserve);
-  }
+      : DistanceOracle(graph, nullptr) {}
+
+  /// CH-backed oracle when `ch` is non-null (it must be built over `graph`
+  /// and outlive the oracle); Dijkstra-backed otherwise.
+  DistanceOracle(const RoadNetwork* graph, const CHGraph* ch);
 
   DistanceOracle(const DistanceOracle&) = delete;
   DistanceOracle& operator=(const DistanceOracle&) = delete;
+
+  DistanceBackend backend() const {
+    return ch_ == nullptr ? DistanceBackend::kDijkstra : DistanceBackend::kCH;
+  }
 
   /// Exact shortest-path distance between a and b (undirected, so symmetric).
   /// Counts one compdist unless the pair is already cached.
   Distance Dist(VertexId a, VertexId b);
 
   /// Distances from `source` to every target, in target order, via (at most)
-  /// one one-to-many Dijkstra sweep. Semantically identical — including
-  /// compdist accounting and returned bits — to calling Dist(source, t) for
-  /// each t in order: cached pairs are served from the cache, every distinct
-  /// uncached pair counts exactly one compdist, duplicates count once, and
+  /// one one-to-many query. Semantically identical — including compdist
+  /// accounting and returned bits — to calling Dist(source, t) for each t in
+  /// order: cached pairs are served from the cache, every distinct uncached
+  /// pair counts exactly one compdist, duplicates count once, and
   /// source==target pairs are 0.0 and free. `out` is resized to
   /// targets.size().
   void BatchDist(VertexId source, std::span<const VertexId> targets,
@@ -77,7 +120,7 @@ class DistanceOracle {
   void WarmFrom(VertexId source, std::span<const VertexId> targets);
 
   /// Shortest path (vertex sequence) between a and b. Counts one compdist and
-  /// caches the endpoint distance.
+  /// caches the endpoint distance. Empty if b is unreachable.
   std::vector<VertexId> Path(VertexId a, VertexId b);
 
   /// Number of actual point-to-point computations since construction or the
@@ -110,8 +153,27 @@ class DistanceOracle {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
+  bool SameComponent(VertexId a, VertexId b) const {
+    return component_[a] == component_[b];
+  }
+
+  /// Backend dispatch for an uncached point-to-point pair (reachability
+  /// already checked).
+  Distance ComputePointToPoint(VertexId a, VertexId b);
+
+  /// Backend dispatch for one one-to-many query over `sweep_targets_`;
+  /// results land in `sweep_dists_` (same order).
+  void ComputeSweep(VertexId source);
+
   const RoadNetwork* graph_;
+  const CHGraph* ch_;
   DijkstraEngine engine_;
+  /// Per-oracle CH workspace (null on the Dijkstra backend); the CHGraph
+  /// itself is shared and immutable, so concurrent oracles never contend.
+  std::unique_ptr<CHQuery> ch_query_;
+  /// Connected-component label per vertex; pairs in different components
+  /// are answered without a search.
+  std::vector<int> component_;
   std::unordered_map<std::uint64_t, Distance> cache_;
   /// Uncounted prefetch results from WarmFrom; promoted into cache_ (and
   /// counted) on first Dist() use.
@@ -120,6 +182,7 @@ class DistanceOracle {
   BatchStats batch_stats_;
   /// Scratch for BatchDist/WarmFrom (avoids per-call allocation).
   std::vector<VertexId> sweep_targets_;
+  std::vector<Distance> sweep_dists_;
 };
 
 }  // namespace ptar

@@ -4,7 +4,9 @@
 // (tested property), so it is an admissible — and, being derived from a
 // single lower-bound matrix, consistent enough in practice — heuristic for
 // goal-directed search. This is an optional accelerator for the distance
-// oracle on large networks; Dijkstra remains the default engine.
+// oracle on large networks; Dijkstra remains the default engine, and the
+// contraction-hierarchy backend (--distance_backend=ch, src/graph/ch_*) is
+// the preprocessing-based alternative when queries dominate.
 
 #ifndef PTAR_GRID_ASTAR_H_
 #define PTAR_GRID_ASTAR_H_

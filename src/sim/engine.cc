@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/timer.h"
+#include "graph/ch_preprocessor.h"
 #include "obs/trace.h"
 
 namespace ptar {
@@ -29,6 +30,19 @@ bool ContainsOption(std::span<const Option> set, const Option& o) {
 
 }  // namespace
 
+std::unique_ptr<CHGraph> Engine::MaybeBuildCH(const RoadNetwork* graph,
+                                              const EngineOptions& options,
+                                              double* out_micros) {
+  *out_micros = 0.0;
+  if (options.distance_backend != DistanceBackend::kCH) return nullptr;
+  PTAR_CHECK(graph != nullptr);
+  Timer timer;
+  auto ch = std::make_unique<CHGraph>(
+      CHPreprocessor(CHPreprocessorOptions{}).Build(*graph));
+  *out_micros = timer.ElapsedMicros();
+  return ch;
+}
+
 Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
                const EngineOptions& options)
     : graph_(graph),
@@ -36,8 +50,9 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
       options_(options),
       rng_(options.seed),
       registry_(grid),
-      match_oracle_(graph),
-      maintenance_oracle_(graph) {
+      ch_graph_(MaybeBuildCH(graph, options, &ch_preprocess_micros_)),
+      match_oracle_(graph, ch_graph_.get()),
+      maintenance_oracle_(graph, ch_graph_.get()) {
   PTAR_CHECK(graph != nullptr && grid != nullptr);
   if (!options_.start_vertices.empty()) {
     options_.num_vehicles =
@@ -49,6 +64,10 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
   PTAR_CHECK(options_.num_vehicles >= 1);
   PTAR_CHECK(options.vehicle_capacity >= 1);
   PTAR_CHECK(options.threads >= 1);
+  if (ch_graph_ != nullptr) {
+    metrics_.AddCounter("ch/shortcuts", ch_graph_->num_shortcuts());
+    metrics_.Histogram("ch/preprocess_us").Add(ch_preprocess_micros_);
+  }
   phase_advance_us_ = &metrics_.Histogram("engine/advance_us");
   phase_refresh_us_ = &metrics_.Histogram("engine/refresh_us");
   phase_match_us_ = &metrics_.Histogram("engine/match_us");
@@ -98,7 +117,8 @@ MatchContext Engine::MakeMatchContextFor(std::size_t m) {
 
 void Engine::EnsureMatcherOracles(std::size_t num_matchers) {
   while (matcher_oracles_.size() + 1 < num_matchers) {
-    matcher_oracles_.push_back(std::make_unique<DistanceOracle>(graph_));
+    matcher_oracles_.push_back(
+        std::make_unique<DistanceOracle>(graph_, ch_graph_.get()));
   }
 }
 

@@ -60,6 +60,12 @@ struct EngineOptions {
   /// DistanceOracle). 1 = serial. Results are bit-identical either way:
   /// matchers only read shared state and write into pre-assigned slots.
   int threads = 1;
+  /// Exact shortest-path engine behind every oracle. kCH builds one
+  /// contraction hierarchy at engine construction (counted in
+  /// "ch/preprocess_us") shared read-only by all oracles; queries then use
+  /// bidirectional / bucket searches instead of Dijkstra sweeps. Matching
+  /// results are equivalent up to floating-point association of path sums.
+  DistanceBackend distance_backend = DistanceBackend::kDijkstra;
 };
 
 /// Aggregated per-matcher measurements across a run.
@@ -192,6 +198,12 @@ class Engine {
   /// metrics_ (and resets the sources so a later Run() adds only deltas).
   void HarvestRunMetrics(std::span<Matcher* const> matchers);
 
+  /// Builds the contraction hierarchy when `options` selects the CH
+  /// backend (null otherwise); *out_micros receives the build time.
+  static std::unique_ptr<CHGraph> MaybeBuildCH(const RoadNetwork* graph,
+                                               const EngineOptions& options,
+                                               double* out_micros);
+
   const RoadNetwork* graph_;
   const GridIndex* grid_;
   EngineOptions options_;
@@ -203,6 +215,10 @@ class Engine {
   std::vector<char> registered_empty_;  ///< Vehicle is in an empty list.
   VehicleRegistry registry_;
 
+  double ch_preprocess_micros_ = 0.0;
+  /// Shared hierarchy for the kCH backend (null on kDijkstra); declared
+  /// before the oracles, which capture a pointer to it at construction.
+  std::unique_ptr<CHGraph> ch_graph_;
   DistanceOracle match_oracle_;        ///< Counted, cleared per request.
   DistanceOracle maintenance_oracle_;  ///< Engine bookkeeping, uncounted.
   /// Per-matcher oracles for slots >= 1 (slot 0 keeps match_oracle_).

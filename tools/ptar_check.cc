@@ -58,7 +58,8 @@ int Help() {
       "usage: ptar_check [--seeds=N] [--first_seed=N] [--shrink]\n"
       "                  [--repro_out=FILE] [--replay=FILE] [--selftest]\n"
       "                  [--broken_lemma=1|3|11] [--report_out=FILE]\n"
-      "                  [--verbose] [--help]\n\n"
+      "                  [--distance_backend=dijkstra|ch] [--verbose]\n"
+      "                  [--help]\n\n"
       "  --seeds=N         randomized scenarios to fuzz (default 50)\n"
       "  --first_seed=N    first seed of the range (default 1)\n"
       "  --shrink          minimize the first failing scenario\n"
@@ -68,7 +69,9 @@ int Help() {
       "  --selftest        verify the harness catches a sabotaged lemma\n"
       "  --broken_lemma=N  which lemma the selftest sabotages (default 3)\n"
       "  --report_out=FILE versioned JSON run report (schema v1, "
-      "\"differential\" counters)\n");
+      "\"differential\" counters)\n"
+      "  --distance_backend=NAME  oracle backend for every engine in the\n"
+      "                    run: dijkstra (default) or ch\n");
   return 0;
 }
 
@@ -142,8 +145,10 @@ void PrintDivergences(const DifferentialOutcome& outcome, std::size_t limit) {
 
 /// Shrinks a failing spec and writes the repro; prints the reduction.
 int ShrinkAndSave(const ScenarioSpec& spec, const std::string& repro_out,
-                  const MatcherFactory& factory) {
+                  const MatcherFactory& factory,
+                  const DifferentialConfig& config) {
   ShrinkOptions sopts;
+  sopts.config = config;
   const ShrinkResult shrunk = ShrinkScenario(spec, sopts, factory);
   if (!shrunk.reproduced) {
     std::fprintf(stderr, "error: divergence did not reproduce for shrink\n");
@@ -163,10 +168,11 @@ int ShrinkAndSave(const ScenarioSpec& spec, const std::string& repro_out,
 
 int RunOneReplay(const std::string& path, bool shrink,
                  const std::string& repro_out,
-                 const std::string& report_out) {
+                 const std::string& report_out,
+                 const DifferentialConfig& config) {
   auto spec = LoadReplayFromFile(path);
   if (!spec.ok()) return Fail(spec.status());
-  auto outcome = RunDifferential(spec.value(), DifferentialConfig{});
+  auto outcome = RunDifferential(spec.value(), config);
   if (!outcome.ok()) return Fail(outcome.status());
 
   HarnessStats stats;
@@ -179,7 +185,8 @@ int RunOneReplay(const std::string& path, bool shrink,
                 outcome.value().requests_run);
     PrintDivergences(outcome.value(), 10);
     if (shrink) {
-      if (const int rc = ShrinkAndSave(spec.value(), repro_out, nullptr);
+      if (const int rc =
+              ShrinkAndSave(spec.value(), repro_out, nullptr, config);
           rc != 0) {
         return rc;
       }
@@ -193,11 +200,11 @@ int RunOneReplay(const std::string& path, bool shrink,
 
 int Fuzz(std::uint64_t first_seed, std::uint64_t seeds, bool shrink,
          const std::string& repro_out, const std::string& report_out,
-         bool verbose) {
+         bool verbose, const DifferentialConfig& config) {
   HarnessStats stats;
   for (std::uint64_t seed = first_seed; seed < first_seed + seeds; ++seed) {
     const ScenarioSpec spec = MakeRandomSpec(seed);
-    auto outcome = RunDifferential(spec, DifferentialConfig{});
+    auto outcome = RunDifferential(spec, config);
     if (!outcome.ok()) return Fail(outcome.status());
     stats.Fold(outcome.value());
     if (!outcome.value().ok()) {
@@ -207,7 +214,8 @@ int Fuzz(std::uint64_t first_seed, std::uint64_t seeds, bool shrink,
       PrintDivergences(outcome.value(), 10);
       WriteReport(stats, report_out);
       if (shrink) {
-        if (const int rc = ShrinkAndSave(spec, repro_out, nullptr); rc != 0) {
+        if (const int rc = ShrinkAndSave(spec, repro_out, nullptr, config);
+            rc != 0) {
           return rc;
         }
       }
@@ -233,7 +241,8 @@ int Fuzz(std::uint64_t first_seed, std::uint64_t seeds, bool shrink,
 /// divergence that is caught, classified as missing-option, attributed to
 /// the sabotaged lemma's counter, and shrunk to a small repro.
 int SelfTest(int broken_lemma, std::uint64_t seeds,
-             const std::string& repro_out) {
+             const std::string& repro_out,
+             const DifferentialConfig& config) {
   const MatcherFactory factory = [broken_lemma] {
     std::vector<std::unique_ptr<Matcher>> matchers;
     matchers.push_back(std::make_unique<BaselineMatcher>());
@@ -243,7 +252,7 @@ int SelfTest(int broken_lemma, std::uint64_t seeds,
 
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
     const ScenarioSpec spec = MakeRandomSpec(seed);
-    auto outcome = RunDifferential(spec, DifferentialConfig{}, factory);
+    auto outcome = RunDifferential(spec, config, factory);
     if (!outcome.ok()) return Fail(outcome.status());
     if (outcome.value().ok()) continue;
 
@@ -265,6 +274,7 @@ int SelfTest(int broken_lemma, std::uint64_t seeds,
       return 1;
     }
     ShrinkOptions sopts;
+    sopts.config = config;
     const ShrinkResult shrunk = ShrinkScenario(spec, sopts, factory);
     if (!shrunk.reproduced) {
       std::fprintf(stderr, "selftest FAIL: shrink did not reproduce\n");
@@ -311,6 +321,8 @@ int Main(int argc, char** argv) {
   const std::string replay = flags.GetString("replay", "");
   const std::string repro_out = flags.GetString("repro_out", "repro.replay");
   const std::string report_out = flags.GetString("report_out", "");
+  const std::string backend_name =
+      flags.GetString("distance_backend", "dijkstra");
   if (!seeds.ok()) return Fail(seeds.status());
   if (!first_seed.ok()) return Fail(first_seed.status());
   if (!shrink.ok()) return Fail(shrink.status());
@@ -319,21 +331,26 @@ int Main(int argc, char** argv) {
   if (!verbose.ok()) return Fail(verbose.status());
   if (*seeds < 1) return FailUsage("--seeds must be >= 1");
   if (*first_seed < 0) return FailUsage("--first_seed must be >= 0");
+  const auto backend = ParseDistanceBackend(backend_name);
+  if (!backend.ok()) return FailUsage(backend.status().message());
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
+
+  DifferentialConfig config;
+  config.distance_backend = *backend;
 
   if (*selftest) {
     if (*broken_lemma != 1 && *broken_lemma != 3 && *broken_lemma != 11) {
       return FailUsage("--broken_lemma must be 1, 3, or 11");
     }
     return SelfTest(static_cast<int>(*broken_lemma),
-                    static_cast<std::uint64_t>(*seeds), repro_out);
+                    static_cast<std::uint64_t>(*seeds), repro_out, config);
   }
   if (!replay.empty()) {
-    return RunOneReplay(replay, *shrink, repro_out, report_out);
+    return RunOneReplay(replay, *shrink, repro_out, report_out, config);
   }
   return Fuzz(static_cast<std::uint64_t>(*first_seed),
               static_cast<std::uint64_t>(*seeds), *shrink, repro_out,
-              report_out, *verbose);
+              report_out, *verbose, config);
 }
 
 }  // namespace

@@ -68,9 +68,11 @@ int Help() {
       "  simulate --network=FILE --requests=FILE [--vehicles=N]\n"
       "      [--capacity=N] [--cell-size=M] [--adaptive] [--fraction=F]\n"
       "      [--policy=price|time|balanced|random] [--shadow] [--seed=N]\n"
-      "      [--threads=N] [--trace_out=FILE] [--report_out=FILE]\n"
+      "      [--threads=N] [--distance_backend=dijkstra|ch]\n"
+      "      [--trace_out=FILE] [--report_out=FILE]\n"
       "  match --network=FILE --from=V --to=V [--riders=N] [--wait-min=MIN]\n"
       "      [--epsilon=E] [--vehicles=N] [--cell-size=M] [--seed=N]\n"
+      "      [--distance_backend=dijkstra|ch]\n"
       "  help\n");
   return 0;
 }
@@ -214,10 +216,12 @@ int Simulate(const FlagParser& flags) {
   const std::string trace_out = flags.GetString("trace_out", "");
   const std::string report_out = flags.GetString("report_out", "");
   const auto policy = ParsePolicy(flags.GetString("policy", "price"));
+  const auto backend =
+      ParseDistanceBackend(flags.GetString("distance_backend", "dijkstra"));
   for (const Status& st :
        {vehicles.status(), capacity.status(), cell_size.status(),
         fraction.status(), seed.status(), shadow.status(),
-        threads.status(), policy.status()}) {
+        threads.status(), policy.status(), backend.status()}) {
     if (!st.ok()) return Fail(st);
   }
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
@@ -234,6 +238,7 @@ int Simulate(const FlagParser& flags) {
   eopts.policy = *policy;
   eopts.seed = static_cast<std::uint64_t>(*seed);
   eopts.threads = *threads;
+  eopts.distance_backend = *backend;
   Engine engine(&*graph, &*grid, eopts);
 
   BaselineMatcher ba;
@@ -306,10 +311,12 @@ int MatchOne(const FlagParser& flags) {
   const auto vehicles = flags.GetInt("vehicles", 200);
   const auto cell_size = flags.GetDouble("cell-size", 300.0);
   const auto seed = flags.GetInt("seed", 13);
+  const auto backend =
+      ParseDistanceBackend(flags.GetString("distance_backend", "dijkstra"));
   for (const Status& st :
        {from.status(), to.status(), riders.status(), wait.status(),
         epsilon.status(), vehicles.status(), cell_size.status(),
-        seed.status()}) {
+        seed.status(), backend.status()}) {
     if (!st.ok()) return Fail(st);
   }
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
@@ -323,6 +330,7 @@ int MatchOne(const FlagParser& flags) {
   EngineOptions eopts;
   eopts.num_vehicles = static_cast<int>(*vehicles);
   eopts.seed = static_cast<std::uint64_t>(*seed);
+  eopts.distance_backend = *backend;
   Engine engine(&*graph, &*grid, eopts);
   // Let the random fleet spread out a little before asking.
   engine.AdvanceTo(120.0);
