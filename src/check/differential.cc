@@ -1,6 +1,7 @@
 #include "check/differential.h"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -82,6 +83,39 @@ std::vector<Option> NormalizeSkyline(std::span<const Option> options,
     if (!dominated) kept.push_back(a);
   }
   return kept;
+}
+
+std::vector<Divergence> DiffSubset(std::span<const Option> superset,
+                                   std::span<const Option> actual,
+                                   double tolerance) {
+  std::vector<Divergence> out;
+  for (const Option& a : actual) {
+    bool matched = false;
+    for (const Option& e : superset) {
+      if (SameOption(e, a, tolerance)) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    Divergence d;
+    d.type = DivergenceType::kSpuriousOption;
+    d.actual = a;
+    for (const Option& e : superset) {
+      if (e.vehicle != a.vehicle) continue;
+      if (NearlyEqual(e.pickup_dist, a.pickup_dist, tolerance)) {
+        d.type = DivergenceType::kWrongPrice;
+      } else if (NearlyEqual(e.price, a.price, tolerance)) {
+        d.type = DivergenceType::kWrongPickupDist;
+      } else {
+        continue;
+      }
+      d.expected = e;
+      break;
+    }
+    out.push_back(d);
+  }
+  return out;
 }
 
 std::vector<Divergence> DiffSkylines(std::span<const Option> reference,
@@ -168,7 +202,9 @@ StatusOr<DifferentialOutcome> RunDifferential(
     return Status::InvalidArgument("matcher factory produced no matchers");
   }
   const std::size_t num_tested = owned.size();
-  owned.push_back(std::make_unique<ReferenceMatcher>());
+  auto reference_owner = std::make_unique<ReferenceMatcher>();
+  ReferenceMatcher* reference_matcher = reference_owner.get();
+  owned.push_back(std::move(reference_owner));
   std::vector<Matcher*> matchers;
   matchers.reserve(owned.size());
   for (const auto& m : owned) matchers.push_back(m.get());
@@ -178,7 +214,23 @@ StatusOr<DifferentialOutcome> RunDifferential(
   eopts.seed = spec.engine_seed;
   eopts.start_vertices = spec.vehicle_starts;
   eopts.distance_backend = config.distance_backend;
+  if (config.request_budget > 0) {
+    eopts.overload.request_budget = config.request_budget;
+    // Freeze the ladder at kFull: the harness wants every matcher (and the
+    // reference) evaluated on every request, not the engine's fallback.
+    eopts.overload.degrade_after = std::numeric_limits<int>::max();
+  }
   Engine engine(built.value().graph.get(), built.value().grid.get(), eopts);
+  if (config.faults.active()) {
+    const FaultPlan plan = config.faults;
+    engine.SetFaultHookFactory(
+        [plan, num_tested](std::size_t slot) -> DistanceOracle::FaultHook {
+          // Tested slots only: the reference slot stays clean so the
+          // subset check runs against ground truth.
+          if (slot >= num_tested) return nullptr;
+          return MakeFaultHook(plan);
+        });
+  }
 
   DifferentialOutcome outcome;
   outcome.matchers.resize(num_tested);
@@ -197,8 +249,16 @@ StatusOr<DifferentialOutcome> RunDifferential(
       const MatchResult& mr = result.results[m];
       outcome.matchers[m].options_sum += mr.options.size();
       outcome.matchers[m].totals.Accumulate(mr.stats);
-      std::vector<Divergence> diffs =
-          DiffSkylines(reference, mr.options, config.tolerance);
+      std::vector<Divergence> diffs;
+      if (mr.complete) {
+        diffs = DiffSkylines(reference, mr.options, config.tolerance);
+      } else {
+        // Truncated result: only membership in the reference's full
+        // pre-skyline option set is required (see DiffSubset).
+        ++outcome.partial_results;
+        diffs = DiffSubset(reference_matcher->last_full_options(),
+                           mr.options, config.tolerance);
+      }
       for (Divergence& d : diffs) {
         d.matcher = matchers[m]->name();
         d.request_index = r;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/fault_injection.h"
 #include "check/scenario.h"
 #include "graph/distance_oracle.h"
 #include "rideshare/matcher.h"
@@ -60,6 +61,19 @@ struct Divergence {
 std::vector<Option> NormalizeSkyline(std::span<const Option> options,
                                      double tolerance);
 
+/// Subset-mode diff for budget-truncated (complete == false) results: a
+/// partial skyline may *miss* arbitrarily many options (an unvisited
+/// vehicle could even dominate what it kept), so missing options are not
+/// divergences. What it must never do is invent or misprice one — every
+/// actual option has to match some member of the reference's full
+/// pre-skyline option set (`superset`, from
+/// ReferenceMatcher::last_full_options) within `tolerance`. Unmatched
+/// options classify as spurious, or wrong-price / wrong-pickup-dist when a
+/// same-vehicle superset option agrees in the other dimension.
+std::vector<Divergence> DiffSubset(std::span<const Option> superset,
+                                   std::span<const Option> actual,
+                                   double tolerance);
+
 /// Classifies the disagreement between two canonically sorted skylines,
 /// normalizing both with NormalizeSkyline first. Options are equal when
 /// vehicles match and both dimensions agree within `tolerance` (per-slot
@@ -78,6 +92,18 @@ struct DifferentialConfig {
   /// reference share it, so a divergence is always a matcher bug, never a
   /// backend rounding mismatch.
   DistanceBackend distance_backend = DistanceBackend::kDijkstra;
+  /// Deterministic work-unit budget armed into every tested matcher's slot
+  /// (0 = unlimited). The reference never charges or checks budgets, so it
+  /// still produces the full answer; tested results that come back
+  /// complete == false are then diffed in subset mode (DiffSubset). The
+  /// engine's degradation ladder is frozen at kFull for the whole run so
+  /// every matcher is evaluated on every request.
+  std::uint64_t request_budget = 0;
+  /// Oracle faults injected into every *tested* matcher's oracle — never
+  /// the reference's and never the engine's maintenance oracle. Faulted
+  /// results are incomplete by definition and must still pass DiffSubset
+  /// against the unfaulted reference: faults may only remove options.
+  FaultPlan faults;
 };
 
 /// Builds the matchers under test; the reference is appended by the
@@ -100,6 +126,9 @@ struct DifferentialOutcome {
 
   std::size_t requests_run = 0;
   std::size_t first_divergent_request = kNoDivergence;
+  /// Tested results tagged complete == false (budget- or fault-truncated);
+  /// each was checked in subset mode instead of full-equality mode.
+  std::size_t partial_results = 0;
   std::vector<Divergence> divergences;
   /// One entry per matcher under test (the reference is excluded).
   std::vector<MatcherSummary> matchers;

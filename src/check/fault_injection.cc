@@ -1,5 +1,10 @@
 #include "check/fault_injection.h"
 
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <utility>
+
 #include "common/logging.h"
 #include "common/timer.h"
 #include "rideshare/lemmas.h"
@@ -13,6 +18,129 @@ BrokenLemmaMatcher::BrokenLemmaMatcher(int lemma, double inflation)
   PTAR_CHECK(lemma == 1 || lemma == 3 || lemma == 11)
       << "unsupported broken lemma " << lemma;
   PTAR_CHECK(inflation > 1.0);
+}
+
+namespace {
+
+/// SplitMix64 finalizer: a pure, well-mixed hash of the pair + seed.
+std::uint64_t MixPair(VertexId a, VertexId b, std::uint64_t seed) {
+  if (a > b) std::swap(a, b);
+  std::uint64_t z = (static_cast<std::uint64_t>(a) << 32 |
+                     static_cast<std::uint64_t>(b)) +
+                    seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void BusyWaitMicros(double micros) {
+  if (micros <= 0.0) return;
+  Timer timer;
+  while (timer.ElapsedMicros() < micros) {
+    // Busy-wait: sleeping is too coarse for the sub-millisecond delays the
+    // robustness tests inject.
+  }
+}
+
+}  // namespace
+
+StatusOr<FaultPlan> ParseFaultPlan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("--inject token '" + token +
+                                     "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    char* parse_end = nullptr;
+    const double num = std::strtod(value.c_str(), &parse_end);
+    if (value.empty() || parse_end != value.c_str() + value.size()) {
+      return Status::InvalidArgument("--inject value for '" + key +
+                                     "' is not a number: '" + value + "'");
+    }
+    if (key == "fail_rate") {
+      if (num < 0.0 || num > 1.0) {
+        return Status::InvalidArgument("--inject fail_rate must be in [0,1]");
+      }
+      plan.fail_rate = num;
+    } else if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(num);
+    } else if (key == "slow_us") {
+      if (num < 0.0) {
+        return Status::InvalidArgument("--inject slow_us must be >= 0");
+      }
+      plan.slow_micros = num;
+    } else if (key == "stall_every") {
+      if (num < 0.0) {
+        return Status::InvalidArgument("--inject stall_every must be >= 0");
+      }
+      plan.stall_every = static_cast<std::uint64_t>(num);
+    } else if (key == "stall_us") {
+      if (num < 0.0) {
+        return Status::InvalidArgument("--inject stall_us must be >= 0");
+      }
+      plan.stall_micros = num;
+    } else {
+      return Status::InvalidArgument(
+          "--inject key '" + key +
+          "' unknown (expected fail_rate, seed, slow_us, stall_every, "
+          "stall_us)");
+    }
+  }
+  return plan;
+}
+
+DistanceOracle::FaultHook MakeFaultHook(const FaultPlan& plan) {
+  if (!plan.active()) return nullptr;
+  // Failure threshold in hash space; the hash is uniform, so the observed
+  // fail fraction converges on fail_rate. fail_rate == 1.0 is pinned to the
+  // max: the product rounds to 2^64, whose uint64 cast is undefined.
+  const std::uint64_t threshold =
+      plan.fail_rate >= 1.0
+          ? std::numeric_limits<std::uint64_t>::max()
+          : static_cast<std::uint64_t>(
+                plan.fail_rate *
+                static_cast<double>(
+                    std::numeric_limits<std::uint64_t>::max()));
+  // Per-hook stall counter (each oracle is single-threaded).
+  auto calls = std::make_shared<std::uint64_t>(0);
+  return [plan, threshold, calls](VertexId a, VertexId b) {
+    BusyWaitMicros(plan.slow_micros);
+    if (plan.stall_every > 0 && ++*calls % plan.stall_every == 0) {
+      BusyWaitMicros(plan.stall_micros);
+    }
+    return plan.fail_rate > 0.0 && MixPair(a, b, plan.seed) < threshold;
+  };
+}
+
+VehicleId CorruptRandomLeg(std::vector<KineticTree>& fleet,
+                           std::uint64_t seed) {
+  std::vector<VehicleId> candidates;
+  for (const KineticTree& tree : fleet) {
+    if (!tree.IsEmpty()) candidates.push_back(tree.vehicle());
+  }
+  if (candidates.empty()) return kInvalidVehicle;
+  const VehicleId victim =
+      candidates[MixPair(1, 2, seed) % candidates.size()];
+  KineticTree& tree = fleet[victim];
+  const std::size_t branch =
+      MixPair(3, 4, seed) % tree.schedules().size();
+  const std::size_t legs = tree.schedules()[branch].legs.size();
+  if (legs == 0) return kInvalidVehicle;
+  const std::size_t leg = MixPair(5, 6, seed) % legs;
+  // A hugely inflated (but finite) leg: breaks leg exactness, validity, and
+  // the active-branch minimality the auditor checks.
+  tree.CorruptLegForTest(branch, leg,
+                         tree.schedules()[branch].legs[leg] + 1e7);
+  return victim;
 }
 
 MatchResult BrokenLemmaMatcher::Match(const Request& request,

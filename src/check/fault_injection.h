@@ -9,11 +9,26 @@
 // the lemma prunes options the reference keeps, and the harness must
 // report missing-option divergences attributed to that lemma's counter.
 
+// FaultPlan / MakeFaultHook extend the same philosophy to the substrate:
+// a declarative description of distance-oracle misbehavior (failing pairs,
+// slow computations, periodic stalls) compiled into a
+// DistanceOracle::FaultHook. Failure decisions are a pure hash of the
+// vertex pair and the plan seed, so the same pair fails in every oracle,
+// every thread, and every replay — injected runs stay reproducible. The
+// degradation machinery (work budgets, the engine's overload ladder, the
+// kinetic-tree auditor) is exercised against these plans by ptar_check and
+// the robustness test suite.
+
 #ifndef PTAR_CHECK_FAULT_INJECTION_H_
 #define PTAR_CHECK_FAULT_INJECTION_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/status.h"
+#include "graph/distance_oracle.h"
+#include "kinetic/kinetic_tree.h"
 #include "rideshare/matcher.h"
 
 namespace ptar::check {
@@ -36,6 +51,43 @@ class BrokenLemmaMatcher : public Matcher {
   int lemma_;
   double inflation_;
 };
+
+/// Declarative oracle-fault description, parsed from the `--inject` flag
+/// (comma-separated key=value pairs: fail_rate, seed, slow_us, stall_every,
+/// stall_us; e.g. "fail_rate=0.05,seed=7,slow_us=200").
+struct FaultPlan {
+  /// Fraction (0..1) of distance computations that fail (answer
+  /// kInfDistance). Decided per vertex pair by a pure hash with `seed`, so
+  /// a pair fails identically across oracles, threads, and replays.
+  double fail_rate = 0.0;
+  std::uint64_t seed = 1;
+  /// Busy-wait inside every hooked computation (slow-backend emulation for
+  /// deadline/shedding tests; wall-clock, inherently nondeterministic).
+  double slow_micros = 0.0;
+  /// Every `stall_every`-th hooked computation (0 = never) additionally
+  /// busy-waits `stall_micros` — emulates a thread losing the CPU.
+  std::uint64_t stall_every = 0;
+  double stall_micros = 0.0;
+
+  bool active() const {
+    return fail_rate > 0.0 || slow_micros > 0.0 ||
+           (stall_every > 0 && stall_micros > 0.0);
+  }
+};
+
+StatusOr<FaultPlan> ParseFaultPlan(const std::string& spec);
+
+/// Compiles the plan into a hook for DistanceOracle::SetFaultHook. Install
+/// a separate hook per oracle: the stall counter is per-hook state and each
+/// oracle is single-threaded, keeping injected runs race-free. Returns a
+/// null hook for an inactive plan.
+DistanceOracle::FaultHook MakeFaultHook(const FaultPlan& plan);
+
+/// Deterministically corrupts one leg of one non-empty tree (schedule
+/// corruption for auditor tests). Returns the corrupted vehicle, or
+/// kInvalidVehicle when every tree is empty.
+VehicleId CorruptRandomLeg(std::vector<KineticTree>& fleet,
+                           std::uint64_t seed);
 
 }  // namespace ptar::check
 

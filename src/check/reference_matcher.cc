@@ -126,7 +126,8 @@ MatchResult ReferenceMatcher::Match(const Request& request,
     }
   }
 
-  result.options = NaiveSkyline(std::move(options));
+  last_full_options_ = std::move(options);
+  result.options = NaiveSkyline(last_full_options_);
   result.stats.compdists = ctx.oracle->compdists();
   result.stats.elapsed_micros = timer.ElapsedMicros();
   return result;

@@ -31,6 +31,18 @@ class ReferenceMatcher : public Matcher {
  public:
   std::string name() const override { return "REF"; }
   MatchResult Match(const Request& request, MatchContext& ctx) override;
+
+  /// Every option the last Match() enumerated, *before* skyline filtering.
+  /// A budget- or fault-truncated production matcher may legally return an
+  /// option that the full skyline dominates (the dominating vehicle was
+  /// never visited), so partial results are checked for membership in this
+  /// set rather than in the reference skyline.
+  const std::vector<Option>& last_full_options() const {
+    return last_full_options_;
+  }
+
+ private:
+  std::vector<Option> last_full_options_;
 };
 
 }  // namespace ptar::check

@@ -14,8 +14,11 @@ namespace ptar::check {
 namespace {
 
 /// Next content line: skips blanks and '#' comments, strips trailing CR.
-bool NextLine(std::istream& in, std::string* line) {
+/// `*lineno` counts every physical line consumed (1-based), so error
+/// messages can point at the offending line.
+bool NextLine(std::istream& in, std::string* line, int* lineno) {
   while (std::getline(in, *line)) {
+    ++*lineno;
     while (!line->empty() && line->back() == '\r') line->pop_back();
     const std::size_t first = line->find_first_not_of(" \t");
     if (first == std::string::npos) continue;
@@ -25,9 +28,11 @@ bool NextLine(std::istream& in, std::string* line) {
   return false;
 }
 
-Status ParseError(const std::string& what, const std::string& line) {
-  return Status::InvalidArgument("replay parse error: " + what + ": '" +
-                                 line + "'");
+Status ParseError(const std::string& what, const std::string& line,
+                  int lineno) {
+  return Status::InvalidArgument("replay parse error at line " +
+                                 std::to_string(lineno) + ": " + what +
+                                 ": '" + line + "'");
 }
 
 /// Parses one "key=value" token into an integer field.
@@ -72,17 +77,19 @@ Status SaveReplayToFile(const ScenarioSpec& spec, const std::string& path) {
 
 StatusOr<ScenarioSpec> LoadReplay(std::istream& in) {
   std::string line;
-  if (!NextLine(in, &line)) return Status::IoError("empty replay");
+  int lineno = 0;
+  if (!NextLine(in, &line, &lineno)) return Status::IoError("empty replay");
   {
     std::istringstream header(line);
     std::string magic;
     int version = 0;
     if (!(header >> magic >> version) || magic != "ptar-replay") {
-      return ParseError("bad header", line);
+      return ParseError("bad header", line, lineno);
     }
     if (version != kReplayFormatVersion) {
       return Status::InvalidArgument("unsupported replay version " +
-                                     std::to_string(version));
+                                     std::to_string(version) + " at line " +
+                                     std::to_string(lineno));
     }
   }
 
@@ -92,7 +99,7 @@ StatusOr<ScenarioSpec> LoadReplay(std::istream& in) {
   bool saw_city = false;
   bool saw_requests = false;
 
-  while (NextLine(in, &line)) {
+  while (NextLine(in, &line, &lineno)) {
     std::istringstream row(line);
     std::string key;
     row >> key;
@@ -122,34 +129,34 @@ StatusOr<ScenarioSpec> LoadReplay(std::istream& in) {
       } else {
         ok = false;
       }
-      if (!ok) return ParseError("bad city line", line);
+      if (!ok) return ParseError("bad city line", line, lineno);
       spec.city_seed = static_cast<std::uint64_t>(s);
       saw_city = true;
     } else if (key == "cell_size") {
       if (!(row >> spec.cell_size_meters)) {
-        return ParseError("bad cell_size", line);
+        return ParseError("bad cell_size", line, lineno);
       }
     } else if (key == "capacity") {
       if (!(row >> spec.vehicle_capacity)) {
-        return ParseError("bad capacity", line);
+        return ParseError("bad capacity", line, lineno);
       }
     } else if (key == "engine_seed") {
       if (!(row >> spec.engine_seed)) {
-        return ParseError("bad engine_seed", line);
+        return ParseError("bad engine_seed", line, lineno);
       }
     } else if (key == "vehicles") {
       if (!(row >> expected_vehicles)) {
-        return ParseError("bad vehicles count", line);
+        return ParseError("bad vehicles count", line, lineno);
       }
     } else if (key == "v") {
       VertexId v = kInvalidVertex;
-      if (!(row >> v)) return ParseError("bad vehicle start", line);
+      if (!(row >> v)) return ParseError("bad vehicle start", line, lineno);
       spec.vehicle_starts.push_back(v);
     } else if (key == "requests") {
       saw_requests = true;
       break;
     } else {
-      return ParseError("unknown key", line);
+      return ParseError("unknown key", line, lineno);
     }
   }
   if (!saw_city) return Status::InvalidArgument("replay missing city line");
@@ -166,8 +173,10 @@ StatusOr<ScenarioSpec> LoadReplay(std::istream& in) {
   // Collect the CSV block verbatim up to the `end` sentinel; LoadRequests
   // reads its stream to EOF, so it gets a bounded copy.
   std::ostringstream csv;
+  const int csv_first_line = lineno + 1;
   bool saw_end = false;
   while (std::getline(in, line)) {
+    ++lineno;
     while (!line.empty() && line.back() == '\r') line.pop_back();
     if (line == "end") {
       saw_end = true;
@@ -187,7 +196,15 @@ StatusOr<ScenarioSpec> LoadReplay(std::istream& in) {
   }
   std::istringstream csv_in(csv.str());
   auto requests = LoadRequests(csv_in, city.value());
-  if (!requests.ok()) return requests.status();
+  if (!requests.ok()) {
+    // LoadRequests reports positions relative to the CSV block; re-anchor
+    // them to the replay file so the caller can jump straight to the line.
+    return Status(requests.status().code(),
+                  "in requests block (lines " +
+                      std::to_string(csv_first_line) + ".." +
+                      std::to_string(lineno) + "): " +
+                      requests.status().message());
+  }
   spec.requests = std::move(requests).value();
   return spec;
 }
@@ -195,7 +212,14 @@ StatusOr<ScenarioSpec> LoadReplay(std::istream& in) {
 StatusOr<ScenarioSpec> LoadReplayFromFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
-  return LoadReplay(in);
+  auto spec = LoadReplay(in);
+  if (!spec.ok()) {
+    // Prefix the path so errors bubbling through RunDifferential (and the
+    // CLIs) name the exact file and line.
+    return Status(spec.status().code(),
+                  path + ": " + spec.status().message());
+  }
+  return spec;
 }
 
 }  // namespace ptar::check

@@ -27,6 +27,7 @@ enum class StatusCode : std::uint8_t {
   kInternal = 6,
   kIoError = 7,
   kUnimplemented = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -69,6 +70,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

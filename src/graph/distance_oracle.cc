@@ -37,8 +37,22 @@ DistanceOracle::DistanceOracle(const RoadNetwork* graph, const CHGraph* ch)
 }
 
 Distance DistanceOracle::ComputePointToPoint(VertexId a, VertexId b) {
+  if (fault_hook_ && fault_hook_(a, b)) {
+    ++faults_;
+    return kInfDistance;
+  }
   if (ch_query_ != nullptr) return ch_query_->PointToPoint(a, b);
   return engine_.PointToPoint(a, b);
+}
+
+void DistanceOracle::ApplyFaultHookToSweep(VertexId source) {
+  if (!fault_hook_) return;
+  for (std::size_t i = 0; i < sweep_targets_.size(); ++i) {
+    if (fault_hook_(source, sweep_targets_[i])) {
+      sweep_dists_[i] = kInfDistance;
+      ++faults_;
+    }
+  }
 }
 
 void DistanceOracle::ComputeSweep(VertexId source) {
@@ -46,12 +60,14 @@ void DistanceOracle::ComputeSweep(VertexId source) {
   if (ch_query_ != nullptr) {
     ch_query_->OneToMany(source, sweep_targets_,
                          std::span<Distance>(sweep_dists_));
+    ApplyFaultHookToSweep(source);
     return;
   }
   engine_.SingleSourceToTargets(source, sweep_targets_);
   for (std::size_t i = 0; i < sweep_targets_.size(); ++i) {
     sweep_dists_[i] = engine_.Dist(sweep_targets_[i]);
   }
+  ApplyFaultHookToSweep(source);
 }
 
 Distance DistanceOracle::Dist(VertexId a, VertexId b) {
@@ -195,6 +211,11 @@ std::vector<VertexId> DistanceOracle::Path(VertexId a, VertexId b) {
   }
   PTAR_TRACE_SPAN("oracle_path");
   ++compdists_;
+  if (fault_hook_ && fault_hook_(a, b)) {
+    ++faults_;
+    cache_[Key(a, b)] = kInfDistance;
+    return {};
+  }
   if (ch_query_ != nullptr) {
     Distance d = kInfDistance;
     std::vector<VertexId> path = ch_query_->Path(a, b, &d);

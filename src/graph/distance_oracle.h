@@ -51,6 +51,7 @@
 #define PTAR_GRAPH_DISTANCE_ORACLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -126,7 +127,26 @@ class DistanceOracle {
   /// Number of actual point-to-point computations since construction or the
   /// last ResetStats().
   std::uint64_t compdists() const { return compdists_; }
-  void ResetStats() { compdists_ = 0; }
+  void ResetStats() {
+    compdists_ = 0;
+    faults_ = 0;
+  }
+
+  /// Fault-injection seam (src/check): the hook is consulted once per pair
+  /// on every *actual* backend computation (point-to-point or per sweep
+  /// target) — never for cached, warmed, or different-component pairs.
+  /// Returning true makes the oracle answer kInfDistance for that pair,
+  /// which is then cached and counted exactly like a real computation; the
+  /// hook body may also sleep to emulate a slow backend. Decisions must be
+  /// a pure function of the pair (plus hook-internal seeds) to preserve
+  /// the oracle's determinism contract. Pass nullptr to uninstall.
+  using FaultHook = std::function<bool(VertexId, VertexId)>;
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  bool has_fault_hook() const { return static_cast<bool>(fault_hook_); }
+
+  /// Number of computations the fault hook failed since ResetStats().
+  /// Matchers use a nonzero count to tag their result `complete = false`.
+  std::uint64_t faults() const { return faults_; }
 
   /// Batching instrumentation (sweeps run, pairs per sweep, warm hits).
   const BatchStats& batch_stats() const { return batch_stats_; }
@@ -165,6 +185,10 @@ class DistanceOracle {
   /// results land in `sweep_dists_` (same order).
   void ComputeSweep(VertexId source);
 
+  /// Consults the fault hook for every sweep target, overriding failed
+  /// targets in `sweep_dists_` with kInfDistance.
+  void ApplyFaultHookToSweep(VertexId source);
+
   const RoadNetwork* graph_;
   const CHGraph* ch_;
   DijkstraEngine engine_;
@@ -179,6 +203,8 @@ class DistanceOracle {
   /// counted) on first Dist() use.
   std::unordered_map<std::uint64_t, Distance> warm_;
   std::uint64_t compdists_ = 0;
+  std::uint64_t faults_ = 0;
+  FaultHook fault_hook_;
   BatchStats batch_stats_;
   /// Scratch for BatchDist/WarmFrom (avoids per-call allocation).
   std::vector<VertexId> sweep_targets_;

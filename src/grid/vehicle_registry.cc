@@ -1,6 +1,7 @@
 #include "grid/vehicle_registry.h"
 
 #include <algorithm>
+#include <string>
 
 namespace ptar {
 
@@ -148,6 +149,23 @@ void VehicleRegistry::RebuildDirtyAggregates() {
   for (auto& [cell, state] : cells_) {
     if (state.aggregates_dirty) RebuildAggregates(cell, state);
   }
+}
+
+std::size_t VehicleRegistry::AuditAggregates(
+    std::vector<std::string>* findings) const {
+  std::size_t checked = 0;
+  for (const auto& [cell, state] : cells_) {
+    if (state.aggregates_dirty) continue;  // rebuilt before next use
+    ++checked;
+    const CellAggregates stored = state.aggregates;
+    RebuildAggregates(cell, state);
+    if (!(stored == state.aggregates) && findings != nullptr) {
+      findings->push_back("cell " + std::to_string(cell) +
+                          ": stored aggregates diverge from a fresh "
+                          "rebuild of its registered edges");
+    }
+  }
+  return checked;
 }
 
 std::size_t VehicleRegistry::MemoryBytes() const {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -66,6 +67,9 @@ struct KineticEdgeEntry {
 /// so that "ldist + min_dist_tr" and "2*ldist - max_leg_dist" are sound
 /// lower bounds for *every* registered edge, whatever its endpoints' cells.
 struct CellAggregates {
+  friend bool operator==(const CellAggregates&,
+                         const CellAggregates&) = default;
+
   bool any = false;
   /// Whether any registered edge is a tail edge <o_k, empty>. Tail edges
   /// admit insertions *after* the last stop, whose detour lower bound is
@@ -127,6 +131,16 @@ class VehicleRegistry {
   /// produce identical results; this just moves the work before a parallel
   /// read phase.
   void RebuildDirtyAggregates();
+
+  /// Consistency audit (kinetic/tree_auditor): recomputes every *clean*
+  /// cell's aggregates from its registered edges and compares bit-for-bit
+  /// with the stored values (a rebuild from identical entries is
+  /// deterministic, so any difference is corruption, not rounding). Dirty
+  /// cells are skipped — they are rebuilt before their next use by
+  /// contract. Appends one line per inconsistent cell to `findings` (may be
+  /// null) and returns the number of clean cells checked; the stored
+  /// aggregates are repaired as a side effect of the recompute.
+  std::size_t AuditAggregates(std::vector<std::string>* findings) const;
 
   /// Approximate resident memory of the dynamic lists, in bytes.
   std::size_t MemoryBytes() const;

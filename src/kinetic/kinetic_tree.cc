@@ -536,6 +536,59 @@ void KineticTree::Refresh(const DistFn& dist) {
   RecomputeActive();
 }
 
+Status KineticTree::RebuildBranches(const DistFn& dist) {
+  if (assigned_.empty()) {
+    // Canonical empty-tree shape regardless of how corrupted it was.
+    schedules_.clear();
+    schedules_.push_back(Schedule{});
+    active_index_ = 0;
+    stale_ = false;
+    return Status::OK();
+  }
+  std::vector<Schedule> rebuilt;
+  rebuilt.reserve(schedules_.size());
+  for (Schedule& branch : schedules_) {
+    branch.legs.clear();
+    branch.legs.reserve(branch.stops.size());
+    VertexId prev = location_;
+    bool reachable = true;
+    for (const Stop& stop : branch.stops) {
+      const Distance leg = dist(prev, stop.location);
+      if (leg == kInfDistance) {
+        reachable = false;
+        break;
+      }
+      branch.legs.push_back(leg);
+      prev = stop.location;
+    }
+    if (!reachable || !IsValidSchedule(branch, nullptr)) continue;
+    bool duplicate = false;
+    for (const Schedule& kept : rebuilt) {
+      if (kept.SameStops(branch)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) rebuilt.push_back(std::move(branch));
+  }
+  if (rebuilt.empty()) {
+    return Status::Internal("no valid branch survived rebuild for vehicle " +
+                            std::to_string(vehicle_));
+  }
+  std::sort(rebuilt.begin(), rebuilt.end(), BranchLess);
+  schedules_ = std::move(rebuilt);
+  stale_ = false;
+  RecomputeActive();
+  return Status::OK();
+}
+
+void KineticTree::CorruptLegForTest(std::size_t branch, std::size_t leg,
+                                    Distance value) {
+  PTAR_CHECK(branch < schedules_.size());
+  PTAR_CHECK(leg < schedules_[branch].legs.size());
+  schedules_[branch].legs[leg] = value;
+}
+
 std::vector<std::pair<CellId, KineticEdgeEntry>>
 KineticTree::BuildRegistration(const GridIndex& grid) const {
   // Merge duplicate (cell, o_x, o_y) entries conservatively: max capacity,

@@ -177,6 +177,20 @@ class KineticTree {
   /// became invalid; recomputes the active branch.
   void Refresh(const DistFn& dist);
 
+  // --- Audit & repair (kinetic/tree_auditor, src/check fault injection). ---
+
+  /// Rebuilds the branch set from scratch: recomputes every leg of every
+  /// branch exactly via `dist`, drops branches that are unreachable or fail
+  /// Definition 2, deduplicates by stop sequence, and recomputes the active
+  /// branch. Clears stale(). A healthy tree is semantically unchanged; a
+  /// corrupted one (e.g. legs poisoned by an injected oracle fault) is
+  /// restored in place. Fails iff no valid branch survives.
+  Status RebuildBranches(const DistFn& dist);
+
+  /// Test seam for the auditor/fault-injection suites: overwrites one leg
+  /// distance so corruption detection has something to find. CHECKs bounds.
+  void CorruptLegForTest(std::size_t branch, std::size_t leg, Distance value);
+
   // --- Derived data for the grid index. ---
 
   /// Builds the (cell, edge entry) registrations for every branch edge

@@ -1,6 +1,8 @@
 #include "obs/report.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "obs/json_writer.h"
 #include "obs/version.h"
@@ -56,6 +58,15 @@ void WriteRunReportFieldsJson(JsonWriter& writer, const RunReport& report) {
   writer.KV("served", report.served);
   writer.KV("unserved", report.unserved);
   writer.KV("shared", report.shared);
+  writer.Key("robustness");
+  writer.BeginObject();
+  writer.KV("shed_requests", report.shed_requests);
+  writer.KV("partial_skylines", report.partial_skylines);
+  writer.Key("ladder_requests");
+  writer.BeginArray();
+  for (const std::uint64_t n : report.ladder_requests) writer.UInt(n);
+  writer.EndArray();
+  writer.EndObject();
   writer.Key("matchers");
   writer.BeginArray();
   for (const MatcherReport& m : report.matchers) {
@@ -89,6 +100,64 @@ std::string RunReportToJson(const RunReport& report) {
   WriteRunReportFieldsJson(writer, report);
   writer.EndObject();
   return writer.TakeResult();
+}
+
+namespace {
+
+/// Finds `"key":` and parses the unsigned integer after it. Keys are
+/// matched with their opening quote, so metric names that merely end in
+/// `key` (e.g. "degrade/shed_requests") cannot shadow a report field.
+bool ScanUInt(const std::string& json, const std::string& key,
+              std::uint64_t* out, std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle, from);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  const char* start = json.c_str() + pos + needle.size();
+  const unsigned long long value = std::strtoull(start, &end, 10);
+  if (end == start) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<ReportSummary> ParseReportSummary(const std::string& json) {
+  ReportSummary summary;
+  std::uint64_t version = 0;
+  if (!ScanUInt(json, "schema_version", &version)) {
+    return Status::InvalidArgument("report has no parsable schema_version");
+  }
+  summary.schema_version = static_cast<int>(version);
+  if (summary.schema_version < 1 ||
+      summary.schema_version > kReportSchemaVersion) {
+    return Status::InvalidArgument(
+        "unsupported report schema_version " +
+        std::to_string(summary.schema_version) + " (reader supports 1.." +
+        std::to_string(kReportSchemaVersion) + ")");
+  }
+  ScanUInt(json, "served", &summary.served);
+  ScanUInt(json, "unserved", &summary.unserved);
+  ScanUInt(json, "shared", &summary.shared);
+  // v2 robustness block; absent (v1) means all-zero.
+  const std::size_t robustness = json.find("\"robustness\":");
+  if (robustness != std::string::npos) {
+    ScanUInt(json, "shed_requests", &summary.shed_requests, robustness);
+    ScanUInt(json, "partial_skylines", &summary.partial_skylines,
+             robustness);
+    const std::size_t ladder = json.find("\"ladder_requests\":", robustness);
+    if (ladder != std::string::npos) {
+      const char* cursor = json.c_str() + ladder;
+      cursor = std::strchr(cursor, '[');
+      for (std::size_t i = 0;
+           cursor != nullptr && i < summary.ladder_requests.size(); ++i) {
+        char* end = nullptr;
+        summary.ladder_requests[i] = std::strtoull(cursor + 1, &end, 10);
+        cursor = (end != nullptr && *end == ',') ? end : nullptr;
+      }
+    }
+  }
+  return summary;
 }
 
 Status WriteRunReport(const RunReport& report, const std::string& path) {

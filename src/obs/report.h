@@ -14,6 +14,7 @@
 #ifndef PTAR_OBS_REPORT_H_
 #define PTAR_OBS_REPORT_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -23,7 +24,12 @@
 
 namespace ptar::obs {
 
-inline constexpr int kReportSchemaVersion = 1;
+/// Version history:
+///   1 — initial schema (tool/served/unserved/shared, matchers, metrics).
+///   2 — adds the "robustness" object (shed_requests, partial_skylines,
+///       ladder_requests). Purely additive: readers must treat a missing
+///       object as all-zero, which ParseReportSummary does.
+inline constexpr int kReportSchemaVersion = 2;
 
 /// Per-matcher slice of the report; field-for-field what Section VII's
 /// tables need (totals plus the sums means are derived from).
@@ -47,6 +53,12 @@ struct RunReport {
   std::uint64_t served = 0;
   std::uint64_t unserved = 0;
   std::uint64_t shared = 0;
+  /// Robustness block (schema v2): overload-shed requests, committing
+  /// results truncated by a work budget, and per-degradation-level request
+  /// counts (index = sim DegradeLevel: full / ssa / grid_scan / shed).
+  std::uint64_t shed_requests = 0;
+  std::uint64_t partial_skylines = 0;
+  std::array<std::uint64_t, 4> ladder_requests{};
   std::vector<MatcherReport> matchers;
   MetricsRegistry metrics;
 };
@@ -61,6 +73,25 @@ void WriteRunReportFieldsJson(class JsonWriter& writer,
                               const RunReport& report);
 
 Status WriteRunReport(const RunReport& report, const std::string& path);
+
+/// Headline fields a consumer can pull back out of a serialized report
+/// without a JSON library.
+struct ReportSummary {
+  int schema_version = 0;
+  std::uint64_t served = 0;
+  std::uint64_t unserved = 0;
+  std::uint64_t shared = 0;
+  std::uint64_t shed_requests = 0;
+  std::uint64_t partial_skylines = 0;
+  std::array<std::uint64_t, 4> ladder_requests{};
+};
+
+/// Extracts the summary from report JSON produced by RunReportToJson.
+/// Back-compat: v1 reports (no "robustness" object) parse with the
+/// robustness fields zero. Fails on a missing/garbled schema_version or a
+/// version newer than kReportSchemaVersion. This is a targeted scanner for
+/// the report's own layout, not a general JSON parser.
+StatusOr<ReportSummary> ParseReportSummary(const std::string& json);
 
 /// Serializes one histogram as an object ({count, sum, min, max, mean,
 /// p50, p95, p99, buckets: [[index, count], ...]}). Shared with the bench

@@ -43,9 +43,14 @@ MatchResult BaselineMatcher::Match(const Request& request, MatchContext& ctx) {
   }
   internal::PrefetchBatchDistances(env, ctx, batch_empty, batch_nonempty);
 
+  bool complete = true;
   {
     PTAR_TRACE_SPAN("verify");
     for (KineticTree& tree : *ctx.fleet) {
+      if (internal::BudgetExhausted(ctx)) {
+        complete = false;
+        break;
+      }
       if (tree.IsEmpty()) {
         internal::VerifyEmptyVehicle(tree, env, ctx, skyline, stats);
       } else {
@@ -64,6 +69,7 @@ MatchResult BaselineMatcher::Match(const Request& request, MatchContext& ctx) {
   stats.compdists = ctx.oracle->compdists();
   stats.elapsed_micros = timer.ElapsedMicros();
   result.stats = stats;
+  result.complete = complete && ctx.oracle->faults() == 0;
   return result;
 }
 

@@ -41,17 +41,23 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
   const std::size_t limit_d =
       internal::VerifiedCellLimit(cells_d.size(), fraction_);
 
+  bool complete = true;
   std::vector<VehicleId> empty_candidates;
   std::vector<VehicleId> s_new;
   std::vector<VehicleId> d_new;
   std::vector<VehicleId> to_verify;
   for (std::size_t idx = 0; idx < std::max(limit_s, limit_d); ++idx) {
+    if (internal::BudgetExhausted(ctx)) {
+      complete = false;
+      break;
+    }
     to_verify.clear();
     if (idx < limit_s) {
       const CellId g_s = cells_s[idx];
       obs::TraceSpan cell_span("expand_cell_s");
       cell_span.AddArg("cell", g_s);
       ++stats.scanned_cells;
+      internal::ChargeBudget(ctx, 1);
       empty_candidates.clear();
       s_new.clear();
       {
@@ -69,9 +75,14 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
       internal::PrefetchBatchDistances(env, ctx, empty_candidates, {});
       PTAR_TRACE_SPAN("verify");
       for (const VehicleId v : empty_candidates) {
+        if (internal::BudgetExhausted(ctx)) {
+          complete = false;
+          break;
+        }
         internal::VerifyEmptyVehicle((*ctx.fleet)[v], env, ctx, skyline,
                                      stats);
       }
+      if (!complete) break;
       for (const VehicleId v : s_new) {
         s_candidate[v] = 1;
         if (d_candidate[v] && !verified[v]) to_verify.push_back(v);
@@ -82,6 +93,7 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
       obs::TraceSpan cell_span("expand_cell_d");
       cell_span.AddArg("cell", g_d);
       ++stats.scanned_cells;
+      internal::ChargeBudget(ctx, 1);
       d_new.clear();
       {
         PTAR_TRACE_SPAN("collect");
@@ -100,10 +112,15 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
     PTAR_TRACE_SPAN("verify");
     for (const VehicleId v : to_verify) {
       if (verified[v]) continue;  // could appear twice in one round
+      if (internal::BudgetExhausted(ctx)) {
+        complete = false;
+        break;
+      }
       verified[v] = 1;
       internal::VerifyNonEmptyVehicle((*ctx.fleet)[v], env, ctx, hooks,
                                       skyline, stats);
     }
+    if (!complete) break;
   }
 
   MatchResult result;
@@ -115,6 +132,7 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
   stats.compdists = ctx.oracle->compdists();
   stats.elapsed_micros = timer.ElapsedMicros();
   result.stats = stats;
+  result.complete = complete && ctx.oracle->faults() == 0;
   return result;
 }
 

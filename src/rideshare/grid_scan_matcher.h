@@ -1,0 +1,28 @@
+// Grid-lower-bound-only candidate scan — the degradation ladder's cheapest
+// real matcher (OverloadController level 2, below SSA).
+//
+// Scans grid cells in ascending lower-bound distance from the request's
+// start and verifies *empty* vehicles only: each costs exactly one
+// point-to-point distance and its option value is identical to what BA /
+// SSA / DSA would compute for the same vehicle, so every emitted option is
+// exact. Non-empty vehicles (kinetic-tree insertions, the expensive part)
+// are never enumerated; whenever any exist — or the scan stops on budget —
+// the result is tagged `complete = false`. The skyline is therefore always
+// a valid subset of the full answer, produced at a small bounded cost.
+
+#ifndef PTAR_RIDESHARE_GRID_SCAN_MATCHER_H_
+#define PTAR_RIDESHARE_GRID_SCAN_MATCHER_H_
+
+#include "rideshare/matcher.h"
+
+namespace ptar {
+
+class GridScanMatcher : public Matcher {
+ public:
+  std::string name() const override { return "GRID"; }
+  MatchResult Match(const Request& request, MatchContext& ctx) override;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_RIDESHARE_GRID_SCAN_MATCHER_H_

@@ -16,6 +16,7 @@
 #include "kinetic/request.h"
 #include "rideshare/option.h"
 #include "rideshare/price_model.h"
+#include "rideshare/work_budget.h"
 
 namespace ptar {
 
@@ -71,6 +72,11 @@ struct MatchStats {
 struct MatchResult {
   std::vector<Option> options;  ///< Skyline, sorted by pickup distance.
   MatchStats stats;
+  /// False when the matcher stopped early (work budget / deadline / faults)
+  /// before visiting every candidate. The options present are still exact
+  /// and valid — a partial result only ever *misses* options, it never
+  /// invents or misprices one (tested by the differential harness).
+  bool complete = true;
 };
 
 /// Everything a matcher needs about the world. The fleet is mutable because
@@ -82,6 +88,11 @@ struct MatchContext {
   std::vector<KineticTree>* fleet = nullptr;  ///< Indexed by VehicleId.
   DistanceOracle* oracle = nullptr;
   PriceModel price_model;
+  /// Optional per-request work budget (null = unlimited). The matcher must
+  /// check it only at safe points (between cells / vehicles) and tag the
+  /// result `complete = false` when it stops early. The budget is owned by
+  /// the caller and is not shared across concurrently-running matchers.
+  WorkBudget* budget = nullptr;
 };
 
 /// Which lemma families an index-based matcher applies. Used by the

@@ -1,12 +1,46 @@
 #include "rideshare/matcher_internal.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "obs/trace.h"
 #include "rideshare/lemmas.h"
 
 namespace ptar::internal {
+
+namespace {
+
+/// Charges the context's budget, on scope exit, `base_units` plus every
+/// compdist the oracle performed inside the scope. Work is charged after it
+/// completes, so an exhausted budget never truncates an option mid-flight —
+/// the matcher observes exhaustion at its next safe-point check.
+class BudgetScope {
+ public:
+  BudgetScope(MatchContext& ctx, std::uint64_t base_units)
+      : ctx_(ctx), base_(base_units), before_(ctx.oracle->compdists()) {}
+  ~BudgetScope() {
+    if (ctx_.budget != nullptr) {
+      ctx_.budget->Charge(base_ + (ctx_.oracle->compdists() - before_));
+    }
+  }
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+ private:
+  MatchContext& ctx_;
+  std::uint64_t base_;
+  std::uint64_t before_;
+};
+
+/// Oracle faults surface as infinite distances; an option priced off one
+/// would be *wrong*, not merely incomplete, so it must never enter the
+/// skyline (the fault still flips the result to complete == false).
+bool FiniteOption(const Option& option) {
+  return std::isfinite(option.pickup_dist) && std::isfinite(option.price);
+}
+
+}  // namespace
 
 KineticTree::DistFn OracleDistFn(MatchContext& ctx) {
   DistanceOracle* oracle = ctx.oracle;
@@ -87,6 +121,7 @@ InsertionHooks MakeLemmaHooks(const RequestEnv& env, const GridIndex& grid,
 void VerifyEmptyVehicle(KineticTree& tree, const RequestEnv& env,
                         MatchContext& ctx, SkylineSet& skyline,
                         MatchStats& stats) {
+  BudgetScope budget(ctx, /*base_units=*/1);
   ++stats.verified_vehicles;
   if (tree.capacity() < env.request->riders) return;  // group cannot board
   const Distance pickup = ctx.oracle->Dist(tree.location(),
@@ -97,12 +132,13 @@ void VerifyEmptyVehicle(KineticTree& tree, const RequestEnv& env,
   option.pickup_dist = pickup;
   option.price = ctx.price_model.EmptyVehiclePrice(env.request->riders,
                                                    pickup, env.direct);
-  skyline.Insert(option);
+  if (FiniteOption(option)) skyline.Insert(option);
 }
 
 void VerifyNonEmptyVehicle(KineticTree& tree, const RequestEnv& env,
                            MatchContext& ctx, const InsertionHooks& hooks,
                            SkylineSet& skyline, MatchStats& stats) {
+  BudgetScope budget(ctx, /*base_units=*/1);
   ++stats.verified_vehicles;
   obs::TraceSpan span("verify_insertion");
   span.AddArg("vehicle", tree.vehicle());
@@ -118,7 +154,7 @@ void VerifyNonEmptyVehicle(KineticTree& tree, const RequestEnv& env,
     option.pickup_dist = cand.pickup_dist;
     option.price = ctx.price_model.Price(
         env.request->riders, cand.total_dist - base_total, env.direct);
-    skyline.Insert(option);
+    if (FiniteOption(option)) skyline.Insert(option);
   }
 }
 
@@ -278,6 +314,10 @@ void PrefetchBatchDistances(const RequestEnv& env, MatchContext& ctx,
                             std::span<const VehicleId> empty_candidates,
                             std::span<const VehicleId> nonempty_candidates) {
   if (empty_candidates.empty() && nonempty_candidates.empty()) return;
+  // Counted BatchDist pairs are work the serial path would also perform;
+  // WarmFrom sweeps are uncounted here and charged on promotion, exactly
+  // mirroring the compdists accounting.
+  BudgetScope budget(ctx, /*base_units=*/0);
   obs::TraceSpan span("prefetch");
   span.AddArg("empty", static_cast<std::int64_t>(empty_candidates.size()));
   span.AddArg("nonempty",

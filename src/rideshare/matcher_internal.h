@@ -23,6 +23,18 @@ struct RequestEnv {
 /// Exact distance callback bound to the context's oracle.
 KineticTree::DistFn OracleDistFn(MatchContext& ctx);
 
+/// True when the context carries a work budget and it is spent. Matchers
+/// call this only at safe points — between cells and between vehicle
+/// verifications — so stopping never leaves a half-verified option behind.
+inline bool BudgetExhausted(MatchContext& ctx) {
+  return ctx.budget != nullptr && ctx.budget->Exhausted();
+}
+
+/// Charges `units` deterministic work units (no-op without a budget).
+inline void ChargeBudget(MatchContext& ctx, std::uint64_t units) {
+  if (ctx.budget != nullptr) ctx.budget->Charge(units);
+}
+
 /// Builds insertion hooks that evaluate Lemmas 3/5 (s side) and
 /// 7/9/11 + Def. 7 (d side) against the evolving skyline. Returns null
 /// hooks (full enumeration) when env.pruning.insertion_hooks is off. The

@@ -30,13 +30,19 @@ MatchResult SsaMatcher::Match(const Request& request, MatchContext& ctx) {
   const std::size_t limit =
       internal::VerifiedCellLimit(cells.size(), fraction_);
 
+  bool complete = true;
   std::vector<VehicleId> empty_candidates;
   std::vector<VehicleId> nonempty_candidates;
   for (std::size_t i = 0; i < limit; ++i) {
+    if (internal::BudgetExhausted(ctx)) {
+      complete = false;
+      break;
+    }
     const CellId cell = cells[i];
     obs::TraceSpan cell_span("expand_cell");
     cell_span.AddArg("cell", cell);
     ++stats.scanned_cells;
+    internal::ChargeBudget(ctx, 1);
     empty_candidates.clear();
     nonempty_candidates.clear();
     {
@@ -55,12 +61,21 @@ MatchResult SsaMatcher::Match(const Request& request, MatchContext& ctx) {
                                      nonempty_candidates);
     PTAR_TRACE_SPAN("verify");
     for (const VehicleId v : empty_candidates) {
+      if (internal::BudgetExhausted(ctx)) {
+        complete = false;
+        break;
+      }
       internal::VerifyEmptyVehicle((*ctx.fleet)[v], env, ctx, skyline, stats);
     }
     for (const VehicleId v : nonempty_candidates) {
+      if (!complete || internal::BudgetExhausted(ctx)) {
+        complete = false;
+        break;
+      }
       internal::VerifyNonEmptyVehicle((*ctx.fleet)[v], env, ctx, hooks,
                                       skyline, stats);
     }
+    if (!complete) break;
   }
 
   MatchResult result;
@@ -72,6 +87,9 @@ MatchResult SsaMatcher::Match(const Request& request, MatchContext& ctx) {
   stats.compdists = ctx.oracle->compdists();
   stats.elapsed_micros = timer.ElapsedMicros();
   result.stats = stats;
+  // Injected oracle faults may have hidden reachable candidates; report the
+  // skyline as partial so consumers know options may be missing.
+  result.complete = complete && ctx.oracle->faults() == 0;
   return result;
 }
 

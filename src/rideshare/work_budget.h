@@ -1,0 +1,83 @@
+// Deterministic, cooperatively-checked work budget for anytime matching.
+//
+// A WorkBudget lets the engine bound how much search a matcher may spend on
+// one request. The primary currency is *work units* — a deterministic count
+// of cell expansions plus oracle point-to-point computations (compdists) —
+// so a fixed budget yields bit-identical results regardless of wall-clock
+// speed or thread count: every matcher slot runs serially over its own
+// oracle, charges the same units in the same order, and stops at the same
+// boundary. An optional wall-clock deadline rides on top for production use;
+// it is explicitly nondeterministic and is off unless a deadline is set.
+//
+// Matchers check Exhausted() only at safe points — between grid cells and
+// between vehicle verifications, never mid-vehicle — so an interrupted
+// matcher still returns a *valid partial skyline*: every option it did emit
+// was computed exactly; only candidates never visited are missing. The
+// matcher tags such results MatchResult::complete = false.
+
+#ifndef PTAR_RIDESHARE_WORK_BUDGET_H_
+#define PTAR_RIDESHARE_WORK_BUDGET_H_
+
+#include <cstdint>
+
+#include "common/timer.h"
+
+namespace ptar {
+
+class WorkBudget {
+ public:
+  /// Unlimited budget (never exhausts). Useful as a do-nothing default.
+  WorkBudget() = default;
+
+  /// `max_units` > 0 bounds deterministic work units; 0 means unbounded.
+  /// `deadline_micros` > 0 additionally bounds wall-clock time measured from
+  /// construction (or the last Arm() call); 0 means no deadline.
+  explicit WorkBudget(std::uint64_t max_units, double deadline_micros = 0.0)
+      : max_units_(max_units), deadline_micros_(deadline_micros) {}
+
+  /// Restarts the accounting for a new request: zeroes spent units and
+  /// restarts the wall clock. Limits are unchanged.
+  void Arm() {
+    used_ = 0;
+    deadline_hit_ = false;
+    timer_.Reset();
+  }
+
+  /// Records `units` of completed work. Charging never blocks or throws;
+  /// exhaustion is only observed at the caller's next Exhausted() check, so
+  /// work already charged is work already (validly) done.
+  void Charge(std::uint64_t units) { used_ += units; }
+
+  /// True once the budget is spent. The work-unit check is deterministic;
+  /// the deadline check (only when a deadline was configured) consults the
+  /// wall clock and latches, so one slow probe degrades the rest of the
+  /// request too.
+  bool Exhausted() {
+    if (max_units_ > 0 && used_ >= max_units_) return true;
+    if (deadline_micros_ > 0.0 && !deadline_hit_ &&
+        timer_.ElapsedMicros() >= deadline_micros_) {
+      deadline_hit_ = true;
+    }
+    return deadline_hit_;
+  }
+
+  /// True if any limit is configured (a default-constructed budget is a
+  /// no-op and matchers may skip charging entirely).
+  bool limited() const { return max_units_ > 0 || deadline_micros_ > 0.0; }
+
+  std::uint64_t used() const { return used_; }
+  std::uint64_t max_units() const { return max_units_; }
+  double deadline_micros() const { return deadline_micros_; }
+  bool deadline_hit() const { return deadline_hit_; }
+
+ private:
+  std::uint64_t max_units_ = 0;
+  double deadline_micros_ = 0.0;
+  std::uint64_t used_ = 0;
+  bool deadline_hit_ = false;
+  Timer timer_;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_RIDESHARE_WORK_BUDGET_H_

@@ -52,7 +52,8 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
       registry_(grid),
       ch_graph_(MaybeBuildCH(graph, options, &ch_preprocess_micros_)),
       match_oracle_(graph, ch_graph_.get()),
-      maintenance_oracle_(graph, ch_graph_.get()) {
+      maintenance_oracle_(graph, ch_graph_.get()),
+      overload_(options.overload) {
   PTAR_CHECK(graph != nullptr && grid != nullptr);
   if (!options_.start_vertices.empty()) {
     options_.num_vehicles =
@@ -72,6 +73,11 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
   phase_refresh_us_ = &metrics_.Histogram("engine/refresh_us");
   phase_match_us_ = &metrics_.Histogram("engine/match_us");
   phase_commit_us_ = &metrics_.Histogram("engine/commit_us");
+  // Only registered when a deadline exists, so default runs keep their
+  // metric name set unchanged.
+  deadline_slack_us_ = options.overload.deadline_ms > 0.0
+                           ? &metrics_.Histogram("engine/deadline_slack_us")
+                           : nullptr;
   if (options.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options.threads);
     // Queue-wait intervals land on the worker's own trace track; the
@@ -119,6 +125,85 @@ void Engine::EnsureMatcherOracles(std::size_t num_matchers) {
   while (matcher_oracles_.size() + 1 < num_matchers) {
     matcher_oracles_.push_back(
         std::make_unique<DistanceOracle>(graph_, ch_graph_.get()));
+    if (fault_hook_factory_) {
+      // matcher_oracles_[i] serves slot i + 1.
+      matcher_oracles_.back()->SetFaultHook(
+          fault_hook_factory_(matcher_oracles_.size()));
+    }
+  }
+}
+
+void Engine::EnsureSlotBudgets(std::size_t num_matchers) {
+  if (!overload_.enabled()) return;
+  while (slot_budgets_.size() < num_matchers) {
+    slot_budgets_.push_back(std::make_unique<WorkBudget>());
+  }
+}
+
+WorkBudget* Engine::ArmSlotBudget(std::size_t m) {
+  if (!overload_.enabled()) return nullptr;
+  PTAR_DCHECK(m < slot_budgets_.size());
+  WorkBudget* budget = slot_budgets_[m].get();
+  *budget = WorkBudget(overload_.LevelBudget(), overload_.DeadlineMicros());
+  budget->Arm();
+  return budget;
+}
+
+void Engine::ObserveOverload(double match_elapsed_micros,
+                             bool budget_exhausted) {
+  if (!overload_.enabled()) return;
+  const OverloadController::Observation obs =
+      overload_.Observe(match_elapsed_micros, budget_exhausted);
+  if (obs.deadline_missed) metrics_.AddCounter("degrade/deadline_missed", 1);
+  if (obs.level_delta > 0) metrics_.AddCounter("degrade/level_up", 1);
+  if (obs.level_delta < 0) metrics_.AddCounter("degrade/level_down", 1);
+  if (deadline_slack_us_ != nullptr) {
+    deadline_slack_us_->Add(
+        std::max(0.0, overload_.DeadlineMicros() - match_elapsed_micros));
+  }
+}
+
+void Engine::SetFaultHookFactory(
+    std::function<DistanceOracle::FaultHook(std::size_t)> factory) {
+  fault_hook_factory_ = std::move(factory);
+  match_oracle_.SetFaultHook(fault_hook_factory_
+                                 ? fault_hook_factory_(0)
+                                 : DistanceOracle::FaultHook{});
+  for (std::size_t i = 0; i < matcher_oracles_.size(); ++i) {
+    matcher_oracles_[i]->SetFaultHook(fault_hook_factory_
+                                          ? fault_hook_factory_(i + 1)
+                                          : DistanceOracle::FaultHook{});
+  }
+}
+
+AuditReport Engine::AuditFleet() {
+  // Clean aggregates first so the audit covers every cell (the auditor
+  // legitimately skips dirty ones).
+  registry_.RebuildDirtyAggregates();
+  KineticTreeAuditor auditor(MaintenanceDistFn());
+  AuditReport report = auditor.AuditFleet(fleet_, &registry_);
+  metrics_.AddCounter("audit/trees_checked", report.trees_checked);
+  metrics_.AddCounter("audit/branches_checked", report.branches_checked);
+  metrics_.AddCounter("audit/aggregate_cells_checked",
+                      report.aggregate_cells_checked);
+  if (!report.ok()) {
+    metrics_.AddCounter("audit/findings", report.findings.size());
+  }
+  return report;
+}
+
+void Engine::AuditAfterCommit(VehicleId v) {
+  KineticTreeAuditor auditor(MaintenanceDistFn());
+  const AuditReport report = auditor.AuditTree(fleet_[v]);
+  metrics_.AddCounter("audit/trees_checked", report.trees_checked);
+  metrics_.AddCounter("audit/branches_checked", report.branches_checked);
+  if (report.ok()) return;
+  metrics_.AddCounter("audit/findings", report.findings.size());
+  if (auditor.RepairTree(fleet_[v]).ok()) {
+    metrics_.AddCounter("audit/repairs", 1);
+    // The repair may have changed the active branch; re-sync route,
+    // registration, and served stops.
+    SyncAfterTreeChange(v);
   }
 }
 
@@ -370,12 +455,48 @@ Engine::RequestOutcome Engine::ProcessRequest(
 
   RequestOutcome outcome;
   outcome.results.resize(matchers.size());
+  outcome.evaluated.assign(matchers.size(), 0);
+  const DegradeLevel level = overload_.level();
+  outcome.degrade_level = level;
+  if (overload_.enabled()) {
+    metrics_.AddCounter("degrade/level" +
+                            std::to_string(static_cast<int>(level)) +
+                            "_requests",
+                        1);
+  }
+
+  if (level == DegradeLevel::kShed) {
+    outcome.shed = true;
+    outcome.status = Status::ResourceExhausted(
+        "overload ladder at shed level: request refused unmatched");
+    metrics_.AddCounter("degrade/shed_requests", 1);
+    // Shedding is (nearly) free, so it counts as a good signal: after
+    // recover_after consecutive sheds the ladder steps back to matching.
+    ObserveOverload(0.0, /*budget_exhausted=*/false);
+    return outcome;
+  }
+
   EnsureMatcherOracles(matchers.size());
+  EnsureSlotBudgets(matchers.size());
   // Per-slot span names carry the matcher name; interning is only paid
   // while tracing is enabled (the spans would drop the name otherwise).
   const bool tracing = obs::TraceRecorder::Global().enabled();
   Timer match_timer;
-  if (pool_ != nullptr && matchers.size() > 1) {
+  if (level != DegradeLevel::kFull) {
+    // Degraded: only slot 0 runs, through an engine-owned cheaper matcher;
+    // shadow matchers are skipped entirely to shed their load too.
+    Matcher* fallback = level == DegradeLevel::kSsa
+                            ? static_cast<Matcher*>(&fallback_ssa_)
+                            : &fallback_grid_;
+    obs::TraceSpan span(
+        tracing ? obs::InternSpanName("match_" + fallback->name())
+                : "match");
+    span.AddArg("slot", static_cast<std::int64_t>(0));
+    MatchContext ctx = MakeMatchContextFor(0);
+    ctx.budget = ArmSlotBudget(0);
+    outcome.results[0] = fallback->Match(request, ctx);
+    outcome.evaluated[0] = 1;
+  } else if (pool_ != nullptr && matchers.size() > 1) {
     PTAR_TRACE_SPAN("shadow_match");
     // Matchers only read the shared world state (trees were refreshed
     // above, so Refresh() is a no-op), but the registry's cell aggregates
@@ -388,11 +509,16 @@ Engine::RequestOutcome Engine::ProcessRequest(
       const char* span_name =
           tracing ? obs::InternSpanName("match_" + matchers[m]->name())
                   : "match";
+      outcome.evaluated[m] = 1;
       pending.push_back(pool_->Submit([this, m, span_name, &request,
                                        &outcome, matchers] {
         obs::TraceSpan span(span_name);
         span.AddArg("slot", static_cast<std::int64_t>(m));
         MatchContext ctx = MakeMatchContextFor(m);
+        // Armed inside the task so a wall-clock deadline starts when the
+        // matcher does, not while it waits in the pool queue. Each slot
+        // touches only its own budget, so this stays race-free.
+        ctx.budget = ArmSlotBudget(m);
         outcome.results[m] = matchers[m]->Match(request, ctx);
       }));
     }
@@ -404,10 +530,20 @@ Engine::RequestOutcome Engine::ProcessRequest(
                   : "match");
       span.AddArg("slot", static_cast<std::int64_t>(m));
       MatchContext ctx = MakeMatchContextFor(m);
+      ctx.budget = ArmSlotBudget(m);
       outcome.results[m] = matchers[m]->Match(request, ctx);
+      outcome.evaluated[m] = 1;
     }
   }
-  phase_match_us_->Add(match_timer.ElapsedMicros());
+  const double match_elapsed = match_timer.ElapsedMicros();
+  phase_match_us_->Add(match_elapsed);
+
+  const bool slot0_exhausted =
+      overload_.enabled() && slot_budgets_[0]->Exhausted();
+  ObserveOverload(match_elapsed, slot0_exhausted);
+  if (!outcome.results[0].complete) {
+    metrics_.AddCounter("degrade/partial_skylines", 1);
+  }
 
   {
     PTAR_TRACE_SPAN("commit");
@@ -419,6 +555,9 @@ Engine::RequestOutcome Engine::ProcessRequest(
       CommitChoice(request, *chosen);
     }
     phase_commit_us_->Add(timer.ElapsedMicros());
+  }
+  if (outcome.served && options_.audit_after_commit) {
+    AuditAfterCommit(outcome.chosen.vehicle);
   }
   return outcome;
 }
@@ -451,8 +590,20 @@ RunStats Engine::Run(std::span<const Request> requests,
 
   for (const Request& request : requests) {
     const RequestOutcome outcome = ProcessRequest(request, matchers);
+    stats.ladder_requests[static_cast<int>(outcome.degrade_level)] += 1;
+    if (outcome.shed) ++stats.shed_requests;
+    if (outcome.evaluated[0] && !outcome.results[0].complete) {
+      ++stats.partial_skylines;
+    }
     const std::span<const Option> exact(outcome.results[0].options);
     for (std::size_t m = 0; m < matchers.size(); ++m) {
+      // Per-matcher aggregates describe the *configured* matchers; at
+      // degraded levels slot 0 ran an engine-owned fallback instead (and
+      // shadow slots ran nothing), so those requests are excluded.
+      if (outcome.degrade_level != DegradeLevel::kFull ||
+          !outcome.evaluated[m]) {
+        continue;
+      }
       MatcherAggregate& agg = stats.matchers[m];
       agg.totals.Accumulate(outcome.results[m].stats);
       agg.latency_ms.Add(outcome.results[m].stats.elapsed_micros / 1e3);

@@ -15,7 +15,9 @@
 #ifndef PTAR_SIM_ENGINE_H_
 #define PTAR_SIM_ENGINE_H_
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -31,7 +33,12 @@
 #include "grid/grid_index.h"
 #include "grid/vehicle_registry.h"
 #include "kinetic/kinetic_tree.h"
+#include "kinetic/tree_auditor.h"
+#include "rideshare/grid_scan_matcher.h"
 #include "rideshare/matcher.h"
+#include "rideshare/ssa_matcher.h"
+#include "rideshare/work_budget.h"
+#include "sim/overload.h"
 
 namespace ptar {
 
@@ -66,6 +73,20 @@ struct EngineOptions {
   /// bidirectional / bucket searches instead of Dijkstra sweeps. Matching
   /// results are equivalent up to floating-point association of path sums.
   DistanceBackend distance_backend = DistanceBackend::kDijkstra;
+  /// Per-request work budgets, deadlines, and the degradation ladder
+  /// (sim/overload.h). Disabled by default (no budget, no deadline): the
+  /// engine then hands matchers no budget at all and behavior is unchanged.
+  OverloadOptions overload;
+  /// Audits the committed vehicle's kinetic tree (and, on findings, repairs
+  /// it) after every commit — one exact distance per leg, so it is on by
+  /// default only in debug builds. Findings/repairs surface as "audit/*"
+  /// counters; release runs can instead call Engine::AuditFleet on demand.
+  bool audit_after_commit =
+#ifndef NDEBUG
+      true;
+#else
+      false;
+#endif
 };
 
 /// Aggregated per-matcher measurements across a run.
@@ -110,6 +131,13 @@ struct RunStats {
   std::uint64_t served = 0;
   std::uint64_t unserved = 0;
   std::uint64_t shared = 0;  ///< Served requests that rode with others.
+  /// Requests refused outright at overload level 3 (counted in unserved).
+  std::uint64_t shed_requests = 0;
+  /// Requests whose committing result was budget-truncated
+  /// (MatchResult::complete == false on slot 0).
+  std::uint64_t partial_skylines = 0;
+  /// Requests processed at each degradation level (index = DegradeLevel).
+  std::array<std::uint64_t, kNumDegradeLevels> ladder_requests{};
 
   double SharingRate() const {
     return served == 0 ? 0.0 : static_cast<double>(shared) / served;
@@ -139,6 +167,26 @@ class Engine {
   /// Sum of the fleet's kinetic-tree memory (Table IV's second row).
   std::size_t KineticTreeMemoryBytes() const;
 
+  /// Current degradation level (kFull unless overload control is enabled
+  /// and the ladder has moved).
+  DegradeLevel degrade_level() const { return overload_.level(); }
+
+  /// Audits the whole fleet plus the registry aggregates against the
+  /// trusted maintenance oracle (kinetic/tree_auditor.h). On-demand
+  /// release-build counterpart of EngineOptions::audit_after_commit.
+  AuditReport AuditFleet();
+
+  /// Installs `factory(slot)` as the fault hook on the counted matching
+  /// oracle (slot 0) and every shadow-matcher oracle (present and future;
+  /// slot m) — but never on the maintenance oracle, which stays a trusted
+  /// distance source for commits, refreshes, and audits. A factory (rather
+  /// than one hook) keeps per-hook state unshared across concurrently-used
+  /// oracles, and the slot argument lets callers exempt chosen slots (the
+  /// differential harness keeps its reference matcher clean) by returning
+  /// a null hook. Pass nullptr to uninstall everywhere.
+  void SetFaultHookFactory(
+      std::function<DistanceOracle::FaultHook(std::size_t slot)> factory);
+
   /// Unified run metrics: engine phase-latency histograms
   /// ("engine/<phase>_us"), per-matcher per-request distributions and
   /// totals ("matcher/<name>/..."), oracle batching counters
@@ -155,8 +203,18 @@ class Engine {
 
   struct RequestOutcome {
     std::vector<MatchResult> results;  ///< One per matcher, same order.
+    /// Parallel to `results`: whether that slot actually ran. At degraded
+    /// overload levels only slot 0 runs (via an engine-owned fallback
+    /// matcher); shed requests run nothing. Unevaluated slots hold
+    /// default-constructed results and must be excluded from statistics.
+    std::vector<char> evaluated;
     bool served = false;
     Option chosen;
+    /// Degradation level this request was processed at.
+    DegradeLevel degrade_level = DegradeLevel::kFull;
+    bool shed = false;  ///< True iff the request was refused unmatched.
+    /// OK normally; kResourceExhausted when shed.
+    Status status = Status::OK();
   };
 
   /// Advances to the request's submit time, repairs stale state, evaluates
@@ -185,6 +243,17 @@ class Engine {
   /// matcher evaluations never share mutable state.
   MatchContext MakeMatchContextFor(std::size_t m);
   void EnsureMatcherOracles(std::size_t num_matchers);
+  /// Per-slot work budgets (only allocated when overload control is on).
+  void EnsureSlotBudgets(std::size_t num_matchers);
+  /// Arms slot `m`'s budget at the current degradation level and returns
+  /// it, or nullptr when overload control is disabled.
+  WorkBudget* ArmSlotBudget(std::size_t m);
+  /// Feeds the finished request's signals to the overload controller and
+  /// records the degrade/* transition counters and deadline slack.
+  void ObserveOverload(double match_elapsed_micros, bool budget_exhausted);
+  /// Post-commit single-vehicle audit (EngineOptions::audit_after_commit);
+  /// repairs on findings and bumps the audit/* counters.
+  void AuditAfterCommit(VehicleId v);
   Distance ArcWeight(VertexId u, VertexId v) const;
   void TickVehicle(VehicleId v, double budget_meters);
   /// Serves co-located stops, fixes the vehicle's registry membership, and
@@ -223,6 +292,18 @@ class Engine {
   DistanceOracle maintenance_oracle_;  ///< Engine bookkeeping, uncounted.
   /// Per-matcher oracles for slots >= 1 (slot 0 keeps match_oracle_).
   std::vector<std::unique_ptr<DistanceOracle>> matcher_oracles_;
+  /// Re-invoked for every oracle that matching may touch (see
+  /// SetFaultHookFactory); null when no faults are injected.
+  std::function<DistanceOracle::FaultHook(std::size_t)> fault_hook_factory_;
+
+  OverloadController overload_;
+  /// One budget per matcher slot so pooled shadow evaluation stays
+  /// bit-identical to serial: each slot charges only its own work.
+  std::vector<std::unique_ptr<WorkBudget>> slot_budgets_;
+  /// Engine-owned fallback matchers for degraded levels (paper-default SSA
+  /// fraction; GRID verifies empty vehicles only).
+  SsaMatcher fallback_ssa_;
+  GridScanMatcher fallback_grid_;
   /// Workers for shadow-matcher evaluation; null when options.threads == 1.
   std::unique_ptr<ThreadPool> pool_;
 
@@ -237,6 +318,9 @@ class Engine {
   obs::LatencyHistogram* phase_refresh_us_;
   obs::LatencyHistogram* phase_match_us_;
   obs::LatencyHistogram* phase_commit_us_;
+  /// max(0, deadline - elapsed) per request; only fed when a wall-clock
+  /// deadline is configured (timing-suffixed, determinism-exempt).
+  obs::LatencyHistogram* deadline_slack_us_;
   /// Pool counter values already folded into metrics_ (the pool's atomics
   /// are cumulative; HarvestRunMetrics adds only the delta).
   std::uint64_t pool_tasks_harvested_ = 0;

@@ -1,0 +1,66 @@
+#include "sim/overload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ptar {
+
+const char* DegradeLevelName(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kFull:
+      return "full";
+    case DegradeLevel::kSsa:
+      return "ssa";
+    case DegradeLevel::kGridScan:
+      return "grid_scan";
+    case DegradeLevel::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+OverloadController::OverloadController(const OverloadOptions& options)
+    : options_(options),
+      enabled_(options.request_budget > 0 || options.deadline_ms > 0.0) {
+  PTAR_CHECK(options.deadline_ms >= 0.0);
+  PTAR_CHECK(options.degrade_after >= 1);
+  PTAR_CHECK(options.recover_after >= 1);
+}
+
+std::uint64_t OverloadController::LevelBudget() const {
+  if (options_.request_budget == 0) return 0;
+  const auto shift = static_cast<unsigned>(level_);
+  return std::max<std::uint64_t>(1, options_.request_budget >> shift);
+}
+
+OverloadController::Observation OverloadController::Observe(
+    double elapsed_micros, bool budget_exhausted) {
+  Observation obs;
+  if (!enabled_) return obs;
+  obs.deadline_missed =
+      options_.deadline_ms > 0.0 && elapsed_micros > DeadlineMicros();
+  obs.bad = budget_exhausted || obs.deadline_missed;
+  if (obs.bad) {
+    ++bad_streak_;
+    good_streak_ = 0;
+    if (bad_streak_ >= options_.degrade_after &&
+        level_ != DegradeLevel::kShed) {
+      level_ = static_cast<DegradeLevel>(static_cast<int>(level_) + 1);
+      bad_streak_ = 0;
+      obs.level_delta = 1;
+    }
+  } else {
+    ++good_streak_;
+    bad_streak_ = 0;
+    if (good_streak_ >= options_.recover_after &&
+        level_ != DegradeLevel::kFull) {
+      level_ = static_cast<DegradeLevel>(static_cast<int>(level_) - 1);
+      good_streak_ = 0;
+      obs.level_delta = -1;
+    }
+  }
+  return obs;
+}
+
+}  // namespace ptar

@@ -1,0 +1,97 @@
+// Engine-level overload control: per-request budgets and a degradation
+// ladder with hysteresis.
+//
+// A production dispatcher must answer every request within a latency
+// budget, even when one request explodes the search space or the distance
+// backend misbehaves. The controller tracks a degradation level:
+//
+//   level 0 (kFull)     — the configured matchers, full work budget
+//   level 1 (kSsa)      — engine-owned SSA only, half budget
+//   level 2 (kGridScan) — grid-lower-bound empty-vehicle scan, quarter budget
+//   level 3 (kShed)     — no matching; the request is shed with an explicit
+//                         kResourceExhausted Status
+//
+// A request is "bad" when it exhausted its work budget or (if a wall-clock
+// deadline is configured) overran it. `degrade_after` consecutive bad
+// requests step the ladder one level toward shedding; `recover_after`
+// consecutive good ones step it back. Streaks reset on every transition, so
+// the ladder moves at most one level per request and flaps only as fast as
+// the hysteresis allows.
+//
+// Determinism: with `deadline_ms == 0` every signal is a deterministic work
+// count, so ladder positions, shed decisions, and all degrade/* counters
+// are bit-reproducible across runs and thread counts. Wall-clock deadlines
+// are an explicitly nondeterministic overlay for production use.
+
+#ifndef PTAR_SIM_OVERLOAD_H_
+#define PTAR_SIM_OVERLOAD_H_
+
+#include <cstdint>
+
+namespace ptar {
+
+enum class DegradeLevel {
+  kFull = 0,
+  kSsa = 1,
+  kGridScan = 2,
+  kShed = 3,
+};
+inline constexpr int kNumDegradeLevels = 4;
+
+/// "full" / "ssa" / "grid_scan" / "shed" (metric + report vocabulary).
+const char* DegradeLevelName(DegradeLevel level);
+
+struct OverloadOptions {
+  /// Deterministic work units (cell expansions + oracle computations) each
+  /// request may spend at level 0; deeper levels get half and a quarter.
+  /// 0 = unlimited (the controller can then only react to deadlines).
+  std::uint64_t request_budget = 0;
+  /// Wall-clock per-request matching deadline; 0 = none. Also armed into
+  /// the per-slot work budgets so matchers stop cooperatively instead of
+  /// merely being observed to overrun.
+  double deadline_ms = 0.0;
+  /// Consecutive bad requests before degrading one level.
+  int degrade_after = 2;
+  /// Consecutive good requests before recovering one level.
+  int recover_after = 8;
+};
+
+class OverloadController {
+ public:
+  explicit OverloadController(const OverloadOptions& options);
+
+  /// False when neither a budget nor a deadline is configured; the engine
+  /// then bypasses the controller entirely (no budgets handed to matchers).
+  bool enabled() const { return enabled_; }
+
+  DegradeLevel level() const { return level_; }
+
+  /// Work-unit budget at the current level: request_budget shifted right by
+  /// the level (at least 1 so a configured budget never degrades back into
+  /// "unlimited"). 0 when no budget is configured.
+  std::uint64_t LevelBudget() const;
+
+  /// Configured deadline in microseconds (0 = none).
+  double DeadlineMicros() const { return options_.deadline_ms * 1e3; }
+
+  struct Observation {
+    bool bad = false;
+    bool deadline_missed = false;
+    /// +1 = degraded one level, -1 = recovered one level, 0 = no move.
+    int level_delta = 0;
+  };
+
+  /// Feeds one completed (or shed) request's signals and moves the ladder.
+  Observation Observe(double elapsed_micros, bool budget_exhausted);
+
+ private:
+  OverloadOptions options_;
+  bool enabled_;
+  DegradeLevel level_ = DegradeLevel::kFull;
+  int bad_streak_ = 0;
+  int good_streak_ = 0;
+};
+
+}  // namespace ptar
+
+#endif  // PTAR_SIM_OVERLOAD_H_

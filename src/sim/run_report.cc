@@ -10,6 +10,9 @@ obs::RunReport BuildRunReport(const RunStats& stats,
   report.served = stats.served;
   report.unserved = stats.unserved;
   report.shared = stats.shared;
+  report.shed_requests = stats.shed_requests;
+  report.partial_skylines = stats.partial_skylines;
+  report.ladder_requests = stats.ladder_requests;
   report.matchers.reserve(stats.matchers.size());
   for (const MatcherAggregate& agg : stats.matchers) {
     obs::MatcherReport m;

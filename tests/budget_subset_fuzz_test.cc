@@ -1,0 +1,44 @@
+// 100-seed partial-skyline subset fuzz (the acceptance sweep for anytime
+// matching): every matcher runs under a deliberately tiny work budget, so
+// most results are truncated, and every truncated skyline must be a subset
+// of the brute-force reference's full option set — zero wrong-price or
+// wrong-pickup options tolerated. Budgets cycle through several sizes so
+// the cut lands at different safe points (mid-scan, mid-cell-ring, after
+// one vehicle) across the corpus.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "check/differential.h"
+#include "check/scenario.h"
+
+namespace ptar::check {
+namespace {
+
+TEST(BudgetSubsetFuzzTest, PartialSkylinesAreAlwaysSubsetsOfReference) {
+  constexpr std::uint64_t kBudgets[] = {10, 40, 150, 600};
+  std::uint64_t requests = 0;
+  std::uint64_t partials = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const ScenarioSpec spec = MakeRandomSpec(seed);
+    DifferentialConfig config;
+    config.request_budget = kBudgets[seed % 4];
+    const auto outcome = RunDifferential(spec, config);
+    ASSERT_TRUE(outcome.ok()) << "seed " << seed << ": "
+                              << outcome.status().message();
+    for (const Divergence& d : outcome->divergences) {
+      ADD_FAILURE() << "seed " << seed << " budget "
+                    << config.request_budget << ": " << d.Describe();
+    }
+    requests += outcome->requests_run;
+    partials += outcome->partial_results;
+  }
+  EXPECT_GT(requests, 0u);
+  // The sweep must actually have exercised truncation, in quantity.
+  EXPECT_GT(partials, 100u)
+      << "budgets too generous: the subset property went untested";
+}
+
+}  // namespace
+}  // namespace ptar::check

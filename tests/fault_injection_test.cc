@@ -1,0 +1,160 @@
+// Fault-injection suite: --inject spec parsing, the determinism contract of
+// compiled fault hooks (same pair -> same decision, across oracles and
+// directions), and the harness-level guarantee that faulted matchers only
+// ever *lose* options — a faulted result is a subset of the clean
+// reference, never a wrong price or pickup distance.
+
+#include "check/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "check/differential.h"
+#include "check/scenario.h"
+#include "graph/distance_oracle.h"
+#include "test_util.h"
+
+namespace ptar::check {
+namespace {
+
+TEST(ParseFaultPlanTest, ParsesFullSpec) {
+  const auto plan = ParseFaultPlan(
+      "fail_rate=0.25,seed=7,slow_us=50,stall_every=16,stall_us=200");
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+  EXPECT_DOUBLE_EQ(plan->fail_rate, 0.25);
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_DOUBLE_EQ(plan->slow_micros, 50.0);
+  EXPECT_EQ(plan->stall_every, 16u);
+  EXPECT_DOUBLE_EQ(plan->stall_micros, 200.0);
+  EXPECT_TRUE(plan->active());
+}
+
+TEST(ParseFaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultPlan("bogus_key=1").ok());
+  EXPECT_FALSE(ParseFaultPlan("fail_rate=notanumber").ok());
+  EXPECT_FALSE(ParseFaultPlan("fail_rate=1.5").ok());  // out of [0, 1]
+  EXPECT_FALSE(ParseFaultPlan("fail_rate=-0.1").ok());
+  EXPECT_FALSE(ParseFaultPlan("fail_rate").ok());  // no '='
+  EXPECT_FALSE(ParseFaultPlan("slow_us=-3").ok());
+}
+
+TEST(ParseFaultPlanTest, InactivePlanCompilesToNullHook) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_FALSE(static_cast<bool>(MakeFaultHook(plan)));
+}
+
+TEST(FaultHookTest, DecisionsAreDeterministicAcrossOraclesAndDirections) {
+  const RoadNetwork graph = testing::MakeRandomConnectedGraph(60, 40, 17);
+  FaultPlan plan;
+  plan.fail_rate = 0.5;
+  plan.seed = 11;
+
+  DistanceOracle first(&graph);
+  DistanceOracle second(&graph);
+  first.SetFaultHook(MakeFaultHook(plan));
+  second.SetFaultHook(MakeFaultHook(plan));
+
+  std::uint64_t failed = 0;
+  std::uint64_t fine = 0;
+  for (VertexId a = 0; a < 20; ++a) {
+    for (VertexId b = 20; b < 40; ++b) {
+      const Distance forward = first.Dist(a, b);
+      // Same pair, independent oracle: identical decision and value.
+      EXPECT_EQ(forward, second.Dist(a, b));
+      // Same pair, opposite direction: the decision hashes the *sorted*
+      // pair, so symmetric queries fail together.
+      EXPECT_EQ(std::isinf(forward), std::isinf(second.Dist(b, a)));
+      (std::isinf(forward) ? failed : fine) += 1;
+    }
+  }
+  // fail_rate=0.5 over 400 pairs: both outcomes must occur.
+  EXPECT_GT(failed, 0u);
+  EXPECT_GT(fine, 0u);
+  EXPECT_GT(first.faults(), 0u);
+}
+
+TEST(FaultHookTest, FailRateOneFailsEverything) {
+  const RoadNetwork graph = testing::MakeSmallGrid();
+  FaultPlan plan;
+  plan.fail_rate = 1.0;
+  DistanceOracle oracle(&graph);
+  oracle.SetFaultHook(MakeFaultHook(plan));
+  for (VertexId a = 0; a < 9; ++a) {
+    for (VertexId b = 0; b < 9; ++b) {
+      if (a == b) continue;
+      EXPECT_TRUE(std::isinf(oracle.Dist(a, b)));
+    }
+  }
+}
+
+TEST(FaultyDifferentialTest, FaultedResultsAreSubsetsOfReference) {
+  DifferentialConfig config;
+  config.faults.fail_rate = 0.3;
+  config.faults.seed = 9;
+  std::size_t partials = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const ScenarioSpec spec = MakeRandomSpec(seed);
+    const auto outcome = RunDifferential(spec, config);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().message();
+    for (const Divergence& d : outcome->divergences) {
+      ADD_FAILURE() << "seed " << seed << ": " << d.Describe();
+    }
+    partials += outcome->partial_results;
+  }
+  // fail_rate=0.3 must actually have truncated results; otherwise the
+  // subset property was never exercised.
+  EXPECT_GT(partials, 0u);
+}
+
+TEST(FaultyDifferentialTest, FaultedOptionsStayFinite) {
+  // Regression: a failed oracle computation answers kInfDistance; pricing
+  // an insertion off it must drop the option, not emit price=inf.
+  DifferentialConfig config;
+  config.faults.fail_rate = 0.4;
+  config.faults.seed = 5;
+  const ScenarioSpec spec = MakeRandomSpec(2);
+  auto built = BuildScenario(spec);
+  ASSERT_TRUE(built.ok());
+  const auto outcome = RunDifferential(spec, config);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().message();
+  EXPECT_TRUE(outcome->ok());
+}
+
+TEST(CorruptRandomLegTest, IsDeterministicPerSeed) {
+  // Build two identical fleets via the differential scenario machinery and
+  // corrupt both with the same seed: same vehicle every time.
+  const ScenarioSpec spec = MakeRandomSpec(3);
+  auto make_fleet = [&spec] {
+    auto built = BuildScenario(spec);
+    EXPECT_TRUE(built.ok());
+    std::vector<KineticTree> fleet;
+    DistanceOracle oracle(built->graph.get());
+    const auto dist = [&oracle](VertexId a, VertexId b) {
+      return oracle.Dist(a, b);
+    };
+    for (std::size_t i = 0; i < spec.vehicle_starts.size(); ++i) {
+      fleet.emplace_back(static_cast<VehicleId>(i), spec.vehicle_starts[i],
+                         spec.vehicle_capacity);
+    }
+    // Occupy one vehicle so there is a leg to corrupt.
+    if (!spec.requests.empty()) {
+      const Request& request = spec.requests.front();
+      const Distance direct = oracle.Dist(request.start, request.destination);
+      EXPECT_TRUE(fleet[0]
+                      .Commit(request, direct,
+                              oracle.Dist(fleet[0].location(), request.start),
+                              dist)
+                      .ok());
+    }
+    return fleet;
+  };
+  std::vector<KineticTree> a = make_fleet();
+  std::vector<KineticTree> b = make_fleet();
+  EXPECT_EQ(CorruptRandomLeg(a, 41), CorruptRandomLeg(b, 41));
+}
+
+}  // namespace
+}  // namespace ptar::check

@@ -58,7 +58,8 @@ int Help() {
       "usage: ptar_check [--seeds=N] [--first_seed=N] [--shrink]\n"
       "                  [--repro_out=FILE] [--replay=FILE] [--selftest]\n"
       "                  [--broken_lemma=1|3|11] [--report_out=FILE]\n"
-      "                  [--distance_backend=dijkstra|ch] [--verbose]\n"
+      "                  [--distance_backend=dijkstra|ch]\n"
+      "                  [--request_budget=N] [--inject=SPEC] [--verbose]\n"
       "                  [--help]\n\n"
       "  --seeds=N         randomized scenarios to fuzz (default 50)\n"
       "  --first_seed=N    first seed of the range (default 1)\n"
@@ -68,10 +69,19 @@ int Help() {
       "  --replay=FILE     run one saved replay file and exit\n"
       "  --selftest        verify the harness catches a sabotaged lemma\n"
       "  --broken_lemma=N  which lemma the selftest sabotages (default 3)\n"
-      "  --report_out=FILE versioned JSON run report (schema v1, "
+      "  --report_out=FILE versioned JSON run report (schema v2, "
       "\"differential\" counters)\n"
       "  --distance_backend=NAME  oracle backend for every engine in the\n"
-      "                    run: dijkstra (default) or ch\n");
+      "                    run: dijkstra (default) or ch\n"
+      "  --request_budget=N  deterministic work-unit budget per tested\n"
+      "                    matcher; truncated (partial) skylines are then\n"
+      "                    checked as subsets of the reference's full\n"
+      "                    option set instead of for equality\n"
+      "  --inject=SPEC     oracle faults for every tested matcher (never\n"
+      "                    the reference): comma-separated key=value of\n"
+      "                    fail_rate, seed, slow_us, stall_every, stall_us\n"
+      "                    (e.g. fail_rate=0.05,seed=7); faulted results\n"
+      "                    must still be subsets of the clean reference\n");
   return 0;
 }
 
@@ -80,12 +90,14 @@ struct HarnessStats {
   std::uint64_t scenarios = 0;
   std::uint64_t requests = 0;
   std::uint64_t divergences = 0;
+  std::uint64_t partial_results = 0;  ///< Subset-checked truncated results.
   std::vector<MatcherSummary> matchers;  ///< Merged across scenarios.
 
   void Fold(const DifferentialOutcome& outcome) {
     ++scenarios;
     requests += outcome.requests_run;
     divergences += outcome.divergences.size();
+    partial_results += outcome.partial_results;
     if (matchers.empty()) {
       matchers = outcome.matchers;
       return;
@@ -108,6 +120,8 @@ int WriteReport(const HarnessStats& stats, const std::string& path) {
   report.metrics.AddCounter("differential/scenarios", stats.scenarios);
   report.metrics.AddCounter("differential/requests", stats.requests);
   report.metrics.AddCounter("differential/divergences", stats.divergences);
+  report.metrics.AddCounter("differential/partial_results",
+                            stats.partial_results);
   for (const MatcherSummary& m : stats.matchers) {
     obs::MatcherReport row;
     row.name = m.name;
@@ -230,10 +244,15 @@ int Fuzz(std::uint64_t first_seed, std::uint64_t seeds, bool shrink,
   if (const int rc = WriteReport(stats, report_out); rc != 0) return rc;
   std::printf(
       "OK: %llu scenario(s), %llu request(s), 0 divergences across %zu "
-      "matcher(s)\n",
+      "matcher(s)%s\n",
       static_cast<unsigned long long>(stats.scenarios),
       static_cast<unsigned long long>(stats.requests),
-      stats.matchers.size());
+      stats.matchers.size(),
+      stats.partial_results == 0
+          ? ""
+          : (" (" + std::to_string(stats.partial_results) +
+             " subset-checked partial result(s))")
+                .c_str());
   return 0;
 }
 
@@ -323,20 +342,30 @@ int Main(int argc, char** argv) {
   const std::string report_out = flags.GetString("report_out", "");
   const std::string backend_name =
       flags.GetString("distance_backend", "dijkstra");
+  const auto request_budget = flags.GetInt("request_budget", 0);
+  const std::string inject = flags.GetString("inject", "");
   if (!seeds.ok()) return Fail(seeds.status());
   if (!first_seed.ok()) return Fail(first_seed.status());
   if (!shrink.ok()) return Fail(shrink.status());
   if (!selftest.ok()) return Fail(selftest.status());
   if (!broken_lemma.ok()) return Fail(broken_lemma.status());
   if (!verbose.ok()) return Fail(verbose.status());
+  if (!request_budget.ok()) return Fail(request_budget.status());
   if (*seeds < 1) return FailUsage("--seeds must be >= 1");
   if (*first_seed < 0) return FailUsage("--first_seed must be >= 0");
+  if (*request_budget < 0) return FailUsage("--request_budget must be >= 0");
   const auto backend = ParseDistanceBackend(backend_name);
   if (!backend.ok()) return FailUsage(backend.status().message());
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
 
   DifferentialConfig config;
   config.distance_backend = *backend;
+  config.request_budget = static_cast<std::uint64_t>(*request_budget);
+  if (!inject.empty()) {
+    auto plan = ParseFaultPlan(inject);
+    if (!plan.ok()) return FailUsage(plan.status().message());
+    config.faults = *plan;
+  }
 
   if (*selftest) {
     if (*broken_lemma != 1 && *broken_lemma != 3 && *broken_lemma != 11) {

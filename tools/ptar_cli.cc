@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "check/fault_injection.h"
 #include "common/flags.h"
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -69,6 +70,7 @@ int Help() {
       "      [--capacity=N] [--cell-size=M] [--adaptive] [--fraction=F]\n"
       "      [--policy=price|time|balanced|random] [--shadow] [--seed=N]\n"
       "      [--threads=N] [--distance_backend=dijkstra|ch]\n"
+      "      [--request_budget=N] [--deadline_ms=MS] [--inject=SPEC]\n"
       "      [--trace_out=FILE] [--report_out=FILE]\n"
       "  match --network=FILE --from=V --to=V [--riders=N] [--wait-min=MIN]\n"
       "      [--epsilon=E] [--vehicles=N] [--cell-size=M] [--seed=N]\n"
@@ -218,13 +220,33 @@ int Simulate(const FlagParser& flags) {
   const auto policy = ParsePolicy(flags.GetString("policy", "price"));
   const auto backend =
       ParseDistanceBackend(flags.GetString("distance_backend", "dijkstra"));
+  const auto request_budget = flags.GetInt("request_budget", 0);
+  const auto deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  const std::string inject = flags.GetString("inject", "");
   for (const Status& st :
        {vehicles.status(), capacity.status(), cell_size.status(),
         fraction.status(), seed.status(), shadow.status(),
-        threads.status(), policy.status(), backend.status()}) {
+        threads.status(), policy.status(), backend.status(),
+        request_budget.status(), deadline_ms.status()}) {
     if (!st.ok()) return Fail(st);
   }
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
+  // Validate everything that would otherwise hit a PTAR_CHECK inside the
+  // engine or grid constructors: a bad flag is a usage error, not a crash.
+  if (*vehicles < 1) return FailUsage("--vehicles must be >= 1");
+  if (*capacity < 1) return FailUsage("--capacity must be >= 1");
+  if (*cell_size <= 0.0) return FailUsage("--cell-size must be > 0");
+  if (*fraction <= 0.0 || *fraction > 1.0) {
+    return FailUsage("--fraction must be in (0, 1]");
+  }
+  if (*request_budget < 0) return FailUsage("--request_budget must be >= 0");
+  if (*deadline_ms < 0.0) return FailUsage("--deadline_ms must be >= 0");
+  check::FaultPlan fault_plan;
+  if (!inject.empty()) {
+    auto plan = check::ParseFaultPlan(inject);
+    if (!plan.ok()) return FailUsage(plan.status().message());
+    fault_plan = *plan;
+  }
 
   StatusOr<GridIndex> grid =
       adaptive ? GridIndex::BuildAdaptive(&*graph, {})
@@ -239,7 +261,16 @@ int Simulate(const FlagParser& flags) {
   eopts.seed = static_cast<std::uint64_t>(*seed);
   eopts.threads = *threads;
   eopts.distance_backend = *backend;
+  eopts.overload.request_budget = static_cast<std::uint64_t>(*request_budget);
+  eopts.overload.deadline_ms = *deadline_ms;
   Engine engine(&*graph, &*grid, eopts);
+  if (fault_plan.active()) {
+    // Same plan for every matcher slot; the factory is invoked once per
+    // oracle so each hook keeps its own stall counter.
+    engine.SetFaultHookFactory([fault_plan](std::size_t) {
+      return check::MakeFaultHook(fault_plan);
+    });
+  }
 
   BaselineMatcher ba;
   SsaMatcher ssa(*fraction);
@@ -275,6 +306,17 @@ int Simulate(const FlagParser& flags) {
               requests->size(), stats.SharingRate(),
               engine.KineticTreeMemoryBytes() / 1048576.0,
               grid->MemoryBytes() / 1048576.0);
+  if (eopts.overload.request_budget > 0 || eopts.overload.deadline_ms > 0.0 ||
+      fault_plan.active()) {
+    std::printf("robustness: shed %llu, partial skylines %llu, ladder "
+                "[full=%llu ssa=%llu grid=%llu shed=%llu]\n",
+                static_cast<unsigned long long>(stats.shed_requests),
+                static_cast<unsigned long long>(stats.partial_skylines),
+                static_cast<unsigned long long>(stats.ladder_requests[0]),
+                static_cast<unsigned long long>(stats.ladder_requests[1]),
+                static_cast<unsigned long long>(stats.ladder_requests[2]),
+                static_cast<unsigned long long>(stats.ladder_requests[3]));
+  }
   if (!trace_out.empty()) {
     if (const Status st = obs::TraceRecorder::Global().WriteJson(trace_out);
         !st.ok()) {
@@ -324,6 +366,8 @@ int MatchOne(const FlagParser& flags) {
       !graph->IsValidVertex(static_cast<VertexId>(*to)) || *from == *to) {
     return FailUsage("--from/--to must be distinct vertices of the network");
   }
+  if (*vehicles < 1) return FailUsage("--vehicles must be >= 1");
+  if (*cell_size <= 0.0) return FailUsage("--cell-size must be > 0");
 
   auto grid = GridIndex::Build(&*graph, {.cell_size_meters = *cell_size});
   if (!grid.ok()) return Fail(grid.status());
