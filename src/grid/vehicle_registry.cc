@@ -11,18 +11,36 @@ const CellAggregates kEmptyAggregates{};
 
 }  // namespace
 
-VehicleRegistry::VehicleRegistry(const GridIndex* grid) : grid_(grid) {
+VehicleRegistry::VehicleRegistry(const GridIndex* grid, int num_shards)
+    : grid_(grid) {
   PTAR_CHECK(grid != nullptr);
+  PTAR_CHECK(num_shards >= 1) << "num_shards must be positive";
+  shards_.resize(static_cast<std::size_t>(num_shards));
+  for (Shard& shard : shards_) {
+    shard.state = std::make_shared<ShardState>();
+  }
+}
+
+VehicleRegistry::ShardState& VehicleRegistry::MutableShard(int shard) {
+  Shard& s = shards_[static_cast<std::size_t>(shard)];
+  // COW: only pays when a snapshot still references this shard's state.
+  if (s.state.use_count() > 1) {
+    s.state = std::make_shared<ShardState>(*s.state);
+  }
+  ++s.epoch;
+  return *s.state;
 }
 
 VehicleRegistry::CellState& VehicleRegistry::StateFor(CellId cell) {
-  return cells_[cell];
+  return MutableShard(ShardOfCell(cell)).cells[cell];
 }
 
 const VehicleRegistry::CellState* VehicleRegistry::FindState(
     CellId cell) const {
-  auto it = cells_.find(cell);
-  return it == cells_.end() ? nullptr : &it->second;
+  const ShardState& shard =
+      *shards_[static_cast<std::size_t>(ShardOfCell(cell))].state;
+  auto it = shard.cells.find(cell);
+  return it == shard.cells.end() ? nullptr : &it->second;
 }
 
 void VehicleRegistry::AddEmptyVehicle(VehicleId vehicle, VertexId location) {
@@ -146,23 +164,85 @@ const CellAggregates& VehicleRegistry::Aggregates(CellId cell) const {
 }
 
 void VehicleRegistry::RebuildDirtyAggregates() {
-  for (auto& [cell, state] : cells_) {
-    if (state.aggregates_dirty) RebuildAggregates(cell, state);
+  // Rebuilds write through `mutable` members only — cell contents and shard
+  // membership are untouched, so no epoch bump and no COW: an open snapshot
+  // sharing the shard sees the same (clean) aggregate values by definition,
+  // since rebuilds are deterministic in the entries.
+  for (const Shard& shard : shards_) {
+    for (const auto& [cell, state] : shard.state->cells) {
+      if (state.aggregates_dirty) RebuildAggregates(cell, state);
+    }
   }
+}
+
+VehicleRegistry::Snapshot VehicleRegistry::TakeSnapshot() {
+  // Snapshot reads must be pure (no mutable-rebuild races across worker
+  // threads), so flush lazy aggregate work up front.
+  RebuildDirtyAggregates();
+  Snapshot snap;
+  snap.shards_.reserve(shards_.size());
+  snap.epochs_.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    snap.shards_.push_back(shard.state);
+    snap.epochs_.push_back(shard.epoch);
+    snap.global_epoch_ += shard.epoch;
+  }
+  return snap;
+}
+
+std::uint64_t VehicleRegistry::GlobalEpoch() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.epoch;
+  return total;
+}
+
+const VehicleRegistry::CellState* VehicleRegistry::Snapshot::FindCell(
+    CellId cell) const {
+  const ShardState& shard = *shards_[cell % shards_.size()];
+  auto it = shard.cells.find(cell);
+  return it == shard.cells.end() ? nullptr : &it->second;
+}
+
+std::span<const VehicleId> VehicleRegistry::Snapshot::EmptyVehicles(
+    CellId cell) const {
+  const CellState* state = FindCell(cell);
+  if (state == nullptr) return {};
+  return state->empty_vehicles;
+}
+
+std::span<const KineticEdgeEntry> VehicleRegistry::Snapshot::NonEmptyEntries(
+    CellId cell) const {
+  const CellState* state = FindCell(cell);
+  if (state == nullptr) return {};
+  return state->edges;
+}
+
+const CellAggregates& VehicleRegistry::Snapshot::Aggregates(
+    CellId cell) const {
+  const CellState* state = FindCell(cell);
+  if (state == nullptr) return kEmptyAggregates;
+  // TakeSnapshot() rebuilt dirty aggregates before capture; a dirty cell
+  // here means someone snapshotted state that was mutated through a
+  // non-registry path, which the design forbids.
+  PTAR_DCHECK(!state->aggregates_dirty)
+      << "snapshot observed dirty aggregates for cell " << cell;
+  return state->aggregates;
 }
 
 std::size_t VehicleRegistry::AuditAggregates(
     std::vector<std::string>* findings) const {
   std::size_t checked = 0;
-  for (const auto& [cell, state] : cells_) {
-    if (state.aggregates_dirty) continue;  // rebuilt before next use
-    ++checked;
-    const CellAggregates stored = state.aggregates;
-    RebuildAggregates(cell, state);
-    if (!(stored == state.aggregates) && findings != nullptr) {
-      findings->push_back("cell " + std::to_string(cell) +
-                          ": stored aggregates diverge from a fresh "
-                          "rebuild of its registered edges");
+  for (const Shard& shard : shards_) {
+    for (const auto& [cell, state] : shard.state->cells) {
+      if (state.aggregates_dirty) continue;  // rebuilt before next use
+      ++checked;
+      const CellAggregates stored = state.aggregates;
+      RebuildAggregates(cell, state);
+      if (!(stored == state.aggregates) && findings != nullptr) {
+        findings->push_back("cell " + std::to_string(cell) +
+                            ": stored aggregates diverge from a fresh "
+                            "rebuild of its registered edges");
+      }
     }
   }
   return checked;
@@ -170,10 +250,13 @@ std::size_t VehicleRegistry::AuditAggregates(
 
 std::size_t VehicleRegistry::MemoryBytes() const {
   std::size_t bytes = 0;
-  for (const auto& [cell, state] : cells_) {
-    bytes += sizeof(cell) + sizeof(state);
-    bytes += state.empty_vehicles.capacity() * sizeof(VehicleId);
-    bytes += state.edges.capacity() * sizeof(KineticEdgeEntry);
+  for (const Shard& shard : shards_) {
+    bytes += sizeof(Shard) + sizeof(ShardState);
+    for (const auto& [cell, state] : shard.state->cells) {
+      bytes += sizeof(cell) + sizeof(state);
+      bytes += state.empty_vehicles.capacity() * sizeof(VehicleId);
+      bytes += state.edges.capacity() * sizeof(KineticEdgeEntry);
+    }
   }
   for (const auto& [vehicle, cells] : vehicle_edge_cells_) {
     bytes += sizeof(vehicle) + cells.capacity() * sizeof(CellId);

@@ -12,11 +12,25 @@
 //
 // Aggregates are maintained lazily: mutations mark the cell dirty and the
 // next Aggregates() call rebuilds them in one pass over the cell's entries.
+//
+// Sharding & epoch snapshots (request-parallel engine). Cell state is
+// partitioned into `num_shards` shards by cell id; each shard's state lives
+// behind a copy-on-write shared_ptr and carries a monotonically increasing
+// epoch (bumped on every mutation that touches the shard). TakeSnapshot()
+// captures all shard pointers plus their epochs in O(num_shards); the
+// snapshot is an immutable, consistent view that concurrent matcher workers
+// read without any lock. A writer mutating a shard whose state is shared
+// with an open snapshot first clones that shard (never the whole registry),
+// so snapshots are isolated from later writes at shard granularity while
+// the steady state — no snapshot open — mutates in place at the same cost
+// as the unsharded registry.
 
 #ifndef PTAR_GRID_VEHICLE_REGISTRY_H_
 #define PTAR_GRID_VEHICLE_REGISTRY_H_
 
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -84,7 +98,13 @@ struct CellAggregates {
 
 class VehicleRegistry {
  public:
-  explicit VehicleRegistry(const GridIndex* grid);
+  /// Default shard count: enough that the COW clone paid when a snapshot
+  /// is open touches ~1/16 of the cells, small enough that TakeSnapshot()
+  /// stays a handful of pointer copies.
+  static constexpr int kDefaultNumShards = 16;
+
+  explicit VehicleRegistry(const GridIndex* grid,
+                           int num_shards = kDefaultNumShards);
 
   VehicleRegistry(const VehicleRegistry&) = delete;
   VehicleRegistry& operator=(const VehicleRegistry&) = delete;
@@ -147,6 +167,21 @@ class VehicleRegistry {
 
   const GridIndex& grid() const { return *grid_; }
 
+  // --- Sharding & epoch snapshots. ---
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int ShardOfCell(CellId cell) const {
+    return static_cast<int>(cell % shards_.size());
+  }
+  /// Monotonic per-shard mutation counter (bumped before every write that
+  /// touches the shard). Never decreases; equal epochs imply an unchanged
+  /// shard.
+  std::uint64_t ShardEpoch(int shard) const { return shards_[shard].epoch; }
+  /// Sum of all shard epochs; equal global epochs imply an unchanged
+  /// registry. A "quiesced epoch" in the engine sense is a global epoch
+  /// observed while no pipeline wave is in flight.
+  std::uint64_t GlobalEpoch() const;
+
  private:
   struct CellState {
     std::vector<VehicleId> empty_vehicles;
@@ -155,17 +190,72 @@ class VehicleRegistry {
     mutable bool aggregates_dirty = true;
   };
 
+  /// Value-type shard payload; cloned wholesale by the COW write path.
+  struct ShardState {
+    // Sparse: only cells that ever held a vehicle get state.
+    std::unordered_map<CellId, CellState> cells;
+  };
+
+  struct Shard {
+    std::shared_ptr<ShardState> state;
+    std::uint64_t epoch = 0;
+  };
+
+ public:
+  /// Immutable, consistent view of the whole registry, captured in
+  /// O(num_shards). Readers need no lock: a writer that mutates a shard
+  /// shared with this snapshot clones the shard first, so the view is
+  /// frozen at capture time. Aggregates must be clean at capture
+  /// (TakeSnapshot() rebuilds dirty cells first) — snapshot reads never
+  /// rebuild, they are pure.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+    std::span<const VehicleId> EmptyVehicles(CellId cell) const;
+    std::span<const KineticEdgeEntry> NonEmptyEntries(CellId cell) const;
+    const CellAggregates& Aggregates(CellId cell) const;
+
+    int num_shards() const { return static_cast<int>(shards_.size()); }
+    /// Epoch of `shard` at capture time.
+    std::uint64_t ShardEpoch(int shard) const { return epochs_[shard]; }
+    /// Sum of all shard epochs at capture time.
+    std::uint64_t global_epoch() const { return global_epoch_; }
+
+   private:
+    friend class VehicleRegistry;
+    const CellState* FindCell(CellId cell) const;
+
+    std::vector<std::shared_ptr<const ShardState>> shards_;
+    std::vector<std::uint64_t> epochs_;
+    std::uint64_t global_epoch_ = 0;
+  };
+
+  /// Captures a consistent view of every shard. Rebuilds dirty aggregates
+  /// first so the snapshot is pure-read for concurrent matchers. Cheap:
+  /// num_shards shared_ptr copies (no cell data is copied unless a later
+  /// write lands on a shard the snapshot still references).
+  Snapshot TakeSnapshot();
+
+ private:
+  /// Write-path access to a cell's shard: clones the shard state if any
+  /// snapshot still shares it (COW) and bumps the shard epoch.
+  ShardState& MutableShard(int shard);
   CellState& StateFor(CellId cell);
   const CellState* FindState(CellId cell) const;
   void RebuildAggregates(CellId cell, const CellState& state) const;
 
   const GridIndex* grid_;
-  // Sparse: only cells that ever held a vehicle get state.
-  std::unordered_map<CellId, CellState> cells_;
-  // Reverse maps for O(entries) removal.
+  std::vector<Shard> shards_;
+  // Reverse maps for O(entries) removal (writer-side bookkeeping only;
+  // snapshots never need them).
   std::unordered_map<VehicleId, CellId> empty_vehicle_cell_;
   std::unordered_map<VehicleId, std::vector<CellId>> vehicle_edge_cells_;
 };
+
+/// Engine-facing alias: matchers reading from a frozen fleet view take a
+/// `const RegistrySnapshot*` (see MatchContext::snapshot).
+using RegistrySnapshot = VehicleRegistry::Snapshot;
 
 }  // namespace ptar
 

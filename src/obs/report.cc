@@ -67,6 +67,13 @@ void WriteRunReportFieldsJson(JsonWriter& writer, const RunReport& report) {
   for (const std::uint64_t n : report.ladder_requests) writer.UInt(n);
   writer.EndArray();
   writer.EndObject();
+  writer.Key("pipeline");
+  writer.BeginObject();
+  writer.KV("waves", report.waves);
+  writer.KV("conflicts", report.conflicts);
+  writer.KV("rematches", report.rematches);
+  writer.KV("serial_rematches", report.serial_rematches);
+  writer.EndObject();
   writer.Key("matchers");
   writer.BeginArray();
   for (const MatcherReport& m : report.matchers) {
@@ -156,6 +163,14 @@ StatusOr<ReportSummary> ParseReportSummary(const std::string& json) {
         cursor = (end != nullptr && *end == ',') ? end : nullptr;
       }
     }
+  }
+  // v3 pipeline block; absent (v1/v2) means all-zero.
+  const std::size_t pipeline = json.find("\"pipeline\":");
+  if (pipeline != std::string::npos) {
+    ScanUInt(json, "waves", &summary.waves, pipeline);
+    ScanUInt(json, "conflicts", &summary.conflicts, pipeline);
+    ScanUInt(json, "rematches", &summary.rematches, pipeline);
+    ScanUInt(json, "serial_rematches", &summary.serial_rematches, pipeline);
   }
   return summary;
 }

@@ -29,7 +29,10 @@ namespace ptar::obs {
 ///   2 — adds the "robustness" object (shed_requests, partial_skylines,
 ///       ladder_requests). Purely additive: readers must treat a missing
 ///       object as all-zero, which ParseReportSummary does.
-inline constexpr int kReportSchemaVersion = 2;
+///   3 — adds the "pipeline" object (waves, conflicts, rematches,
+///       serial_rematches) emitted by the request-parallel engine. Also
+///       additive; missing (v1/v2, or a classic serial run) means all-zero.
+inline constexpr int kReportSchemaVersion = 3;
 
 /// Per-matcher slice of the report; field-for-field what Section VII's
 /// tables need (totals plus the sums means are derived from).
@@ -59,6 +62,12 @@ struct RunReport {
   std::uint64_t shed_requests = 0;
   std::uint64_t partial_skylines = 0;
   std::array<std::uint64_t, 4> ladder_requests{};
+  /// Pipeline block (schema v3): request-parallel engine wave and
+  /// conflict/re-match accounting. All-zero for classic serial runs.
+  std::uint64_t waves = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t rematches = 0;
+  std::uint64_t serial_rematches = 0;
   std::vector<MatcherReport> matchers;
   MetricsRegistry metrics;
 };
@@ -84,6 +93,10 @@ struct ReportSummary {
   std::uint64_t shed_requests = 0;
   std::uint64_t partial_skylines = 0;
   std::array<std::uint64_t, 4> ladder_requests{};
+  std::uint64_t waves = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t rematches = 0;
+  std::uint64_t serial_rematches = 0;
 };
 
 /// Extracts the summary from report JSON produced by RunReportToJson.

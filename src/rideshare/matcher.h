@@ -93,7 +93,36 @@ struct MatchContext {
   /// result `complete = false` when it stops early. The budget is owned by
   /// the caller and is not shared across concurrently-running matchers.
   WorkBudget* budget = nullptr;
+  /// Optional frozen registry view (request-parallel engine). When set, all
+  /// registry reads go through the snapshot instead of the live registry,
+  /// so concurrent matcher workers see one consistent fleet view while the
+  /// engine keeps the live registry for commits. The live `registry`
+  /// pointer stays non-null either way (tree verification repairs still
+  /// target live fleet state).
+  const RegistrySnapshot* snapshot = nullptr;
 };
+
+/// Registry reads routed through the snapshot when one is installed.
+/// Matchers must use these instead of touching ctx.registry directly, so
+/// the same matcher code serves both the serial engine (live registry) and
+/// the parallel pipeline (frozen snapshot).
+inline std::span<const VehicleId> CtxEmptyVehicles(const MatchContext& ctx,
+                                                   CellId cell) {
+  return ctx.snapshot != nullptr ? ctx.snapshot->EmptyVehicles(cell)
+                                 : ctx.registry->EmptyVehicles(cell);
+}
+
+inline std::span<const KineticEdgeEntry> CtxNonEmptyEntries(
+    const MatchContext& ctx, CellId cell) {
+  return ctx.snapshot != nullptr ? ctx.snapshot->NonEmptyEntries(cell)
+                                 : ctx.registry->NonEmptyEntries(cell);
+}
+
+inline const CellAggregates& CtxAggregates(const MatchContext& ctx,
+                                           CellId cell) {
+  return ctx.snapshot != nullptr ? ctx.snapshot->Aggregates(cell)
+                                 : ctx.registry->Aggregates(cell);
+}
 
 /// Which lemma families an index-based matcher applies. Used by the
 /// ablation bench to quantify each family's contribution; production use

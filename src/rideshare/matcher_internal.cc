@@ -162,7 +162,7 @@ void CollectEmptyCandidates(CellId cell, const RequestEnv& env,
                             MatchContext& ctx, const SkylineSet& skyline,
                             std::vector<char>& emitted, MatchStats& stats,
                             std::vector<VehicleId>* out) {
-  const std::span<const VehicleId> list = ctx.registry->EmptyVehicles(cell);
+  const std::span<const VehicleId> list = CtxEmptyVehicles(ctx, cell);
   if (list.empty()) return;
   const VertexId s = env.request->start;
   // Lemma 2: prune the whole empty-vehicle list of the cell.
@@ -199,7 +199,7 @@ void CollectStartCandidates(CellId cell, const RequestEnv& env,
                             MatchContext& ctx, const SkylineSet& skyline,
                             std::vector<char>& emitted, MatchStats& stats,
                             std::vector<VehicleId>* out) {
-  const CellAggregates& agg = ctx.registry->Aggregates(cell);
+  const CellAggregates& agg = CtxAggregates(ctx, cell);
   if (!agg.any) return;
   const VertexId s = env.request->start;
   const int riders = env.request->riders;
@@ -221,7 +221,7 @@ void CollectStartCandidates(CellId cell, const RequestEnv& env,
     ++stats.lemma_hits[4];
     return;
   }
-  for (const KineticEdgeEntry& entry : ctx.registry->NonEmptyEntries(cell)) {
+  for (const KineticEdgeEntry& entry : CtxNonEmptyEntries(ctx, cell)) {
     if (emitted[entry.vehicle]) continue;
     const Distance l_ox = ctx.grid->LowerBound(s, entry.ox);
     const Distance l_oy =
@@ -252,7 +252,7 @@ void CollectDestCandidates(CellId cell, const RequestEnv& env,
                            MatchContext& ctx, const SkylineSet& skyline,
                            std::vector<char>& emitted, MatchStats& stats,
                            std::vector<VehicleId>* out) {
-  const CellAggregates& agg = ctx.registry->Aggregates(cell);
+  const CellAggregates& agg = CtxAggregates(ctx, cell);
   if (!agg.any) return;
   const VertexId d = env.request->destination;
   const int riders = env.request->riders;
@@ -275,7 +275,7 @@ void CollectDestCandidates(CellId cell, const RequestEnv& env,
     ++stats.lemma_hits[10];
     return;
   }
-  for (const KineticEdgeEntry& entry : ctx.registry->NonEmptyEntries(cell)) {
+  for (const KineticEdgeEntry& entry : CtxNonEmptyEntries(ctx, cell)) {
     if (emitted[entry.vehicle]) continue;
     const Distance l_ox = ctx.grid->LowerBound(d, entry.ox);
     const Distance l_oy =

@@ -65,6 +65,9 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
   PTAR_CHECK(options_.num_vehicles >= 1);
   PTAR_CHECK(options.vehicle_capacity >= 1);
   PTAR_CHECK(options.threads >= 1);
+  PTAR_CHECK(options.engine_threads >= 1);
+  PTAR_CHECK(options.wave_size >= 0);
+  PTAR_CHECK(options.max_rematch_rounds >= 0);
   if (ch_graph_ != nullptr) {
     metrics_.AddCounter("ch/shortcuts", ch_graph_->num_shortcuts());
     metrics_.Histogram("ch/preprocess_us").Add(ch_preprocess_micros_);
@@ -150,10 +153,11 @@ WorkBudget* Engine::ArmSlotBudget(std::size_t m) {
 }
 
 void Engine::ObserveOverload(double match_elapsed_micros,
-                             bool budget_exhausted) {
+                             bool budget_exhausted,
+                             bool worker_deadline_hit) {
   if (!overload_.enabled()) return;
-  const OverloadController::Observation obs =
-      overload_.Observe(match_elapsed_micros, budget_exhausted);
+  const OverloadController::Observation obs = overload_.Observe(
+      match_elapsed_micros, budget_exhausted, worker_deadline_hit);
   if (obs.deadline_missed) metrics_.AddCounter("degrade/deadline_missed", 1);
   if (obs.level_delta > 0) metrics_.AddCounter("degrade/level_up", 1);
   if (obs.level_delta < 0) metrics_.AddCounter("degrade/level_down", 1);
@@ -177,6 +181,10 @@ void Engine::SetFaultHookFactory(
 }
 
 AuditReport Engine::AuditFleet() {
+  // Quiesce the pipeline: waits for the in-flight wave (if any) to finish
+  // its commit pass, so the audit never sees a torn tree or a half-applied
+  // commit. Uncontended when RunPipelined is not active.
+  std::lock_guard<std::mutex> quiesced(quiesce_mu_);
   // Clean aggregates first so the audit covers every cell (the auditor
   // legitimately skips dirty ones).
   registry_.RebuildDirtyAggregates();
@@ -540,7 +548,9 @@ Engine::RequestOutcome Engine::ProcessRequest(
 
   const bool slot0_exhausted =
       overload_.enabled() && slot_budgets_[0]->Exhausted();
-  ObserveOverload(match_elapsed, slot0_exhausted);
+  const bool slot0_deadline_hit =
+      overload_.enabled() && slot_budgets_[0]->deadline_hit();
+  ObserveOverload(match_elapsed, slot0_exhausted, slot0_deadline_hit);
   if (!outcome.results[0].complete) {
     metrics_.AddCounter("degrade/partial_skylines", 1);
   }

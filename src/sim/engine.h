@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -67,6 +68,27 @@ struct EngineOptions {
   /// DistanceOracle). 1 = serial. Results are bit-identical either way:
   /// matchers only read shared state and write into pre-assigned slots.
   int threads = 1;
+  /// Matcher workers for the request-parallel pipeline (RunPipelined): a
+  /// wave of concurrent requests is matched by this many workers against
+  /// one frozen registry snapshot, then committed serially in request-id
+  /// order. 1 = the canonical serial replay (same wave structure, same
+  /// arbitration, no pool). Committed assignments are identical at every
+  /// thread count for a fixed wave_size (the `--serial_check` contract);
+  /// only execution overlaps. Ignored by the classic Run()/ProcessRequest
+  /// path.
+  int engine_threads = 1;
+  /// Requests admitted per pipeline wave. 0 = auto (2 * engine_threads,
+  /// at least 1). NOTE: the auto value depends on engine_threads, so
+  /// cross-thread-count determinism comparisons must pin wave_size
+  /// explicitly (serial_check replays with the parallel run's resolved
+  /// value).
+  int wave_size = 0;
+  /// Bounded re-match: a request whose chosen vehicle was taken by an
+  /// earlier (lower-id) concurrent request re-matches against a fresh
+  /// snapshot at most this many times; survivors then match serially
+  /// against live state. Every round commits at least one request, so the
+  /// pipeline never livelocks regardless of this bound.
+  int max_rematch_rounds = 3;
   /// Exact shortest-path engine behind every oracle. kCH builds one
   /// contraction hierarchy at engine construction (counted in
   /// "ch/preprocess_us") shared read-only by all oracles; queries then use
@@ -139,10 +161,42 @@ struct RunStats {
   /// Requests processed at each degradation level (index = DegradeLevel).
   std::array<std::uint64_t, kNumDegradeLevels> ladder_requests{};
 
+  // --- Request-parallel pipeline (RunPipelined; zero for classic Run). ---
+  /// Waves the stream was processed in.
+  std::uint64_t waves = 0;
+  /// Conflict events: a request's chosen vehicle was already committed to
+  /// a lower-id request of the same wave round.
+  std::uint64_t conflicts = 0;
+  /// Re-matches against a fresh snapshot (rounds 1..max_rematch_rounds).
+  std::uint64_t rematches = 0;
+  /// Requests that exhausted the re-match bound and fell back to a serial
+  /// match against live state.
+  std::uint64_t serial_rematches = 0;
+
   double SharingRate() const {
     return served == 0 ? 0.0 : static_cast<double>(shared) / served;
   }
 };
+
+/// One request's final disposition in the request-parallel pipeline, in the
+/// exact shape the `--serial_check` mode compares: a parallel run and its
+/// engine_threads=1 replay must produce equal records for every request.
+struct CommitRecord {
+  RequestId request = 0;
+  bool served = false;
+  bool shed = false;
+  VehicleId vehicle = kInvalidVehicle;  ///< Committed vehicle when served.
+  double pickup_dist = 0.0;
+  double price = 0.0;
+
+  friend bool operator==(const CommitRecord&, const CommitRecord&) = default;
+};
+
+/// Builds one matcher instance per pipeline worker, so concurrently-running
+/// workers never share a matcher object. Matchers are configuration-only in
+/// Match() (no mutable state), hence results do not depend on which worker
+/// instance served a request.
+using MatcherFactory = std::function<std::unique_ptr<Matcher>()>;
 
 class Engine {
  public:
@@ -174,6 +228,12 @@ class Engine {
   /// Audits the whole fleet plus the registry aggregates against the
   /// trusted maintenance oracle (kinetic/tree_auditor.h). On-demand
   /// release-build counterpart of EngineOptions::audit_after_commit.
+  ///
+  /// Safe to call from another thread while RunPipelined is in flight: the
+  /// audit takes the pipeline's quiesce lock, so it observes the fleet only
+  /// at a wave boundary — a quiesced epoch where no matcher worker is
+  /// running and no commit is half-applied — and never a torn tree. When no
+  /// pipeline is active the lock is uncontended and this behaves as before.
   AuditReport AuditFleet();
 
   /// Installs `factory(slot)` as the fault hook on the counted matching
@@ -228,6 +288,31 @@ class Engine {
   RunStats Run(std::span<const Request> requests,
                std::span<Matcher* const> matchers);
 
+  /// Request-parallel pipeline (DESIGN.md §12). The stream is processed in
+  /// waves of ResolvedWaveSize() requests: admission (overload shed +
+  /// level capture, in request-id order) → advance world to the wave's
+  /// latest submit time → refresh stale trees → freeze a registry snapshot
+  /// → match every admitted request concurrently on engine_threads workers
+  /// (per-worker matcher from `make_matcher`, per-worker DistanceOracle and
+  /// WorkBudget) → commit serially in request-id order. When two requests
+  /// picked the same vehicle, the lower id commits and the loser re-matches
+  /// against a fresh snapshot (at most max_rematch_rounds times, then a
+  /// serial tail against live state).
+  ///
+  /// Determinism: committed assignments depend on wave_size but not on
+  /// engine_threads — workers read only the frozen snapshot, arbitration is
+  /// id-ordered, and rng/ladder draws happen serially in id order — except
+  /// when a wall-clock deadline (overload.deadline_ms > 0) is configured,
+  /// which is nondeterministic by design. `commit_log`, when non-null,
+  /// receives one record per request, sorted by request id.
+  RunStats RunPipelined(std::span<const Request> requests,
+                        const MatcherFactory& make_matcher,
+                        std::vector<CommitRecord>* commit_log = nullptr);
+
+  /// Wave size actually used by RunPipelined: options.wave_size, or
+  /// 2 * engine_threads (at least 1) when 0.
+  int ResolvedWaveSize() const;
+
  private:
   struct VehicleRuntime {
     std::vector<VertexId> route;  ///< Vertex path being driven.
@@ -250,7 +335,10 @@ class Engine {
   WorkBudget* ArmSlotBudget(std::size_t m);
   /// Feeds the finished request's signals to the overload controller and
   /// records the degrade/* transition counters and deadline slack.
-  void ObserveOverload(double match_elapsed_micros, bool budget_exhausted);
+  /// `worker_deadline_hit` is the request's own budget-latched wall
+  /// deadline signal (see OverloadController::Observe).
+  void ObserveOverload(double match_elapsed_micros, bool budget_exhausted,
+                       bool worker_deadline_hit = false);
   /// Post-commit single-vehicle audit (EngineOptions::audit_after_commit);
   /// repairs on findings and bumps the audit/* counters.
   void AuditAfterCommit(VehicleId v);
@@ -306,6 +394,14 @@ class Engine {
   GridScanMatcher fallback_grid_;
   /// Workers for shadow-matcher evaluation; null when options.threads == 1.
   std::unique_ptr<ThreadPool> pool_;
+  /// Workers for the request-parallel pipeline; created lazily on the
+  /// first RunPipelined call when options.engine_threads > 1.
+  std::unique_ptr<ThreadPool> engine_pool_;
+  /// Held by RunPipelined across each whole wave (admission through
+  /// commit) and by AuditFleet. Between waves — and whenever no pipeline
+  /// runs — the fleet, registry, and metrics are quiesced, which is the
+  /// only state an outside thread may observe.
+  std::mutex quiesce_mu_;
 
   std::unordered_set<RequestId> shared_requests_;
   std::uint64_t served_ = 0;
@@ -325,6 +421,9 @@ class Engine {
   /// are cumulative; HarvestRunMetrics adds only the delta).
   std::uint64_t pool_tasks_harvested_ = 0;
   std::uint64_t pool_wait_harvested_ = 0;
+  /// Same, for engine_pool_ (folded as "pool/engine_*").
+  std::uint64_t engine_pool_tasks_harvested_ = 0;
+  std::uint64_t engine_pool_wait_harvested_ = 0;
 };
 
 }  // namespace ptar

@@ -1,0 +1,388 @@
+// Request-parallel pipeline (DESIGN.md §12).
+//
+// The classic Run() mirrors the paper's online setting literally: one
+// request at a time, one matcher latency per request, throughput capped at
+// 1/latency regardless of core count. RunPipelined overlaps many
+// independent dispatch queries instead: the stream is cut into waves,
+// every request in a wave is matched concurrently against one frozen
+// registry snapshot, and the results are committed serially in request-id
+// order with conflict-aware arbitration.
+//
+//   admission -> advance -> refresh -> snapshot -> parallel match
+//            -> id-ordered commit -> (losers re-match, bounded) -> next wave
+//
+// Determinism contract: for a fixed wave_size, committed assignments are
+// identical at every engine_threads value. Matcher workers read only the
+// immutable snapshot and their own per-worker oracle/budget/matcher, the
+// arbiter is id-ordered, and all rng and overload-ladder draws happen
+// serially in id order on the pipeline thread. The only documented
+// exception is a configured wall-clock deadline (overload.deadline_ms),
+// which is nondeterministic by design. `--serial_check` re-runs the
+// workload at engine_threads=1 and compares CommitRecords to enforce this.
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "obs/trace.h"
+#include "sim/engine.h"
+
+namespace ptar {
+
+namespace {
+
+/// One admitted request travelling through a wave.
+struct InFlight {
+  const Request* request = nullptr;
+  /// Ladder level captured at admission; fixes this request's budget and
+  /// matcher even if the ladder moves before its worker runs.
+  DegradeLevel level = DegradeLevel::kFull;
+  MatchResult result;
+  double elapsed_micros = 0.0;  ///< Worker-measured match wall time.
+  bool budget_exhausted = false;
+  bool deadline_hit = false;  ///< Worker budget's latched wall deadline.
+};
+
+/// Everything one matcher worker owns. Nothing here is shared between
+/// workers, so the parallel phase reads only the snapshot and writes only
+/// pre-assigned InFlight slots.
+struct WorkerCtx {
+  std::unique_ptr<Matcher> matcher;  ///< Full-level matcher (factory-built).
+  SsaMatcher ssa{0.16};              ///< kSsa fallback (paper default).
+  GridScanMatcher grid_scan;         ///< kGridScan fallback.
+  std::unique_ptr<DistanceOracle> oracle;
+  WorkBudget budget;
+};
+
+}  // namespace
+
+int Engine::ResolvedWaveSize() const {
+  if (options_.wave_size > 0) return options_.wave_size;
+  return std::max(1, 2 * options_.engine_threads);
+}
+
+RunStats Engine::RunPipelined(std::span<const Request> requests,
+                              const MatcherFactory& make_matcher,
+                              std::vector<CommitRecord>* commit_log) {
+  PTAR_CHECK(make_matcher != nullptr);
+  const int workers = options_.engine_threads;
+  const std::size_t wave_size = static_cast<std::size_t>(ResolvedWaveSize());
+  if (workers > 1 && engine_pool_ == nullptr) {
+    engine_pool_ = std::make_unique<ThreadPool>(workers);
+    engine_pool_->SetTaskWaitObserver([](double wait_micros) {
+      obs::TraceRecorder::Global().RecordEndingNow("pool_queue_wait",
+                                                   wait_micros);
+    });
+  }
+
+  // Per-worker state. Built per call: the factory may capture caller
+  // configuration, and per-call construction keeps the engine free of
+  // matcher-type state. Worker w's oracle takes fault hook slot w, mirroring
+  // the classic engine's slot-per-concurrent-oracle convention.
+  std::vector<WorkerCtx> worker_ctxs(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    worker_ctxs[w].matcher = make_matcher();
+    PTAR_CHECK(worker_ctxs[w].matcher != nullptr);
+    worker_ctxs[w].oracle =
+        std::make_unique<DistanceOracle>(graph_, ch_graph_.get());
+    if (fault_hook_factory_) {
+      worker_ctxs[w].oracle->SetFaultHook(
+          fault_hook_factory_(static_cast<std::size_t>(w)));
+    }
+  }
+
+  RunStats stats;
+  stats.matchers.resize(1);
+  stats.matchers[0].name = worker_ctxs[0].matcher->name();
+  MatcherAggregate& agg = stats.matchers[0];
+
+  // Histogram slots are resolved under the quiesce lock: metrics_ is part
+  // of the quiesced state a concurrent AuditFleet may touch.
+  obs::LatencyHistogram* matcher_latency_us;
+  obs::LatencyHistogram* matcher_compdists;
+  obs::LatencyHistogram* matcher_options;
+  obs::LatencyHistogram* queue_depth;
+  obs::LatencyHistogram* wave_advance_us;
+  obs::LatencyHistogram* wave_match_us;
+  obs::LatencyHistogram* wave_commit_us;
+  obs::LatencyHistogram* snapshot_us;
+  obs::LatencyHistogram* request_latency_us;
+  {
+    std::lock_guard<std::mutex> setup_guard(quiesce_mu_);
+    const std::string matcher_base = "matcher/" + agg.name;
+    matcher_latency_us = &metrics_.Histogram(matcher_base + "/latency_us");
+    matcher_compdists = &metrics_.Histogram(matcher_base + "/compdists");
+    matcher_options = &metrics_.Histogram(matcher_base + "/options");
+    queue_depth = &metrics_.Histogram("pipeline/queue_depth");
+    wave_advance_us = &metrics_.Histogram("pipeline/wave_advance_us");
+    wave_match_us = &metrics_.Histogram("pipeline/wave_match_us");
+    wave_commit_us = &metrics_.Histogram("pipeline/wave_commit_us");
+    snapshot_us = &metrics_.Histogram("pipeline/snapshot_us");
+    request_latency_us = &metrics_.Histogram("pipeline/request_latency_us");
+  }
+
+  // Runs `fn(w)` for every worker index owning at least one of `count`
+  // requests (round-robin: request i belongs to worker i % workers), on the
+  // pool when present, inline otherwise. One task per worker, not per
+  // request: coarse tasks keep queue traffic negligible.
+  const auto parallel_match = [&](std::size_t count, auto&& fn) {
+    const int active =
+        static_cast<int>(std::min<std::size_t>(count, workers));
+    if (engine_pool_ == nullptr || active <= 1) {
+      for (int w = 0; w < active; ++w) fn(w);
+      return;
+    }
+    std::vector<std::future<void>> pending;
+    pending.reserve(active);
+    for (int w = 0; w < active; ++w) {
+      pending.push_back(engine_pool_->Submit([&fn, w] { fn(w); }));
+    }
+    for (std::future<void>& f : pending) f.get();
+  };
+
+  // Matches `inflight[i]` on worker `w`'s private state against the frozen
+  // snapshot. Called concurrently, one invocation per (worker, request).
+  const auto match_one = [&](InFlight& inf, WorkerCtx& wctx,
+                             const RegistrySnapshot& snapshot) {
+    PTAR_TRACE_SPAN("pipeline_match");
+    MatchContext ctx;
+    ctx.grid = grid_;
+    ctx.registry = &registry_;
+    ctx.fleet = &fleet_;
+    ctx.oracle = wctx.oracle.get();
+    ctx.price_model = PriceModel{};
+    ctx.snapshot = &snapshot;
+    if (overload_.enabled()) {
+      wctx.budget = WorkBudget(overload_.BudgetForLevel(inf.level),
+                               overload_.DeadlineMicros());
+      // Armed on the worker so a wall deadline starts when the matcher
+      // does, not while the request waits for its worker's earlier slice.
+      wctx.budget.Arm();
+      ctx.budget = &wctx.budget;
+    }
+    Matcher* matcher = wctx.matcher.get();
+    if (inf.level == DegradeLevel::kSsa) matcher = &wctx.ssa;
+    if (inf.level == DegradeLevel::kGridScan) matcher = &wctx.grid_scan;
+    Timer timer;
+    inf.result = matcher->Match(*inf.request, ctx);
+    inf.elapsed_micros = timer.ElapsedMicros();
+    if (overload_.enabled()) {
+      inf.budget_exhausted = wctx.budget.Exhausted();
+      inf.deadline_hit = wctx.budget.deadline_hit();
+    }
+  };
+
+  std::vector<CommitRecord> records;
+  records.reserve(requests.size());
+
+  std::size_t next = 0;
+  while (next < requests.size()) {
+    // One wave per lock hold: outside threads (AuditFleet) observe the
+    // world only at wave boundaries — the quiesced epoch.
+    std::lock_guard<std::mutex> wave_guard(quiesce_mu_);
+    PTAR_TRACE_SPAN("pipeline_wave");
+    const std::span<const Request> wave =
+        requests.subspan(next, std::min(wave_size, requests.size() - next));
+    next += wave.size();
+    ++stats.waves;
+    Timer wave_timer;
+
+    // --- Admission (id order): shed or capture the ladder level. ---
+    std::vector<InFlight> admitted;
+    admitted.reserve(wave.size());
+    for (const Request& request : wave) {
+      const DegradeLevel level = overload_.level();
+      stats.ladder_requests[static_cast<int>(level)] += 1;
+      if (overload_.enabled()) {
+        metrics_.AddCounter("degrade/level" +
+                                std::to_string(static_cast<int>(level)) +
+                                "_requests",
+                            1);
+      }
+      if (level == DegradeLevel::kShed) {
+        ++stats.shed_requests;
+        ++stats.unserved;
+        metrics_.AddCounter("degrade/shed_requests", 1);
+        records.push_back({.request = request.id, .shed = true});
+        // Shedding is (nearly) free, so it counts as a good signal; the
+        // ladder can recover mid-admission and later requests of the same
+        // wave then match again.
+        ObserveOverload(0.0, /*budget_exhausted=*/false);
+        continue;
+      }
+      InFlight inf;
+      inf.request = &request;
+      inf.level = level;
+      admitted.push_back(std::move(inf));
+    }
+    queue_depth->Add(static_cast<double>(admitted.size()));
+
+    // --- Advance the world to the wave's horizon, once per wave. ---
+    {
+      Timer timer;
+      AdvanceTo(wave.back().submit_time);
+      RefreshStaleTrees();
+      wave_advance_us->Add(timer.ElapsedMicros());
+    }
+
+    // --- Match / commit rounds. ---
+    std::vector<InFlight> pending = std::move(admitted);
+    std::unordered_set<VehicleId> touched;
+    int round = 0;
+    while (!pending.empty()) {
+      RegistrySnapshot snapshot;
+      {
+        Timer timer;
+        snapshot = registry_.TakeSnapshot();
+        snapshot_us->Add(timer.ElapsedMicros());
+      }
+      {
+        PTAR_TRACE_SPAN("pipeline_match_round");
+        Timer timer;
+        parallel_match(pending.size(), [&](int w) {
+          for (std::size_t i = static_cast<std::size_t>(w);
+               i < pending.size(); i += workers) {
+            match_one(pending[i], worker_ctxs[w], snapshot);
+          }
+        });
+        wave_match_us->Add(timer.ElapsedMicros());
+      }
+      // Commits mutate the registry in place once no snapshot shares its
+      // shards; drop the view before the commit pass so the steady state
+      // never pays a COW clone.
+      snapshot = RegistrySnapshot();
+
+      Timer commit_timer;
+      touched.clear();
+      std::vector<InFlight> losers;
+      for (InFlight& inf : pending) {
+        if (round == 0) {
+          // Ladder signals are fed once per request, in id order, from the
+          // request's own worker-side measurements.
+          ObserveOverload(inf.elapsed_micros, inf.budget_exhausted,
+                          inf.deadline_hit);
+          if (!inf.result.complete) {
+            ++stats.partial_skylines;
+            metrics_.AddCounter("degrade/partial_skylines", 1);
+          }
+          if (inf.level == DegradeLevel::kFull) {
+            // Aggregates describe the configured matcher, so degraded
+            // requests (fallback matchers) are excluded, like the classic
+            // engine excludes them from slot 0.
+            agg.totals.Accumulate(inf.result.stats);
+            agg.latency_ms.Add(inf.result.stats.elapsed_micros / 1e3);
+            ++agg.requests;
+            agg.options_sum += inf.result.options.size();
+            agg.precision_sum += 1.0;  // committing matcher is its own
+            agg.recall_sum += 1.0;     // reference
+            matcher_latency_us->Add(inf.result.stats.elapsed_micros);
+            matcher_compdists->Add(
+                static_cast<double>(inf.result.stats.compdists));
+            matcher_options->Add(
+                static_cast<double>(inf.result.options.size()));
+          }
+        }
+        const Option* chosen = ChooseOption(inf.result.options);
+        if (chosen == nullptr) {
+          ++stats.unserved;
+          records.push_back({.request = inf.request->id});
+          request_latency_us->Add(wave_timer.ElapsedMicros());
+          continue;
+        }
+        if (touched.contains(chosen->vehicle)) {
+          // Conflict: a lower-id request of this round already took the
+          // vehicle, so this result is stale. Re-match against a fresh
+          // snapshot next round. The first loser of the next round faces
+          // an empty touched set, so every round commits >= 1 request.
+          ++stats.conflicts;
+          losers.push_back(std::move(inf));
+          continue;
+        }
+        touched.insert(chosen->vehicle);
+        ++stats.served;
+        CommitChoice(*inf.request, *chosen);
+        records.push_back({.request = inf.request->id,
+                           .served = true,
+                           .vehicle = chosen->vehicle,
+                           .pickup_dist = chosen->pickup_dist,
+                           .price = chosen->price});
+        request_latency_us->Add(wave_timer.ElapsedMicros());
+        if (options_.audit_after_commit) AuditAfterCommit(chosen->vehicle);
+      }
+      wave_commit_us->Add(commit_timer.ElapsedMicros());
+
+      if (losers.empty()) break;
+      if (round >= options_.max_rematch_rounds) {
+        // Re-match bound exhausted: the stragglers match serially against
+        // live state, which cannot conflict.
+        for (InFlight& inf : losers) {
+          ++stats.serial_rematches;
+          match_one(inf, worker_ctxs[0], registry_.TakeSnapshot());
+          const Option* chosen = ChooseOption(inf.result.options);
+          if (chosen == nullptr) {
+            ++stats.unserved;
+            records.push_back({.request = inf.request->id});
+          } else {
+            ++stats.served;
+            CommitChoice(*inf.request, *chosen);
+            records.push_back({.request = inf.request->id,
+                               .served = true,
+                               .vehicle = chosen->vehicle,
+                               .pickup_dist = chosen->pickup_dist,
+                               .price = chosen->price});
+            if (options_.audit_after_commit) {
+              AuditAfterCommit(chosen->vehicle);
+            }
+          }
+          request_latency_us->Add(wave_timer.ElapsedMicros());
+        }
+        break;
+      }
+      stats.rematches += losers.size();
+      pending = std::move(losers);
+      ++round;
+    }
+  }
+
+  stats.shared = shared_requests_.size();
+  std::lock_guard<std::mutex> harvest_guard(quiesce_mu_);
+  metrics_.AddCounter("pipeline/waves", stats.waves);
+  metrics_.AddCounter("pipeline/conflicts", stats.conflicts);
+  metrics_.AddCounter("pipeline/rematches", stats.rematches);
+  metrics_.AddCounter("pipeline/serial_rematches", stats.serial_rematches);
+
+  // Worker oracle batching stats merge into ONE key: the sum over requests
+  // is identical at every thread count (each request's match work is
+  // deterministic and worker assignment only partitions it).
+  for (WorkerCtx& wctx : worker_ctxs) {
+    metrics_.MergeBatchStats("pipeline/match/batch",
+                             wctx.oracle->batch_stats());
+    wctx.oracle->ResetBatchStats();
+  }
+  if (engine_pool_ != nullptr) {
+    const std::uint64_t tasks = engine_pool_->tasks_run();
+    const std::uint64_t wait = engine_pool_->total_wait_micros();
+    metrics_.AddCounter("pool/engine_tasks_run",
+                        tasks - engine_pool_tasks_harvested_);
+    metrics_.AddCounter("pool/engine_queue_wait_micros",
+                        wait - engine_pool_wait_harvested_);
+    engine_pool_tasks_harvested_ = tasks;
+    engine_pool_wait_harvested_ = wait;
+  }
+
+  if (commit_log != nullptr) {
+    // Id order, not commit order: the serial_check contract compares each
+    // request's final disposition, independent of the internal schedule.
+    std::sort(records.begin(), records.end(),
+              [](const CommitRecord& a, const CommitRecord& b) {
+                return a.request < b.request;
+              });
+    *commit_log = std::move(records);
+  }
+  return stats;
+}
+
+}  // namespace ptar

@@ -29,17 +29,22 @@ OverloadController::OverloadController(const OverloadOptions& options)
 }
 
 std::uint64_t OverloadController::LevelBudget() const {
+  return BudgetForLevel(level_);
+}
+
+std::uint64_t OverloadController::BudgetForLevel(DegradeLevel level) const {
   if (options_.request_budget == 0) return 0;
-  const auto shift = static_cast<unsigned>(level_);
+  const auto shift = static_cast<unsigned>(level);
   return std::max<std::uint64_t>(1, options_.request_budget >> shift);
 }
 
 OverloadController::Observation OverloadController::Observe(
-    double elapsed_micros, bool budget_exhausted) {
+    double elapsed_micros, bool budget_exhausted, bool worker_deadline_hit) {
   Observation obs;
   if (!enabled_) return obs;
   obs.deadline_missed =
-      options_.deadline_ms > 0.0 && elapsed_micros > DeadlineMicros();
+      worker_deadline_hit ||
+      (options_.deadline_ms > 0.0 && elapsed_micros > DeadlineMicros());
   obs.bad = budget_exhausted || obs.deadline_missed;
   if (obs.bad) {
     ++bad_streak_;

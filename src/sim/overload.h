@@ -71,6 +71,12 @@ class OverloadController {
   /// "unlimited"). 0 when no budget is configured.
   std::uint64_t LevelBudget() const;
 
+  /// Budget at an explicit ladder level (same halving schedule). The
+  /// request-parallel pipeline admits a wave of requests at once: each one
+  /// captures the level in force at its admission and arms a budget for
+  /// *that* level inside its worker, even if the ladder has since moved.
+  std::uint64_t BudgetForLevel(DegradeLevel level) const;
+
   /// Configured deadline in microseconds (0 = none).
   double DeadlineMicros() const { return options_.deadline_ms * 1e3; }
 
@@ -82,7 +88,16 @@ class OverloadController {
   };
 
   /// Feeds one completed (or shed) request's signals and moves the ladder.
-  Observation Observe(double elapsed_micros, bool budget_exhausted);
+  ///
+  /// In the serial engine `elapsed_micros` is the request's matching wall
+  /// time, measured inline. In the request-parallel pipeline many requests
+  /// match concurrently, so the global inter-request wall clock says
+  /// nothing about any one worker's health; the pipeline instead passes
+  /// each request's *own* worker-measured elapsed time plus
+  /// `worker_deadline_hit` — the worker budget's latched wall-deadline
+  /// signal — so ladder transitions are driven by per-worker overruns.
+  Observation Observe(double elapsed_micros, bool budget_exhausted,
+                      bool worker_deadline_hit = false);
 
  private:
   OverloadOptions options_;

@@ -13,6 +13,10 @@ obs::RunReport BuildRunReport(const RunStats& stats,
   report.shed_requests = stats.shed_requests;
   report.partial_skylines = stats.partial_skylines;
   report.ladder_requests = stats.ladder_requests;
+  report.waves = stats.waves;
+  report.conflicts = stats.conflicts;
+  report.rematches = stats.rematches;
+  report.serial_rematches = stats.serial_rematches;
   report.matchers.reserve(stats.matchers.size());
   for (const MatcherAggregate& agg : stats.matchers) {
     obs::MatcherReport m;

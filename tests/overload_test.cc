@@ -92,6 +92,45 @@ TEST(OverloadControllerTest, LevelBudgetHalvesWithFloorOne) {
   EXPECT_GE(controller.LevelBudget(), 1u);
 }
 
+TEST(OverloadControllerTest, BudgetForLevelFollowsHalvingSchedule) {
+  OverloadOptions options;
+  options.request_budget = 8;
+  const OverloadController controller(options);
+  // Explicit-level query (the pipeline arms a wave's requests at their
+  // admission level even after the ladder moves): same halving schedule as
+  // LevelBudget, floor 1, independent of the controller's current level.
+  EXPECT_EQ(controller.BudgetForLevel(DegradeLevel::kFull), 8u);
+  EXPECT_EQ(controller.BudgetForLevel(DegradeLevel::kSsa), 4u);
+  EXPECT_EQ(controller.BudgetForLevel(DegradeLevel::kGridScan), 2u);
+  EXPECT_EQ(controller.BudgetForLevel(DegradeLevel::kShed), 1u);
+  // No configured budget stays "unlimited" at every level.
+  OverloadOptions deadline_only;
+  deadline_only.deadline_ms = 1.0;
+  EXPECT_EQ(OverloadController(deadline_only)
+                .BudgetForLevel(DegradeLevel::kGridScan),
+            0u);
+}
+
+TEST(OverloadControllerTest, WorkerDeadlineHitIsBadWithoutGlobalClock) {
+  // Pipeline regime: many requests match concurrently, so the controller
+  // cannot infer overruns from one global wall clock. The worker budget's
+  // latched deadline signal alone must mark the request bad — even with a
+  // tiny elapsed time and an unexhausted work budget.
+  OverloadOptions options;
+  options.request_budget = 100;
+  options.degrade_after = 1;
+  OverloadController controller(options);
+  const auto obs = controller.Observe(/*elapsed_micros=*/0.0,
+                                      /*budget_exhausted=*/false,
+                                      /*worker_deadline_hit=*/true);
+  EXPECT_TRUE(obs.bad);
+  EXPECT_TRUE(obs.deadline_missed);
+  EXPECT_EQ(controller.level(), DegradeLevel::kSsa);
+  // And the default (no worker signal) stays good.
+  const auto ok = controller.Observe(0.0, false);
+  EXPECT_FALSE(ok.bad);
+}
+
 TEST(OverloadControllerTest, LadderDegradesAndRecoversWithHysteresis) {
   OverloadOptions options;
   options.request_budget = 100;

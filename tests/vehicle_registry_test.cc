@@ -170,6 +170,81 @@ TEST_F(VehicleRegistryTest, EmptyCellAggregates) {
   EXPECT_EQ(agg.min_dist_tr, kInfDistance);
 }
 
+// --- Sharding & epoch snapshots (request-parallel engine). ---
+
+TEST_F(VehicleRegistryTest, SnapshotIsIsolatedFromLaterWrites) {
+  const CellId c0 = grid_->CellOfVertex(0);
+  const CellId c8 = grid_->CellOfVertex(8);
+  registry_->AddEmptyVehicle(1, 0);
+
+  const RegistrySnapshot snap = registry_->TakeSnapshot();
+  ASSERT_EQ(snap.EmptyVehicles(c0).size(), 1u);
+
+  // Mutate the live registry every way the engine does; the open snapshot
+  // must keep showing the captured view (COW clones the touched shards).
+  registry_->AddEmptyVehicle(2, 0);
+  registry_->MoveEmptyVehicle(1, 8);
+  std::vector<std::pair<CellId, KineticEdgeEntry>> entries;
+  entries.emplace_back(c0, Entry(3, 2, 100.0, 50.0, 80.0, 0, 1));
+  registry_->SetVehicleEdges(3, entries);
+
+  ASSERT_EQ(snap.EmptyVehicles(c0).size(), 1u);
+  EXPECT_EQ(snap.EmptyVehicles(c0)[0], 1u);
+  EXPECT_TRUE(snap.EmptyVehicles(c8).empty());
+  EXPECT_TRUE(snap.NonEmptyEntries(c0).empty());
+  // The live registry moved on.
+  ASSERT_EQ(registry_->EmptyVehicles(c0).size(), 1u);
+  EXPECT_EQ(registry_->EmptyVehicles(c0)[0], 2u);
+  EXPECT_EQ(registry_->EmptyVehicles(c8).size(), 1u);
+  EXPECT_EQ(registry_->NonEmptyEntries(c0).size(), 1u);
+}
+
+TEST_F(VehicleRegistryTest, SnapshotAggregatesAreFrozenAndClean) {
+  const CellId c0 = grid_->CellOfVertex(0);
+  std::vector<std::pair<CellId, KineticEdgeEntry>> entries;
+  entries.emplace_back(c0, Entry(3, 4, 60.0, 20.0, 120.0, 0, 2));
+  registry_->SetVehicleEdges(3, entries);  // c0 is now dirty.
+
+  // TakeSnapshot rebuilds dirty aggregates first; snapshot reads are pure
+  // (a dirty cell in a snapshot would be a contract violation).
+  const RegistrySnapshot snap = registry_->TakeSnapshot();
+  const CellAggregates before = snap.Aggregates(c0);
+  EXPECT_TRUE(before.any);
+  EXPECT_EQ(before.max_capacity, 4);
+
+  registry_->ClearVehicleEdges(3);
+  EXPECT_FALSE(registry_->Aggregates(c0).any);
+  EXPECT_EQ(snap.Aggregates(c0), before);
+  EXPECT_EQ(snap.NonEmptyEntries(c0).size(), 1u);
+}
+
+TEST_F(VehicleRegistryTest, EpochsBumpOnlyOnTouchedShards) {
+  const CellId c0 = grid_->CellOfVertex(0);
+  const CellId c8 = grid_->CellOfVertex(8);
+  const std::uint64_t before = registry_->GlobalEpoch();
+  registry_->AddEmptyVehicle(1, 0);
+  EXPECT_GT(registry_->GlobalEpoch(), before);
+
+  const int shard0 = registry_->ShardOfCell(c0);
+  const int shard8 = registry_->ShardOfCell(c8);
+  const std::uint64_t epoch0 = registry_->ShardEpoch(shard0);
+  const RegistrySnapshot snap = registry_->TakeSnapshot();
+  // Capture-time epochs, and capture costs no epoch bump of its own.
+  EXPECT_EQ(snap.global_epoch(), registry_->GlobalEpoch());
+  EXPECT_EQ(snap.ShardEpoch(shard0), epoch0);
+  EXPECT_EQ(registry_->TakeSnapshot().global_epoch(), snap.global_epoch());
+
+  registry_->MoveEmptyVehicle(1, 8);
+  EXPECT_GT(registry_->ShardEpoch(shard0), epoch0);
+  EXPECT_GT(registry_->GlobalEpoch(), snap.global_epoch());
+  // The snapshot's epochs are frozen; untouched shards keep theirs.
+  EXPECT_EQ(snap.ShardEpoch(shard0), epoch0);
+  for (int s = 0; s < registry_->num_shards(); ++s) {
+    if (s == shard0 || s == shard8) continue;
+    EXPECT_EQ(registry_->ShardEpoch(s), snap.ShardEpoch(s)) << "shard " << s;
+  }
+}
+
 TEST_F(VehicleRegistryTest, MemoryBytesReflectsContents) {
   const std::size_t before = registry_->MemoryBytes();
   std::vector<std::pair<CellId, KineticEdgeEntry>> entries;

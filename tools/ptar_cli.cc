@@ -12,11 +12,13 @@
 // seed-driven; identical invocations produce identical output.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "check/fault_injection.h"
 #include "common/flags.h"
+#include "common/timer.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "grid/grid_index.h"
@@ -71,6 +73,7 @@ int Help() {
       "      [--policy=price|time|balanced|random] [--shadow] [--seed=N]\n"
       "      [--threads=N] [--distance_backend=dijkstra|ch]\n"
       "      [--request_budget=N] [--deadline_ms=MS] [--inject=SPEC]\n"
+      "      [--engine_threads=N] [--wave_size=N] [--serial_check]\n"
       "      [--trace_out=FILE] [--report_out=FILE]\n"
       "  match --network=FILE --from=V --to=V [--riders=N] [--wait-min=MIN]\n"
       "      [--epsilon=E] [--vehicles=N] [--cell-size=M] [--seed=N]\n"
@@ -223,11 +226,18 @@ int Simulate(const FlagParser& flags) {
   const auto request_budget = flags.GetInt("request_budget", 0);
   const auto deadline_ms = flags.GetDouble("deadline_ms", 0.0);
   const std::string inject = flags.GetString("inject", "");
+  const bool pipelined = flags.Has("engine_threads") ||
+                         flags.Has("wave_size") || flags.Has("serial_check");
+  const auto engine_threads = flags.GetInt("engine_threads", 1);
+  const auto wave_size = flags.GetInt("wave_size", 0);
+  const auto serial_check = flags.GetBool("serial_check", false);
   for (const Status& st :
        {vehicles.status(), capacity.status(), cell_size.status(),
         fraction.status(), seed.status(), shadow.status(),
         threads.status(), policy.status(), backend.status(),
-        request_budget.status(), deadline_ms.status()}) {
+        request_budget.status(), deadline_ms.status(),
+        engine_threads.status(), wave_size.status(),
+        serial_check.status()}) {
     if (!st.ok()) return Fail(st);
   }
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
@@ -241,6 +251,14 @@ int Simulate(const FlagParser& flags) {
   }
   if (*request_budget < 0) return FailUsage("--request_budget must be >= 0");
   if (*deadline_ms < 0.0) return FailUsage("--deadline_ms must be >= 0");
+  if (*engine_threads < 1) return FailUsage("--engine_threads must be >= 1");
+  if (*wave_size < 0) return FailUsage("--wave_size must be >= 0");
+  if (pipelined && *shadow) {
+    return FailUsage(
+        "--shadow is incompatible with the request-parallel pipeline "
+        "(--engine_threads/--wave_size/--serial_check): shadow evaluation "
+        "needs one world state per request");
+  }
   check::FaultPlan fault_plan;
   if (!inject.empty()) {
     auto plan = check::ParseFaultPlan(inject);
@@ -260,6 +278,8 @@ int Simulate(const FlagParser& flags) {
   eopts.policy = *policy;
   eopts.seed = static_cast<std::uint64_t>(*seed);
   eopts.threads = *threads;
+  eopts.engine_threads = static_cast<int>(*engine_threads);
+  eopts.wave_size = static_cast<int>(*wave_size);
   eopts.distance_backend = *backend;
   eopts.overload.request_budget = static_cast<std::uint64_t>(*request_budget);
   eopts.overload.deadline_ms = *deadline_ms;
@@ -286,7 +306,23 @@ int Simulate(const FlagParser& flags) {
               requests->size(), eopts.num_vehicles,
               grid->num_active_cells(), adaptive ? "quadtree" : "uniform");
   if (!trace_out.empty()) obs::TraceRecorder::Global().Start();
-  const RunStats stats = engine.Run(*requests, matchers);
+  RunStats stats;
+  double run_micros = 0.0;
+  std::vector<CommitRecord> commit_log;
+  if (pipelined) {
+    const double ssa_fraction = *fraction;
+    const MatcherFactory make_matcher = [ssa_fraction] {
+      return std::make_unique<SsaMatcher>(ssa_fraction);
+    };
+    Timer run_timer;
+    stats = engine.RunPipelined(*requests, make_matcher,
+                                *serial_check ? &commit_log : nullptr);
+    run_micros = run_timer.ElapsedMicros();
+  } else {
+    Timer run_timer;
+    stats = engine.Run(*requests, matchers);
+    run_micros = run_timer.ElapsedMicros();
+  }
   if (!trace_out.empty()) obs::TraceRecorder::Global().Stop();
 
   std::printf("\n%-5s %10s %10s %10s %10s %12s %9s %10s %8s\n", "algo",
@@ -316,6 +352,73 @@ int Simulate(const FlagParser& flags) {
                 static_cast<unsigned long long>(stats.ladder_requests[1]),
                 static_cast<unsigned long long>(stats.ladder_requests[2]),
                 static_cast<unsigned long long>(stats.ladder_requests[3]));
+  }
+  if (pipelined) {
+    const double reqs_per_sec =
+        run_micros > 0.0 ? requests->size() / (run_micros / 1e6) : 0.0;
+    std::printf("pipeline: %d thread(s), wave %d, %llu waves, %llu "
+                "conflicts, %llu rematches (%llu serial), %.1f requests/s\n",
+                eopts.engine_threads, engine.ResolvedWaveSize(),
+                static_cast<unsigned long long>(stats.waves),
+                static_cast<unsigned long long>(stats.conflicts),
+                static_cast<unsigned long long>(stats.rematches),
+                static_cast<unsigned long long>(stats.serial_rematches),
+                reqs_per_sec);
+  }
+  if (*serial_check) {
+    // Canonical serial replay: a fresh engine, same seed and wave
+    // structure, one matcher worker. The pipeline's determinism contract
+    // says committed assignments must match the parallel run exactly.
+    EngineOptions sopts = eopts;
+    sopts.engine_threads = 1;
+    sopts.wave_size = engine.ResolvedWaveSize();
+    Engine serial_engine(&*graph, &*grid, sopts);
+    if (fault_plan.active()) {
+      serial_engine.SetFaultHookFactory([fault_plan](std::size_t) {
+        return check::MakeFaultHook(fault_plan);
+      });
+    }
+    const double ssa_fraction = *fraction;
+    std::vector<CommitRecord> serial_log;
+    serial_engine.RunPipelined(
+        *requests,
+        [ssa_fraction] { return std::make_unique<SsaMatcher>(ssa_fraction); },
+        &serial_log);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < commit_log.size() || i < serial_log.size();
+         ++i) {
+      if (i >= commit_log.size() || i >= serial_log.size() ||
+          !(commit_log[i] == serial_log[i])) {
+        ++mismatches;
+        if (mismatches <= 5) {
+          const auto describe = [](const std::vector<CommitRecord>& log,
+                                   std::size_t j) -> std::string {
+            if (j >= log.size()) return "<missing>";
+            const CommitRecord& r = log[j];
+            if (r.shed) return "request " + std::to_string(r.request) +
+                               " shed";
+            if (!r.served) return "request " + std::to_string(r.request) +
+                                  " unserved";
+            return "request " + std::to_string(r.request) + " -> vehicle " +
+                   std::to_string(r.vehicle);
+          };
+          std::fprintf(stderr, "serial_check mismatch at record %zu: "
+                       "parallel %s vs serial %s\n", i,
+                       describe(commit_log, i).c_str(),
+                       describe(serial_log, i).c_str());
+        }
+      }
+    }
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "serial_check FAILED: %zu of %zu records differ from "
+                   "the canonical serial replay\n",
+                   mismatches,
+                   std::max(commit_log.size(), serial_log.size()));
+      return 1;
+    }
+    std::printf("serial_check OK: %zu committed records identical to the "
+                "canonical serial replay\n", commit_log.size());
   }
   if (!trace_out.empty()) {
     if (const Status st = obs::TraceRecorder::Global().WriteJson(trace_out);
