@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/harness.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "graph/generators.h"
@@ -34,6 +35,7 @@
 #include "obs/version.h"
 #include "rideshare/ssa_matcher.h"
 #include "sim/engine.h"
+#include "sim/run_report.h"
 #include "sim/workload.h"
 
 namespace ptar {
@@ -73,10 +75,14 @@ EngineOptions BaseOptions() {
 }
 
 Row RunClassic(const RoadNetwork& graph, const GridIndex& grid,
-               const std::vector<Request>& requests) {
+               const std::vector<Request>& requests,
+               bench::ObsSession* obs) {
   Row row;
   row.label = "classic-serial";
   Engine engine(&graph, &grid, BaseOptions());
+  if (obs->lifecycle() != nullptr) {
+    engine.SetLifecycleRecorder(obs->lifecycle());
+  }
   SsaMatcher ssa(kSsaFraction);
   std::vector<Matcher*> matchers = {&ssa};
   Timer timer;
@@ -85,12 +91,15 @@ Row RunClassic(const RoadNetwork& graph, const GridIndex& grid,
   row.requests_per_sec = requests.size() / (row.elapsed_ms / 1e3);
   row.served = stats.served;
   row.unserved = stats.unserved;
+  obs->Add(row.label, BuildRunReport(stats, engine.metrics(),
+                                     engine.telemetry().Export(),
+                                     "bench_engine_throughput"));
   return row;
 }
 
 Row RunPipelined(const RoadNetwork& graph, const GridIndex& grid,
                  const std::vector<Request>& requests, int threads,
-                 std::vector<CommitRecord>* log) {
+                 std::vector<CommitRecord>* log, bench::ObsSession* obs) {
   Row row;
   row.label = "pipeline-t" + std::to_string(threads);
   row.engine_threads = threads;
@@ -98,6 +107,9 @@ Row RunPipelined(const RoadNetwork& graph, const GridIndex& grid,
   eopts.engine_threads = threads;
   eopts.wave_size = kWaveSize;
   Engine engine(&graph, &grid, eopts);
+  if (obs->lifecycle() != nullptr) {
+    engine.SetLifecycleRecorder(obs->lifecycle());
+  }
   Timer timer;
   const RunStats stats = engine.RunPipelined(
       requests, [] { return std::make_unique<SsaMatcher>(kSsaFraction); },
@@ -116,6 +128,9 @@ Row RunPipelined(const RoadNetwork& graph, const GridIndex& grid,
     row.commit_p50_us = latency->Percentile(50);
     row.commit_p99_us = latency->Percentile(99);
   }
+  obs->Add(row.label, BuildRunReport(stats, engine.metrics(),
+                                     engine.telemetry().Export(),
+                                     "bench_engine_throughput"));
   return row;
 }
 
@@ -162,8 +177,9 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows,
   return true;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   std::printf("=== bench_engine_throughput: serial vs request-parallel ===\n");
+  bench::ObsSession obs(argc, argv, "engine_throughput");
   const unsigned host_cpus = std::thread::hardware_concurrency();
 
   GridCityOptions copts;
@@ -197,12 +213,12 @@ int Main() {
               "speedup");
 
   std::vector<Row> rows;
-  rows.push_back(RunClassic(graph, grid, requests));
+  rows.push_back(RunClassic(graph, grid, requests, &obs));
   std::vector<CommitRecord> reference_log;
   double serial_rps = 0.0;
   for (const int threads : {1, 2, 4, 8}) {
     std::vector<CommitRecord> log;
-    Row row = RunPipelined(graph, grid, requests, threads, &log);
+    Row row = RunPipelined(graph, grid, requests, threads, &log, &obs);
     if (threads == 1) {
       reference_log = std::move(log);
       serial_rps = row.requests_per_sec;
@@ -261,4 +277,4 @@ int Main() {
 }  // namespace
 }  // namespace ptar
 
-int main() { return ptar::Main(); }
+int main(int argc, char** argv) { return ptar::Main(argc, argv); }

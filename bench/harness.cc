@@ -1,6 +1,8 @@
 #include "bench/harness.h"
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/json_writer.h"
@@ -13,18 +15,53 @@
 
 namespace ptar::bench {
 
+ObsSession* ObsSession::active_ = nullptr;
+
+void ObsSession::FlushActiveOnSignal(int sig) {
+  // Best-effort, not strictly async-signal-safe (Flush allocates): losing
+  // the buffered telemetry of an interrupted or crashing bench is worse
+  // than the theoretical reentrancy hazard on this diagnostics-only path.
+  if (active_ != nullptr) active_->Flush();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void ObsSession::FlushActiveAtExit() {
+  if (active_ != nullptr) active_->Flush();
+}
+
 ObsSession::ObsSession(int argc, char* const* argv,
                        const std::string& bench_name)
     : bench_name_(bench_name) {
+  std::string lifecycle_out;
+  double lifecycle_sample = 1.0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--trace_out=", 12) == 0) {
       trace_out_ = arg + 12;
     } else if (std::strncmp(arg, "--report_out=", 13) == 0) {
       report_out_ = arg + 13;
+    } else if (std::strncmp(arg, "--lifecycle_out=", 16) == 0) {
+      lifecycle_out = arg + 16;
+    } else if (std::strncmp(arg, "--lifecycle_sample=", 19) == 0) {
+      lifecycle_sample = std::strtod(arg + 19, nullptr);
     }
   }
   if (!trace_out_.empty()) obs::TraceRecorder::Global().Start();
+  if (!lifecycle_out.empty()) {
+    lifecycle_ = std::make_unique<obs::LifecycleRecorder>(
+        obs::LifecycleOptions{.path = lifecycle_out,
+                              .sample_rate = lifecycle_sample});
+  }
+  active_ = this;
+  static bool hooks_installed = false;
+  if (!hooks_installed) {
+    hooks_installed = true;
+    std::atexit(&ObsSession::FlushActiveAtExit);
+    for (const int sig : {SIGINT, SIGTERM, SIGSEGV, SIGABRT}) {
+      std::signal(sig, &ObsSession::FlushActiveOnSignal);
+    }
+  }
 }
 
 void ObsSession::Add(const std::string& label, obs::RunReport report) {
@@ -33,6 +70,25 @@ void ObsSession::Add(const std::string& label, obs::RunReport report) {
 }
 
 ObsSession::~ObsSession() {
+  Flush();
+  if (active_ == this) active_ = nullptr;
+}
+
+void ObsSession::Flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (lifecycle_ != nullptr && lifecycle_->enabled()) {
+    const Status st = lifecycle_->Flush();
+    if (st.ok()) {
+      std::printf("wrote lifecycle log: %s (%llu events)\n",
+                  lifecycle_->path().c_str(),
+                  static_cast<unsigned long long>(
+                      lifecycle_->events_recorded()));
+    } else {
+      std::fprintf(stderr, "lifecycle write failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
   if (!trace_out_.empty()) {
     obs::TraceRecorder::Global().Stop();
     const Status st = obs::TraceRecorder::Global().WriteJson(trace_out_);
@@ -132,6 +188,9 @@ BenchRow Harness::RunWith(const BenchConfig& cfg, const std::string& label,
   eopts.threads = cfg.threads;
   eopts.distance_backend = cfg.distance_backend;
   Engine engine(&graph_, &grid, eopts);
+  if (obs_ != nullptr && obs_->lifecycle() != nullptr) {
+    engine.SetLifecycleRecorder(obs_->lifecycle());
+  }
 
   BenchRow row;
   row.label = label;
@@ -140,6 +199,7 @@ BenchRow Harness::RunWith(const BenchConfig& cfg, const std::string& label,
   row.tree_memory_bytes = engine.KineticTreeMemoryBytes();
   if (obs_ != nullptr) {
     obs_->Add(label, BuildRunReport(row.stats, engine.metrics(),
+                                    engine.telemetry().Export(),
                                     "bench " + label));
   }
   return row;

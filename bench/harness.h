@@ -22,6 +22,7 @@
 
 #include "graph/generators.h"
 #include "grid/grid_index.h"
+#include "obs/lifecycle.h"
 #include "obs/report.h"
 #include "sim/engine.h"
 #include "sim/workload.h"
@@ -64,10 +65,18 @@ struct BenchRow {
 
 /// Optional observability side channel for a bench binary. Construct from
 /// main's argv: recognizes --trace_out=FILE (record a Chrome trace of the
-/// whole bench) and --report_out=FILE (dump one versioned run report per
-/// bench row); all other arguments are ignored, so benches stay zero-config
-/// by default. Attach to a Harness and every Run()/RunWith() adds a row;
-/// the destructor writes the requested files.
+/// whole bench), --report_out=FILE (dump one versioned run report per
+/// bench row), and --lifecycle_out=FILE / --lifecycle_sample=F (per-request
+/// lifecycle JSONL, see obs/lifecycle.h); all other arguments are ignored,
+/// so benches stay zero-config by default. Attach to a Harness and every
+/// Run()/RunWith() adds a row; the destructor writes the requested files.
+///
+/// Abnormal-exit contract: the session registers atexit and fatal-signal
+/// hooks (SIGINT/SIGTERM/SIGSEGV/SIGABRT) that call Flush(), so a bench
+/// killed mid-sweep — or crashed by the bug the trace was meant to catch —
+/// still writes whatever trace/report/lifecycle data it buffered. Flush()
+/// is idempotent; the signal path is best-effort (it allocates), which is
+/// the right trade for a diagnostics side channel.
 class ObsSession {
  public:
   ObsSession(int argc, char* const* argv, const std::string& bench_name);
@@ -79,11 +88,30 @@ class ObsSession {
   /// Records one bench row's report (called by Harness).
   void Add(const std::string& label, obs::RunReport report);
 
+  /// The per-request lifecycle recorder, or null when --lifecycle_out was
+  /// not given. Attach to an engine via Engine::SetLifecycleRecorder.
+  obs::LifecycleRecorder* lifecycle() {
+    return lifecycle_ != nullptr && lifecycle_->enabled() ? lifecycle_.get()
+                                                          : nullptr;
+  }
+
+  /// Writes all requested outputs (trace, report rows, lifecycle log).
+  /// Idempotent: the first call wins, later calls (destructor after an
+  /// explicit flush, atexit after the destructor) are no-ops.
+  void Flush();
+
  private:
+  static void FlushActiveOnSignal(int sig);
+  static void FlushActiveAtExit();
+
+  static ObsSession* active_;  ///< The session signal/atexit hooks flush.
+
   std::string bench_name_;
   std::string trace_out_;
   std::string report_out_;
   std::vector<std::pair<std::string, obs::RunReport>> rows_;
+  std::unique_ptr<obs::LifecycleRecorder> lifecycle_;
+  bool flushed_ = false;
 };
 
 class Harness {

@@ -39,8 +39,13 @@ void LatencyHistogram::Add(double value) {
 }
 
 double LatencyHistogram::Percentile(double p) const {
-  if (empty()) return 0.0;
-  PTAR_DCHECK(p >= 0.0 && p <= 100.0);
+  if (empty()) return 0.0;  // sentinel: no samples, no quantile
+  PTAR_DCHECK(p >= 0.0 && p <= 100.0 && !std::isnan(p));
+  // Clamp in release builds too: a negative or NaN p would otherwise feed
+  // a negative value into the uint64 cast below, which is UB.
+  if (!(p > 0.0)) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  if (count_ == 1) return min_;  // the single sample, exactly
   // Nearest-rank position among count_ samples (0-based), matching
   // SampleSummary's interpolated rank rounded to a sample.
   const auto rank = static_cast<std::uint64_t>(

@@ -53,6 +53,10 @@ class LatencyHistogram {
 
   /// Nearest-rank percentile, linearly interpolated inside the winning
   /// bucket; p in [0, 100]. Monotone in p. Clamped to [Min(), Max()].
+  /// Degenerate registries get defined sentinels instead of UB: an empty
+  /// histogram returns 0.0 for every p, a 1-sample histogram returns that
+  /// sample exactly, and out-of-range p is clamped into [0, 100] (debug
+  /// builds additionally DCHECK).
   double Percentile(double p) const;
 
   void MergeFrom(const LatencyHistogram& other);

@@ -74,6 +74,36 @@ void WriteRunReportFieldsJson(JsonWriter& writer, const RunReport& report) {
   writer.KV("rematches", report.rematches);
   writer.KV("serial_rematches", report.serial_rematches);
   writer.EndObject();
+  // v4 timeseries block; omitted entirely when telemetry was disabled so
+  // pre-v4 consumers and minimal producers keep byte-stable output.
+  if (report.timeseries.window_seconds > 0.0) {
+    writer.Key("timeseries");
+    writer.BeginObject();
+    writer.KV("window_seconds", report.timeseries.window_seconds);
+    writer.Key("windows");
+    writer.BeginArray();
+    for (const WindowExport& w : report.timeseries.windows) {
+      writer.BeginObject();
+      writer.KV("start", w.start);
+      writer.KV("requests", w.requests);
+      writer.KV("served", w.served);
+      writer.KV("unserved", w.unserved);
+      writer.KV("shed", w.shed);
+      writer.KV("conflicts", w.conflicts);
+      writer.KV("rematches", w.rematches);
+      writer.KV("partial", w.partial);
+      writer.Key("ladder");
+      writer.BeginArray();
+      for (const std::uint64_t n : w.ladder) writer.UInt(n);
+      writer.EndArray();
+      writer.KV("commit_count", w.commit_latency_us.count());
+      writer.KV("commit_p50_us", w.commit_latency_us.Percentile(50));
+      writer.KV("commit_p99_us", w.commit_latency_us.Percentile(99));
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
   writer.Key("matchers");
   writer.BeginArray();
   for (const MatcherReport& m : report.matchers) {
@@ -127,6 +157,36 @@ bool ScanUInt(const std::string& json, const std::string& key,
   return true;
 }
 
+/// Like ScanUInt but only accepts a match strictly inside [from, until) —
+/// the bound that makes per-window scanning safe even though window fields
+/// reuse top-level key names ("requests", "served", ...).
+bool ScanUIntWithin(const std::string& json, const std::string& key,
+                    std::size_t from, std::size_t until,
+                    std::uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle, from);
+  if (pos == std::string::npos || pos >= until) return false;
+  char* end = nullptr;
+  const char* start = json.c_str() + pos + needle.size();
+  const unsigned long long value = std::strtoull(start, &end, 10);
+  if (end == start) return false;
+  *out = value;
+  return true;
+}
+
+bool ScanDoubleWithin(const std::string& json, const std::string& key,
+                      std::size_t from, std::size_t until, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle, from);
+  if (pos == std::string::npos || pos >= until) return false;
+  char* end = nullptr;
+  const char* start = json.c_str() + pos + needle.size();
+  const double value = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 StatusOr<ReportSummary> ParseReportSummary(const std::string& json) {
@@ -173,6 +233,65 @@ StatusOr<ReportSummary> ParseReportSummary(const std::string& json) {
     ScanUInt(json, "serial_rematches", &summary.serial_rematches, pipeline);
   }
   return summary;
+}
+
+StatusOr<TimeseriesSummary> ParseTimeseries(const std::string& json) {
+  TimeseriesSummary ts;
+  std::uint64_t version = 0;
+  if (!ScanUInt(json, "schema_version", &version)) {
+    return Status::InvalidArgument("report has no parsable schema_version");
+  }
+  if (version < 1 || version > static_cast<std::uint64_t>(
+                                   kReportSchemaVersion)) {
+    return Status::InvalidArgument(
+        "unsupported report schema_version " + std::to_string(version) +
+        " (reader supports 1.." + std::to_string(kReportSchemaVersion) +
+        ")");
+  }
+  const std::size_t block = json.find("\"timeseries\":");
+  if (block == std::string::npos) return ts;  // pre-v4 or disabled: empty.
+  // The block is emitted right before "matchers"; that key (or the end of
+  // the document, for hand-rolled fixtures) bounds every scan below.
+  std::size_t block_end = json.find("\"matchers\":", block);
+  if (block_end == std::string::npos) block_end = json.size();
+  if (!ScanDoubleWithin(json, "window_seconds", block, block_end,
+                        &ts.window_seconds)) {
+    return Status::InvalidArgument(
+        "timeseries block has no parsable window_seconds");
+  }
+  // Each window object starts with its "start" key; consecutive
+  // occurrences delimit the per-window scan regions.
+  std::size_t pos = json.find("\"start\":", block);
+  while (pos != std::string::npos && pos < block_end) {
+    std::size_t next = json.find("\"start\":", pos + 1);
+    const std::size_t end =
+        (next == std::string::npos || next > block_end) ? block_end : next;
+    WindowSummary w;
+    ScanDoubleWithin(json, "start", pos, end, &w.start);
+    ScanUIntWithin(json, "requests", pos, end, &w.requests);
+    ScanUIntWithin(json, "served", pos, end, &w.served);
+    ScanUIntWithin(json, "unserved", pos, end, &w.unserved);
+    ScanUIntWithin(json, "shed", pos, end, &w.shed);
+    ScanUIntWithin(json, "conflicts", pos, end, &w.conflicts);
+    ScanUIntWithin(json, "rematches", pos, end, &w.rematches);
+    ScanUIntWithin(json, "partial", pos, end, &w.partial);
+    const std::size_t ladder = json.find("\"ladder\":", pos);
+    if (ladder != std::string::npos && ladder < end) {
+      const char* cursor = std::strchr(json.c_str() + ladder, '[');
+      for (std::size_t i = 0; cursor != nullptr && i < w.ladder.size();
+           ++i) {
+        char* num_end = nullptr;
+        w.ladder[i] = std::strtoull(cursor + 1, &num_end, 10);
+        cursor = (num_end != nullptr && *num_end == ',') ? num_end : nullptr;
+      }
+    }
+    ScanUIntWithin(json, "commit_count", pos, end, &w.commit_count);
+    ScanDoubleWithin(json, "commit_p50_us", pos, end, &w.commit_p50_us);
+    ScanDoubleWithin(json, "commit_p99_us", pos, end, &w.commit_p99_us);
+    ts.windows.push_back(w);
+    pos = next;
+  }
+  return ts;
 }
 
 Status WriteRunReport(const RunReport& report, const std::string& path) {

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/windows.h"
 
 namespace ptar::obs {
 
@@ -32,7 +33,12 @@ namespace ptar::obs {
 ///   3 — adds the "pipeline" object (waves, conflicts, rematches,
 ///       serial_rematches) emitted by the request-parallel engine. Also
 ///       additive; missing (v1/v2, or a classic serial run) means all-zero.
-inline constexpr int kReportSchemaVersion = 3;
+///   4 — adds the "timeseries" object (window_seconds plus one flattened
+///       entry per sim-time window: request/served/shed/conflict counts,
+///       ladder occupancy, commit-latency count/p50/p99). Additive;
+///       missing (v1-v3, or a producer with telemetry disabled) parses as
+///       an empty timeseries.
+inline constexpr int kReportSchemaVersion = 4;
 
 /// Per-matcher slice of the report; field-for-field what Section VII's
 /// tables need (totals plus the sums means are derived from).
@@ -68,6 +74,10 @@ struct RunReport {
   std::uint64_t conflicts = 0;
   std::uint64_t rematches = 0;
   std::uint64_t serial_rematches = 0;
+  /// Timeseries block (schema v4): per-sim-time-window deltas from the
+  /// engine's WindowedTelemetry. window_seconds == 0 (telemetry disabled)
+  /// omits the block from the JSON.
+  TimeseriesExport timeseries;
   std::vector<MatcherReport> matchers;
   MetricsRegistry metrics;
 };
@@ -105,6 +115,33 @@ struct ReportSummary {
 /// version newer than kReportSchemaVersion. This is a targeted scanner for
 /// the report's own layout, not a general JSON parser.
 StatusOr<ReportSummary> ParseReportSummary(const std::string& json);
+
+/// One parsed window of the v4 "timeseries" block — mirrors what the
+/// writer flattens out of a WindowExport.
+struct WindowSummary {
+  double start = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t served = 0;
+  std::uint64_t unserved = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t rematches = 0;
+  std::uint64_t partial = 0;
+  std::array<std::uint64_t, 4> ladder{};
+  std::uint64_t commit_count = 0;
+  double commit_p50_us = 0.0;
+  double commit_p99_us = 0.0;
+};
+
+struct TimeseriesSummary {
+  double window_seconds = 0.0;  ///< 0 = block absent (pre-v4 or disabled).
+  std::vector<WindowSummary> windows;
+};
+
+/// Extracts the "timeseries" block from report JSON. A report without the
+/// block (v1-v3, or telemetry disabled) parses OK as an empty summary —
+/// same additive-evolution contract as ParseReportSummary's blocks.
+StatusOr<TimeseriesSummary> ParseTimeseries(const std::string& json);
 
 /// Serializes one histogram as an object ({count, sum, min, max, mean,
 /// p50, p95, p99, buckets: [[index, count], ...]}). Shared with the bench

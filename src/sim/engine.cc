@@ -53,7 +53,8 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
       ch_graph_(MaybeBuildCH(graph, options, &ch_preprocess_micros_)),
       match_oracle_(graph, ch_graph_.get()),
       maintenance_oracle_(graph, ch_graph_.get()),
-      overload_(options.overload) {
+      overload_(options.overload),
+      telemetry_(options.telemetry) {
   PTAR_CHECK(graph != nullptr && grid != nullptr);
   if (!options_.start_vertices.empty()) {
     options_.num_vehicles =
@@ -165,6 +166,22 @@ void Engine::ObserveOverload(double match_elapsed_micros,
     deadline_slack_us_->Add(
         std::max(0.0, overload_.DeadlineMicros() - match_elapsed_micros));
   }
+}
+
+obs::MetricsRegistry* Engine::TelemetryWindowFor(double t) {
+  if (!telemetry_.enabled()) return nullptr;
+  if (options_.overload.slo_p99_us > 0.0 && telemetry_.WouldOpenNew(t) &&
+      telemetry_.num_windows() > 0) {
+    const obs::WindowSlo slo = telemetry_.CurrentSlo();
+    const OverloadController::Observation obs = overload_.ObserveWindow(
+        slo.p99_commit_us, slo.shed_rate, slo.requests);
+    if (obs.bad) metrics_.AddCounter("degrade/slo_violations", 1);
+    if (obs.level_delta > 0) metrics_.AddCounter("degrade/slo_level_up", 1);
+    if (obs.level_delta < 0) {
+      metrics_.AddCounter("degrade/slo_level_down", 1);
+    }
+  }
+  return telemetry_.At(t);
 }
 
 void Engine::SetFaultHookFactory(
@@ -481,11 +498,28 @@ Engine::RequestOutcome Engine::ProcessRequest(
     // Shedding is (nearly) free, so it counts as a good signal: after
     // recover_after consecutive sheds the ladder steps back to matching.
     ObserveOverload(0.0, /*budget_exhausted=*/false);
+    if (obs::MetricsRegistry* w = TelemetryWindowFor(request.submit_time)) {
+      w->AddCounter(obs::kWindowRequests);
+      w->AddCounter(obs::kWindowShed);
+      w->AddCounter(obs::kWindowLadderLevels[static_cast<int>(level)]);
+    }
+    if (lifecycle_ != nullptr && lifecycle_->enabled()) {
+      obs::LifecycleEvent event;
+      event.request = request.id;
+      event.submit_time = request.submit_time;
+      event.level = DegradeLevelName(level);
+      event.disposition = "shed";
+      lifecycle_->Record(event);
+    }
     return outcome;
   }
 
   EnsureMatcherOracles(matchers.size());
   EnsureSlotBudgets(matchers.size());
+  // The epoch of the world state this request matches against (trees are
+  // refreshed; commits below bump it) — the lifecycle log's correlation
+  // key with registry snapshots.
+  const std::uint64_t snapshot_epoch = registry_.GlobalEpoch();
   // Per-slot span names carry the matcher name; interning is only paid
   // while tracing is enabled (the spans would drop the name otherwise).
   const bool tracing = obs::TraceRecorder::Global().enabled();
@@ -568,6 +602,47 @@ Engine::RequestOutcome Engine::ProcessRequest(
   }
   if (outcome.served && options_.audit_after_commit) {
     AuditAfterCommit(outcome.chosen.vehicle);
+  }
+
+  if (obs::MetricsRegistry* w = TelemetryWindowFor(request.submit_time)) {
+    w->AddCounter(obs::kWindowRequests);
+    w->AddCounter(outcome.served ? obs::kWindowServed
+                                 : obs::kWindowUnserved);
+    if (!outcome.results[0].complete) w->AddCounter(obs::kWindowPartial);
+    w->AddCounter(obs::kWindowLadderLevels[static_cast<int>(level)]);
+    w->Histogram(obs::kWindowCommitLatencyUs).Add(match_elapsed);
+  }
+  if (lifecycle_ != nullptr && lifecycle_->enabled() &&
+      lifecycle_->Sampled(request.id)) {
+    obs::LifecycleEvent event;
+    event.request = request.id;
+    event.submit_time = request.submit_time;
+    event.snapshot_epoch = snapshot_epoch;
+    event.level = DegradeLevelName(level);
+    event.matcher = level == DegradeLevel::kFull
+                        ? matchers[0]->name()
+                        : (level == DegradeLevel::kSsa
+                               ? fallback_ssa_.name()
+                               : fallback_grid_.name());
+    if (overload_.enabled()) {
+      event.budget_limit = slot_budgets_[0]->max_units();
+      event.budget_spent = slot_budgets_[0]->used();
+      event.budget_exhausted = slot0_exhausted;
+    }
+    event.partial = !outcome.results[0].complete;
+    event.options = outcome.results[0].options.size();
+    event.disposition = outcome.served ? "served" : "unserved";
+    if (outcome.served) {
+      event.vehicle = outcome.chosen.vehicle;
+      event.pickup_dist = outcome.chosen.pickup_dist;
+      event.price = outcome.chosen.price;
+    }
+    event.match_us = match_elapsed;
+    if (overload_.DeadlineMicros() > 0.0) {
+      event.deadline_slack_us =
+          std::max(0.0, overload_.DeadlineMicros() - match_elapsed);
+    }
+    lifecycle_->Record(event);
   }
   return outcome;
 }

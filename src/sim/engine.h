@@ -30,7 +30,9 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/distance_oracle.h"
+#include "obs/lifecycle.h"
 #include "obs/metrics.h"
+#include "obs/windows.h"
 #include "grid/grid_index.h"
 #include "grid/vehicle_registry.h"
 #include "kinetic/kinetic_tree.h"
@@ -99,6 +101,13 @@ struct EngineOptions {
   /// (sim/overload.h). Disabled by default (no budget, no deadline): the
   /// engine then hands matchers no budget at all and behavior is unchanged.
   OverloadOptions overload;
+  /// Windowed service-quality telemetry (obs/windows.h): per-sim-time-
+  /// window request/shed/conflict counts, ladder occupancy, and commit
+  /// latency, exported as the run report's "timeseries" block (schema v4)
+  /// and — when overload.slo_p99_us is set — fed back into the overload
+  /// ladder at window boundaries. On by default (60 s windows); set
+  /// window_seconds <= 0 to disable.
+  obs::TelemetryOptions telemetry;
   /// Audits the committed vehicle's kinetic tree (and, on findings, repairs
   /// it) after every commit — one exact distance per leg, so it is on by
   /// default only in debug builds. Findings/repairs surface as "audit/*"
@@ -256,6 +265,20 @@ class Engine {
   /// timing-suffixed ones may differ between equal-seed runs.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Windowed service-quality telemetry, accumulated across runs (engine
+  /// sim time never rewinds). Export() feeds the report's v4 "timeseries"
+  /// block.
+  const obs::WindowedTelemetry& telemetry() const { return telemetry_; }
+
+  /// Attaches (or, with nullptr, detaches) a per-request lifecycle
+  /// recorder; not owned, must outlive the runs it observes. Both engines
+  /// record events only from their serial sections (classic per-request
+  /// path; pipeline admission/commit passes), so the recorded stream is
+  /// identical at every threads / engine_threads value.
+  void SetLifecycleRecorder(obs::LifecycleRecorder* recorder) {
+    lifecycle_ = recorder;
+  }
+
   // --- Simulation. ---
 
   /// Advances the world to absolute time `time` (seconds).
@@ -339,6 +362,12 @@ class Engine {
   /// deadline signal (see OverloadController::Observe).
   void ObserveOverload(double match_elapsed_micros, bool budget_exhausted,
                        bool worker_deadline_hit = false);
+  /// Telemetry window for sim time `t` (null when telemetry is disabled).
+  /// When `t` opens a new window and an SLO is configured, the just-closed
+  /// window's p99 commit latency and shed rate first feed
+  /// OverloadController::ObserveWindow — always from a serial section, so
+  /// ladder moves stay ordered even though the signal is wall-clock.
+  obs::MetricsRegistry* TelemetryWindowFor(double t);
   /// Post-commit single-vehicle audit (EngineOptions::audit_after_commit);
   /// repairs on findings and bumps the audit/* counters.
   void AuditAfterCommit(VehicleId v);
@@ -407,6 +436,10 @@ class Engine {
   std::uint64_t served_ = 0;
 
   obs::MetricsRegistry metrics_;
+  /// Per-window service-quality deltas (EngineOptions::telemetry).
+  obs::WindowedTelemetry telemetry_;
+  /// Per-request lifecycle recorder; not owned, null when detached.
+  obs::LifecycleRecorder* lifecycle_ = nullptr;
   /// Cached phase-histogram slots (map values are address-stable), so the
   /// per-request path does one string lookup per phase at construction
   /// instead of per request.

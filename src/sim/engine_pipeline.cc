@@ -44,6 +44,14 @@ struct InFlight {
   double elapsed_micros = 0.0;  ///< Worker-measured match wall time.
   bool budget_exhausted = false;
   bool deadline_hit = false;  ///< Worker budget's latched wall deadline.
+  // --- Lifecycle attribution (deterministic; recorded at commit). ---
+  std::uint64_t wave = 0;            ///< 1-based admission wave.
+  std::uint64_t snapshot_epoch = 0;  ///< Epoch of the committing match.
+  std::uint64_t budget_limit = 0;
+  std::uint64_t budget_spent = 0;
+  std::uint64_t conflicts = 0;       ///< Times a lower id took the vehicle.
+  std::uint64_t rematch_rounds = 0;  ///< Snapshot re-matches run.
+  bool serial_tail = false;          ///< Exhausted the re-match bound.
 };
 
 /// Everything one matcher worker owns. Nothing here is shared between
@@ -147,7 +155,12 @@ RunStats Engine::RunPipelined(std::span<const Request> requests,
   // snapshot. Called concurrently, one invocation per (worker, request).
   const auto match_one = [&](InFlight& inf, WorkerCtx& wctx,
                              const RegistrySnapshot& snapshot) {
-    PTAR_TRACE_SPAN("pipeline_match");
+    // Request and wave ids ride on the span so a Perfetto track can be
+    // correlated with the lifecycle log's records.
+    obs::TraceSpan span("pipeline_match");
+    span.AddArg("request", static_cast<std::int64_t>(inf.request->id));
+    span.AddArg("wave", static_cast<std::int64_t>(inf.wave));
+    inf.snapshot_epoch = snapshot.global_epoch();
     MatchContext ctx;
     ctx.grid = grid_;
     ctx.registry = &registry_;
@@ -172,6 +185,68 @@ RunStats Engine::RunPipelined(std::span<const Request> requests,
     if (overload_.enabled()) {
       inf.budget_exhausted = wctx.budget.Exhausted();
       inf.deadline_hit = wctx.budget.deadline_hit();
+      // Captured per request: the worker reuses its budget object for its
+      // next slice, so the committing values must be latched here.
+      inf.budget_limit = wctx.budget.max_units();
+      inf.budget_spent = wctx.budget.used();
+    }
+  };
+
+  // Final-disposition observability, called only from the serial commit
+  // pass (and the serial tail) so record order — and therefore the
+  // lifecycle file — is identical at every engine_threads value.
+  // `latency_micros` is the admission-to-commit wall time of the wave
+  // timer, the pipeline's per-request commit latency.
+  const auto record_outcome = [&](const InFlight& inf, const Option* chosen,
+                                  double latency_micros) {
+    if (obs::MetricsRegistry* w =
+            TelemetryWindowFor(inf.request->submit_time)) {
+      w->AddCounter(obs::kWindowRequests);
+      w->AddCounter(chosen != nullptr ? obs::kWindowServed
+                                      : obs::kWindowUnserved);
+      if (!inf.result.complete) w->AddCounter(obs::kWindowPartial);
+      w->AddCounter(obs::kWindowLadderLevels[static_cast<int>(inf.level)]);
+      if (inf.conflicts > 0) {
+        w->AddCounter(obs::kWindowConflicts, inf.conflicts);
+      }
+      if (inf.rematch_rounds > 0) {
+        w->AddCounter(obs::kWindowRematches, inf.rematch_rounds);
+      }
+      w->Histogram(obs::kWindowCommitLatencyUs).Add(latency_micros);
+    }
+    if (lifecycle_ != nullptr && lifecycle_->enabled() &&
+        lifecycle_->Sampled(inf.request->id)) {
+      obs::LifecycleEvent event;
+      event.request = inf.request->id;
+      event.submit_time = inf.request->submit_time;
+      event.wave = inf.wave;
+      event.snapshot_epoch = inf.snapshot_epoch;
+      event.level = DegradeLevelName(inf.level);
+      event.matcher = inf.level == DegradeLevel::kFull
+                          ? agg.name
+                          : (inf.level == DegradeLevel::kSsa
+                                 ? worker_ctxs[0].ssa.name()
+                                 : worker_ctxs[0].grid_scan.name());
+      event.budget_limit = inf.budget_limit;
+      event.budget_spent = inf.budget_spent;
+      event.budget_exhausted = inf.budget_exhausted;
+      event.partial = !inf.result.complete;
+      event.options = inf.result.options.size();
+      event.conflicts = inf.conflicts;
+      event.rematch_rounds = inf.rematch_rounds;
+      event.serial_tail = inf.serial_tail;
+      event.disposition = chosen != nullptr ? "served" : "unserved";
+      if (chosen != nullptr) {
+        event.vehicle = chosen->vehicle;
+        event.pickup_dist = chosen->pickup_dist;
+        event.price = chosen->price;
+      }
+      event.match_us = inf.elapsed_micros;
+      if (overload_.DeadlineMicros() > 0.0) {
+        event.deadline_slack_us = std::max(
+            0.0, overload_.DeadlineMicros() - inf.elapsed_micros);
+      }
+      lifecycle_->Record(event);
     }
   };
 
@@ -183,11 +258,12 @@ RunStats Engine::RunPipelined(std::span<const Request> requests,
     // One wave per lock hold: outside threads (AuditFleet) observe the
     // world only at wave boundaries — the quiesced epoch.
     std::lock_guard<std::mutex> wave_guard(quiesce_mu_);
-    PTAR_TRACE_SPAN("pipeline_wave");
+    obs::TraceSpan wave_span("pipeline_wave");
     const std::span<const Request> wave =
         requests.subspan(next, std::min(wave_size, requests.size() - next));
     next += wave.size();
     ++stats.waves;
+    wave_span.AddArg("wave", static_cast<std::int64_t>(stats.waves));
     Timer wave_timer;
 
     // --- Admission (id order): shed or capture the ladder level. ---
@@ -211,11 +287,28 @@ RunStats Engine::RunPipelined(std::span<const Request> requests,
         // ladder can recover mid-admission and later requests of the same
         // wave then match again.
         ObserveOverload(0.0, /*budget_exhausted=*/false);
+        if (obs::MetricsRegistry* w =
+                TelemetryWindowFor(request.submit_time)) {
+          w->AddCounter(obs::kWindowRequests);
+          w->AddCounter(obs::kWindowShed);
+          w->AddCounter(
+              obs::kWindowLadderLevels[static_cast<int>(level)]);
+        }
+        if (lifecycle_ != nullptr && lifecycle_->enabled()) {
+          obs::LifecycleEvent event;
+          event.request = request.id;
+          event.submit_time = request.submit_time;
+          event.wave = stats.waves;
+          event.level = DegradeLevelName(level);
+          event.disposition = "shed";
+          lifecycle_->Record(event);
+        }
         continue;
       }
       InFlight inf;
       inf.request = &request;
       inf.level = level;
+      inf.wave = stats.waves;
       admitted.push_back(std::move(inf));
     }
     queue_depth->Add(static_cast<double>(admitted.size()));
@@ -290,6 +383,7 @@ RunStats Engine::RunPipelined(std::span<const Request> requests,
           ++stats.unserved;
           records.push_back({.request = inf.request->id});
           request_latency_us->Add(wave_timer.ElapsedMicros());
+          record_outcome(inf, nullptr, wave_timer.ElapsedMicros());
           continue;
         }
         if (touched.contains(chosen->vehicle)) {
@@ -298,6 +392,7 @@ RunStats Engine::RunPipelined(std::span<const Request> requests,
           // snapshot next round. The first loser of the next round faces
           // an empty touched set, so every round commits >= 1 request.
           ++stats.conflicts;
+          ++inf.conflicts;
           losers.push_back(std::move(inf));
           continue;
         }
@@ -310,6 +405,7 @@ RunStats Engine::RunPipelined(std::span<const Request> requests,
                            .pickup_dist = chosen->pickup_dist,
                            .price = chosen->price});
         request_latency_us->Add(wave_timer.ElapsedMicros());
+        record_outcome(inf, chosen, wave_timer.ElapsedMicros());
         if (options_.audit_after_commit) AuditAfterCommit(chosen->vehicle);
       }
       wave_commit_us->Add(commit_timer.ElapsedMicros());
@@ -320,6 +416,7 @@ RunStats Engine::RunPipelined(std::span<const Request> requests,
         // live state, which cannot conflict.
         for (InFlight& inf : losers) {
           ++stats.serial_rematches;
+          inf.serial_tail = true;
           match_one(inf, worker_ctxs[0], registry_.TakeSnapshot());
           const Option* chosen = ChooseOption(inf.result.options);
           if (chosen == nullptr) {
@@ -338,10 +435,12 @@ RunStats Engine::RunPipelined(std::span<const Request> requests,
             }
           }
           request_latency_us->Add(wave_timer.ElapsedMicros());
+          record_outcome(inf, chosen, wave_timer.ElapsedMicros());
         }
         break;
       }
       stats.rematches += losers.size();
+      for (InFlight& inf : losers) ++inf.rematch_rounds;
       pending = std::move(losers);
       ++round;
     }

@@ -22,10 +22,12 @@ const char* DegradeLevelName(DegradeLevel level) {
 
 OverloadController::OverloadController(const OverloadOptions& options)
     : options_(options),
-      enabled_(options.request_budget > 0 || options.deadline_ms > 0.0) {
+      enabled_(options.request_budget > 0 || options.deadline_ms > 0.0 ||
+               options.slo_p99_us > 0.0) {
   PTAR_CHECK(options.deadline_ms >= 0.0);
   PTAR_CHECK(options.degrade_after >= 1);
   PTAR_CHECK(options.recover_after >= 1);
+  PTAR_CHECK(options.slo_p99_us >= 0.0);
 }
 
 std::uint64_t OverloadController::LevelBudget() const {
@@ -36,6 +38,33 @@ std::uint64_t OverloadController::BudgetForLevel(DegradeLevel level) const {
   if (options_.request_budget == 0) return 0;
   const auto shift = static_cast<unsigned>(level);
   return std::max<std::uint64_t>(1, options_.request_budget >> shift);
+}
+
+OverloadController::Observation OverloadController::ObserveWindow(
+    double p99_commit_us, double shed_rate, std::uint64_t window_requests) {
+  Observation obs;
+  if (!enabled_ || options_.slo_p99_us <= 0.0 || window_requests == 0) {
+    return obs;
+  }
+  if (p99_commit_us > options_.slo_p99_us) {
+    obs.bad = true;
+    obs.deadline_missed = true;
+    if (level_ != DegradeLevel::kShed) {
+      level_ = static_cast<DegradeLevel>(static_cast<int>(level_) + 1);
+      obs.level_delta = 1;
+    }
+    bad_streak_ = 0;
+    good_streak_ = 0;
+  } else if (p99_commit_us < options_.slo_p99_us * 0.5 &&
+             shed_rate == 0.0) {
+    if (level_ != DegradeLevel::kFull) {
+      level_ = static_cast<DegradeLevel>(static_cast<int>(level_) - 1);
+      obs.level_delta = -1;
+    }
+    bad_streak_ = 0;
+    good_streak_ = 0;
+  }
+  return obs;
 }
 
 OverloadController::Observation OverloadController::Observe(

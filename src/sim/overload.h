@@ -54,6 +54,12 @@ struct OverloadOptions {
   int degrade_after = 2;
   /// Consecutive good requests before recovering one level.
   int recover_after = 8;
+  /// SLO target for windowed p99 commit latency (microseconds); 0 = off.
+  /// When set, ObserveWindow() becomes an additional early-degrade /
+  /// early-recover signal on top of the per-request streaks. Like
+  /// deadline_ms this is a wall-clock-driven, explicitly nondeterministic
+  /// overlay for production use.
+  double slo_p99_us = 0.0;
 };
 
 class OverloadController {
@@ -86,6 +92,18 @@ class OverloadController {
     /// +1 = degraded one level, -1 = recovered one level, 0 = no move.
     int level_delta = 0;
   };
+
+  /// Feeds one telemetry window's headline signals (p99 commit latency
+  /// and shed rate, from WindowedTelemetry::CurrentSlo) and moves the
+  /// ladder ahead of the per-request streaks. A window whose p99 violates
+  /// `slo_p99_us` degrades one level immediately — a whole window over
+  /// target is stronger evidence than any single bad request — and a
+  /// clearly healthy window (p99 under half the target, nothing shed)
+  /// recovers one level immediately. Both reset the request streaks so the
+  /// two mechanisms don't double-count the same episode. No-op when
+  /// `slo_p99_us` is 0 or the window saw no requests.
+  Observation ObserveWindow(double p99_commit_us, double shed_rate,
+                            std::uint64_t window_requests);
 
   /// Feeds one completed (or shed) request's signals and moves the ladder.
   ///

@@ -38,4 +38,13 @@ obs::RunReport BuildRunReport(const RunStats& stats,
   return report;
 }
 
+obs::RunReport BuildRunReport(const RunStats& stats,
+                              const obs::MetricsRegistry& metrics,
+                              const obs::TimeseriesExport& timeseries,
+                              const std::string& tool) {
+  obs::RunReport report = BuildRunReport(stats, metrics, tool);
+  report.timeseries = timeseries;
+  return report;
+}
+
 }  // namespace ptar

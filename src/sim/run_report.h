@@ -19,6 +19,14 @@ obs::RunReport BuildRunReport(const RunStats& stats,
                               const obs::MetricsRegistry& metrics,
                               const std::string& tool);
 
+/// Same, plus the engine's windowed telemetry export
+/// (engine.telemetry().Export()), which becomes the report's schema-v4
+/// "timeseries" block.
+obs::RunReport BuildRunReport(const RunStats& stats,
+                              const obs::MetricsRegistry& metrics,
+                              const obs::TimeseriesExport& timeseries,
+                              const std::string& tool);
+
 }  // namespace ptar
 
 #endif  // PTAR_SIM_RUN_REPORT_H_

@@ -220,5 +220,45 @@ TEST(MetricsRegistryTest, TimingMetricNamingConvention) {
   EXPECT_FALSE(MetricsRegistry::IsTimingMetric("versus"));  // not a suffix
 }
 
+// Regression: Percentile on a degenerate histogram used to be undefined
+// (empty read past the bucket array's intent; one sample interpolated
+// inside its bucket instead of returning the sample). Sentinels are now
+// part of the documented contract.
+TEST(LatencyHistogramTest, PercentileEmptyHistogramReturnsZeroSentinel) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentileSingleSampleReturnsThatSample) {
+  LatencyHistogram h;
+  h.Add(123.456);
+  // Exact, not bucket-interpolated: every percentile of one sample IS the
+  // sample.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 123.456);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 123.456);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 123.456);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 123.456);
+}
+
+TEST(LatencyHistogramTest, PercentileOutOfRangePIsClampedInRelease) {
+  LatencyHistogram h;
+  h.Add(10.0);
+  h.Add(20.0);
+#ifdef NDEBUG
+  // Release builds clamp instead of UB; debug builds DCHECK (covered by
+  // the death-test-free contract: we only exercise the clamp here).
+  EXPECT_DOUBLE_EQ(h.Percentile(-5.0), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(150.0), h.Percentile(100.0));
+#endif
+  // Monotone within range, clamped to the extrema.
+  EXPECT_LE(h.Percentile(0.0), h.Percentile(50.0));
+  EXPECT_LE(h.Percentile(50.0), h.Percentile(100.0));
+  EXPECT_GE(h.Percentile(0.0), h.Min());
+  EXPECT_LE(h.Percentile(100.0), h.Max());
+}
+
 }  // namespace
 }  // namespace ptar::obs

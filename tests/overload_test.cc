@@ -190,6 +190,86 @@ TEST(OverloadControllerTest, LevelNames) {
   EXPECT_STREQ(DegradeLevelName(DegradeLevel::kShed), "shed");
 }
 
+TEST(OverloadControllerTest, SloAloneEnablesTheController) {
+  OverloadOptions options;
+  options.slo_p99_us = 5000.0;
+  OverloadController controller(options);
+  EXPECT_TRUE(controller.enabled());
+  EXPECT_EQ(controller.LevelBudget(), 0u);  // Still no work budget.
+}
+
+TEST(OverloadControllerTest, ObserveWindowDegradesOnViolation) {
+  OverloadOptions options;
+  options.slo_p99_us = 1000.0;
+  OverloadController controller(options);
+
+  // A violating window degrades immediately — no streak needed.
+  const auto violated = controller.ObserveWindow(
+      /*p99_commit_us=*/1500.0, /*shed_rate=*/0.0, /*window_requests=*/20);
+  EXPECT_TRUE(violated.bad);
+  EXPECT_TRUE(violated.deadline_missed);
+  EXPECT_EQ(violated.level_delta, 1);
+  EXPECT_EQ(controller.level(), DegradeLevel::kSsa);
+
+  // A merely-OK window (between slo/2 and slo) holds the level.
+  const auto held = controller.ObserveWindow(800.0, 0.0, 20);
+  EXPECT_EQ(held.level_delta, 0);
+  EXPECT_EQ(controller.level(), DegradeLevel::kSsa);
+
+  // A clearly healthy window (p99 < slo/2, nothing shed) recovers
+  // immediately.
+  const auto healthy = controller.ObserveWindow(300.0, 0.0, 20);
+  EXPECT_EQ(healthy.level_delta, -1);
+  EXPECT_EQ(controller.level(), DegradeLevel::kFull);
+
+  // Healthy latency but shed traffic does not recover.
+  controller.ObserveWindow(1500.0, 0.0, 20);
+  ASSERT_EQ(controller.level(), DegradeLevel::kSsa);
+  const auto still_shedding = controller.ObserveWindow(300.0, 0.1, 20);
+  EXPECT_EQ(still_shedding.level_delta, 0);
+  EXPECT_EQ(controller.level(), DegradeLevel::kSsa);
+}
+
+TEST(OverloadControllerTest, ObserveWindowSaturatesAndIgnoresEmptyWindows) {
+  OverloadOptions options;
+  options.slo_p99_us = 1000.0;
+  OverloadController controller(options);
+
+  for (int i = 0; i < 6; ++i) controller.ObserveWindow(5000.0, 0.5, 10);
+  EXPECT_EQ(controller.level(), DegradeLevel::kShed);  // Saturated.
+
+  // Empty windows (a quiet stream) carry no signal either way.
+  const auto empty = controller.ObserveWindow(0.0, 0.0, 0);
+  EXPECT_EQ(empty.level_delta, 0);
+  EXPECT_EQ(controller.level(), DegradeLevel::kShed);
+
+  // With slo_p99_us unset the window path is inert even when enabled via
+  // a work budget.
+  OverloadOptions budget_only;
+  budget_only.request_budget = 100;
+  OverloadController inert(budget_only);
+  const auto noop = inert.ObserveWindow(1e9, 1.0, 100);
+  EXPECT_EQ(noop.level_delta, 0);
+  EXPECT_EQ(inert.level(), DegradeLevel::kFull);
+}
+
+TEST(OverloadControllerTest, ObserveWindowResetsRequestStreaks) {
+  OverloadOptions options;
+  options.request_budget = 100;
+  options.slo_p99_us = 1000.0;
+  options.degrade_after = 2;
+  OverloadController controller(options);
+
+  // One bad request, then a violating window: the window takes the level
+  // and resets the per-request streak, so the next bad request starts a
+  // fresh streak instead of compounding into a double degrade.
+  controller.Observe(0.0, true);
+  controller.ObserveWindow(2000.0, 0.0, 10);
+  ASSERT_EQ(controller.level(), DegradeLevel::kSsa);
+  controller.Observe(0.0, true);
+  EXPECT_EQ(controller.level(), DegradeLevel::kSsa) << "streak leaked";
+}
+
 // --- Engine-level determinism and degradation. ---
 
 struct ReplayResult {

@@ -1,0 +1,169 @@
+// Schema-evolution contract for run reports: fixture documents for every
+// historical version (v1-v4) must keep parsing, with missing blocks
+// reading as zero/empty, and documents from the future must be rejected
+// with a friendly error naming the version — never misparsed.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/report.h"
+
+namespace ptar::obs {
+namespace {
+
+// A v1 report as the original writer emitted it: headline counts,
+// matchers, metrics — no robustness / pipeline / timeseries blocks.
+constexpr const char* kV1Fixture = R"({
+  "schema_version": 1,
+  "git_describe": "v1-fixture",
+  "tool": "ptar_cli simulate",
+  "served": 10,
+  "unserved": 2,
+  "shared": 4,
+  "matchers": [],
+  "metrics": {"counters": {}, "histograms": {}}
+})";
+
+// v2 added the "robustness" object.
+constexpr const char* kV2Fixture = R"({
+  "schema_version": 2,
+  "git_describe": "v2-fixture",
+  "tool": "ptar_cli simulate",
+  "served": 20,
+  "unserved": 5,
+  "shared": 8,
+  "robustness": {
+    "shed_requests": 3,
+    "partial_skylines": 2,
+    "ladder_requests": [15, 5, 2, 3]
+  },
+  "matchers": [],
+  "metrics": {"counters": {}, "histograms": {}}
+})";
+
+// v3 added the "pipeline" object.
+constexpr const char* kV3Fixture = R"({
+  "schema_version": 3,
+  "git_describe": "v3-fixture",
+  "tool": "ptar_cli simulate",
+  "served": 30,
+  "unserved": 1,
+  "shared": 12,
+  "robustness": {
+    "shed_requests": 0,
+    "partial_skylines": 0,
+    "ladder_requests": [31, 0, 0, 0]
+  },
+  "pipeline": {
+    "waves": 7,
+    "conflicts": 5,
+    "rematches": 4,
+    "serial_rematches": 1
+  },
+  "matchers": [],
+  "metrics": {"counters": {}, "histograms": {}}
+})";
+
+TEST(ReportCompatTest, V1FixtureParsesWithLaterBlocksZero) {
+  const auto summary = ParseReportSummary(kV1Fixture);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->schema_version, 1);
+  EXPECT_EQ(summary->served, 10u);
+  EXPECT_EQ(summary->unserved, 2u);
+  EXPECT_EQ(summary->shared, 4u);
+  EXPECT_EQ(summary->shed_requests, 0u);
+  EXPECT_EQ(summary->partial_skylines, 0u);
+  EXPECT_EQ(summary->waves, 0u);
+  EXPECT_EQ(summary->conflicts, 0u);
+
+  const auto timeseries = ParseTimeseries(kV1Fixture);
+  ASSERT_TRUE(timeseries.ok()) << timeseries.status();
+  EXPECT_TRUE(timeseries->windows.empty());
+}
+
+TEST(ReportCompatTest, V2FixtureParsesRobustnessBlock) {
+  const auto summary = ParseReportSummary(kV2Fixture);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->schema_version, 2);
+  EXPECT_EQ(summary->shed_requests, 3u);
+  EXPECT_EQ(summary->partial_skylines, 2u);
+  EXPECT_EQ(summary->ladder_requests[0], 15u);
+  EXPECT_EQ(summary->ladder_requests[3], 3u);
+  EXPECT_EQ(summary->waves, 0u);
+
+  const auto timeseries = ParseTimeseries(kV2Fixture);
+  ASSERT_TRUE(timeseries.ok()) << timeseries.status();
+  EXPECT_TRUE(timeseries->windows.empty());
+}
+
+TEST(ReportCompatTest, V3FixtureParsesPipelineBlock) {
+  const auto summary = ParseReportSummary(kV3Fixture);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->schema_version, 3);
+  EXPECT_EQ(summary->waves, 7u);
+  EXPECT_EQ(summary->conflicts, 5u);
+  EXPECT_EQ(summary->rematches, 4u);
+  EXPECT_EQ(summary->serial_rematches, 1u);
+
+  const auto timeseries = ParseTimeseries(kV3Fixture);
+  ASSERT_TRUE(timeseries.ok()) << timeseries.status();
+  EXPECT_TRUE(timeseries->windows.empty());
+}
+
+TEST(ReportCompatTest, CurrentWriterRoundTripsAsV4) {
+  RunReport report;
+  report.tool = "compat_test";
+  report.served = 40;
+  report.shed_requests = 2;
+  report.waves = 3;
+  report.timeseries.window_seconds = 60.0;
+  WindowExport w;
+  w.start = 0.0;
+  w.requests = 42;
+  report.timeseries.windows.push_back(w);
+
+  const std::string json = RunReportToJson(report);
+  const auto summary = ParseReportSummary(json);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->schema_version, kReportSchemaVersion);
+  EXPECT_EQ(summary->schema_version, 4);
+  EXPECT_EQ(summary->served, 40u);
+  EXPECT_EQ(summary->shed_requests, 2u);
+  EXPECT_EQ(summary->waves, 3u);
+
+  const auto timeseries = ParseTimeseries(json);
+  ASSERT_TRUE(timeseries.ok()) << timeseries.status();
+  ASSERT_EQ(timeseries->windows.size(), 1u);
+  EXPECT_EQ(timeseries->windows[0].requests, 42u);
+}
+
+TEST(ReportCompatTest, FutureVersionRejectedWithFriendlyError) {
+  std::string json = kV3Fixture;
+  const std::size_t pos = json.find("\"schema_version\": 3");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 19, "\"schema_version\": 99");
+
+  for (const auto& status :
+       {ParseReportSummary(json).status(), ParseTimeseries(json).status()}) {
+    ASSERT_FALSE(status.ok());
+    const std::string message = status.ToString();
+    // The rejection must name the offending version and the supported
+    // range — a consumer reading the error should know what to upgrade.
+    EXPECT_NE(message.find("unsupported report schema_version 99"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("1..4"), std::string::npos) << message;
+  }
+}
+
+TEST(ReportCompatTest, GarbledVersionRejected) {
+  const auto summary = ParseReportSummary("{\"schema_version\": \"x\"}");
+  ASSERT_FALSE(summary.ok());
+  EXPECT_NE(summary.status().ToString().find("schema_version"),
+            std::string::npos);
+  const auto timeseries = ParseTimeseries("{}");
+  ASSERT_FALSE(timeseries.ok());
+}
+
+}  // namespace
+}  // namespace ptar::obs

@@ -75,6 +75,8 @@ int Help() {
       "      [--request_budget=N] [--deadline_ms=MS] [--inject=SPEC]\n"
       "      [--engine_threads=N] [--wave_size=N] [--serial_check]\n"
       "      [--trace_out=FILE] [--report_out=FILE]\n"
+      "      [--lifecycle_out=FILE] [--lifecycle_sample=F]\n"
+      "      [--slo_p99_us=US] [--telemetry_window=SEC]\n"
       "  match --network=FILE --from=V --to=V [--riders=N] [--wait-min=MIN]\n"
       "      [--epsilon=E] [--vehicles=N] [--cell-size=M] [--seed=N]\n"
       "      [--distance_backend=dijkstra|ch]\n"
@@ -220,6 +222,10 @@ int Simulate(const FlagParser& flags) {
   const bool adaptive = flags.Has("adaptive");
   const std::string trace_out = flags.GetString("trace_out", "");
   const std::string report_out = flags.GetString("report_out", "");
+  const std::string lifecycle_out = flags.GetString("lifecycle_out", "");
+  const auto lifecycle_sample = flags.GetDouble("lifecycle_sample", 1.0);
+  const auto slo_p99_us = flags.GetDouble("slo_p99_us", 0.0);
+  const auto telemetry_window = flags.GetDouble("telemetry_window", 60.0);
   const auto policy = ParsePolicy(flags.GetString("policy", "price"));
   const auto backend =
       ParseDistanceBackend(flags.GetString("distance_backend", "dijkstra"));
@@ -237,7 +243,8 @@ int Simulate(const FlagParser& flags) {
         threads.status(), policy.status(), backend.status(),
         request_budget.status(), deadline_ms.status(),
         engine_threads.status(), wave_size.status(),
-        serial_check.status()}) {
+        serial_check.status(), lifecycle_sample.status(),
+        slo_p99_us.status(), telemetry_window.status()}) {
     if (!st.ok()) return Fail(st);
   }
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
@@ -253,6 +260,10 @@ int Simulate(const FlagParser& flags) {
   if (*deadline_ms < 0.0) return FailUsage("--deadline_ms must be >= 0");
   if (*engine_threads < 1) return FailUsage("--engine_threads must be >= 1");
   if (*wave_size < 0) return FailUsage("--wave_size must be >= 0");
+  if (*lifecycle_sample < 0.0 || *lifecycle_sample > 1.0) {
+    return FailUsage("--lifecycle_sample must be in [0, 1]");
+  }
+  if (*slo_p99_us < 0.0) return FailUsage("--slo_p99_us must be >= 0");
   if (pipelined && *shadow) {
     return FailUsage(
         "--shadow is incompatible with the request-parallel pipeline "
@@ -283,7 +294,18 @@ int Simulate(const FlagParser& flags) {
   eopts.distance_backend = *backend;
   eopts.overload.request_budget = static_cast<std::uint64_t>(*request_budget);
   eopts.overload.deadline_ms = *deadline_ms;
+  eopts.overload.slo_p99_us = *slo_p99_us;
+  eopts.telemetry.window_seconds = *telemetry_window;
   Engine engine(&*graph, &*grid, eopts);
+  // Timing fields in the lifecycle log are opt-in via the one mode that is
+  // already documented as nondeterministic (a wall-clock deadline); the
+  // default log is byte-identical across thread counts.
+  obs::LifecycleRecorder lifecycle(
+      obs::LifecycleOptions{.path = lifecycle_out,
+                            .sample_rate = *lifecycle_sample,
+                            .seed = static_cast<std::uint64_t>(*seed),
+                            .include_timing = *deadline_ms > 0.0});
+  if (lifecycle.enabled()) engine.SetLifecycleRecorder(&lifecycle);
   if (fault_plan.active()) {
     // Same plan for every matcher slot; the factory is invoked once per
     // oracle so each hook keeps its own stall counter.
@@ -430,12 +452,20 @@ int Simulate(const FlagParser& flags) {
   }
   if (!report_out.empty()) {
     const obs::RunReport report =
-        BuildRunReport(stats, engine.metrics(), "ptar_cli simulate");
+        BuildRunReport(stats, engine.metrics(), engine.telemetry().Export(),
+                       "ptar_cli simulate");
     if (const Status st = obs::WriteRunReport(report, report_out); !st.ok()) {
       return Fail(st);
     }
     std::printf("wrote report: %s (schema v%d)\n", report_out.c_str(),
                 obs::kReportSchemaVersion);
+  }
+  if (lifecycle.enabled()) {
+    if (const Status st = lifecycle.Flush(); !st.ok()) return Fail(st);
+    std::printf("wrote lifecycle log: %s (%llu events, schema v%d)\n",
+                lifecycle.path().c_str(),
+                static_cast<unsigned long long>(lifecycle.events_recorded()),
+                obs::kLifecycleSchemaVersion);
   }
   return 0;
 }

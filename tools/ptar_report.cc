@@ -1,0 +1,141 @@
+// ptar_report — renders a run report's windowed telemetry as a table.
+//
+// Reads a schema v1-v4 report JSON (ptar_cli --report_out, bench harness
+// rows) and prints the headline summary plus, when the v4 "timeseries"
+// block is present, one row per sim-time window: request rate, shed and
+// conflict rates, commit-latency p50/p99, and degradation-ladder
+// occupancy. With --slo_p99_us=US, windows whose p99 exceeds the target
+// are flagged and counted — the offline view of the engine's SLO monitor.
+//
+//   ptar_report --report=FILE [--slo_p99_us=US]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "obs/report.h"
+
+namespace ptar::cli {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int FailUsage(const std::string& message) {
+  std::fprintf(stderr,
+               "error: %s\nusage: ptar_report --report=FILE "
+               "[--slo_p99_us=US]\n",
+               message.c_str());
+  return 2;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open report file: " + path);
+  }
+  std::string content;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("error reading report file: " + path);
+  return content;
+}
+
+int Main(int argc, char** argv) {
+  auto parsed = FlagParser::Parse(argc, argv);
+  if (!parsed.ok()) return FailUsage(parsed.status().message());
+  const FlagParser& flags = parsed.value();
+  const std::string path = flags.GetString("report", "");
+  const auto slo_p99_us = flags.GetDouble("slo_p99_us", 0.0);
+  if (!slo_p99_us.ok()) return Fail(slo_p99_us.status());
+  if (path.empty()) return FailUsage("ptar_report requires --report=FILE");
+  if (*slo_p99_us < 0.0) return FailUsage("--slo_p99_us must be >= 0");
+  const std::vector<std::string> unused = flags.UnusedFlags();
+  if (!unused.empty()) {
+    std::string joined;
+    for (const std::string& name : unused) joined += " --" + name;
+    return FailUsage("unknown flag(s):" + joined);
+  }
+
+  const auto json = ReadFile(path);
+  if (!json.ok()) return Fail(json.status());
+  const auto summary = obs::ParseReportSummary(*json);
+  if (!summary.ok()) return Fail(summary.status());
+  const auto timeseries = obs::ParseTimeseries(*json);
+  if (!timeseries.ok()) return Fail(timeseries.status());
+
+  std::printf("report %s (schema v%d)\n", path.c_str(),
+              summary->schema_version);
+  std::printf("served %llu, unserved %llu, shared %llu, shed %llu, "
+              "partial %llu\n",
+              static_cast<unsigned long long>(summary->served),
+              static_cast<unsigned long long>(summary->unserved),
+              static_cast<unsigned long long>(summary->shared),
+              static_cast<unsigned long long>(summary->shed_requests),
+              static_cast<unsigned long long>(summary->partial_skylines));
+  if (summary->waves > 0) {
+    std::printf("pipeline: %llu waves, %llu conflicts, %llu rematches "
+                "(%llu serial)\n",
+                static_cast<unsigned long long>(summary->waves),
+                static_cast<unsigned long long>(summary->conflicts),
+                static_cast<unsigned long long>(summary->rematches),
+                static_cast<unsigned long long>(summary->serial_rematches));
+  }
+
+  if (timeseries->windows.empty()) {
+    std::printf("no timeseries block (pre-v4 report or telemetry "
+                "disabled)\n");
+    return 0;
+  }
+  std::printf("\ntimeseries: %zu windows of %.0f s\n",
+              timeseries->windows.size(), timeseries->window_seconds);
+  std::printf("%10s %8s %8s %7s %7s %7s %10s %10s  %-17s %s\n", "start(s)",
+              "requests", "req/s", "shed%", "confl", "rematch", "p50(us)",
+              "p99(us)", "ladder f/s/g/x", "slo");
+  std::size_t violations = 0;
+  for (const obs::WindowSummary& w : timeseries->windows) {
+    const double reqs_per_sec =
+        timeseries->window_seconds > 0.0
+            ? static_cast<double>(w.requests) / timeseries->window_seconds
+            : 0.0;
+    const double shed_pct =
+        w.requests > 0
+            ? 100.0 * static_cast<double>(w.shed) / w.requests
+            : 0.0;
+    const bool violated =
+        *slo_p99_us > 0.0 && w.commit_p99_us > *slo_p99_us;
+    if (violated) ++violations;
+    char ladder[32];
+    std::snprintf(ladder, sizeof(ladder), "%llu/%llu/%llu/%llu",
+                  static_cast<unsigned long long>(w.ladder[0]),
+                  static_cast<unsigned long long>(w.ladder[1]),
+                  static_cast<unsigned long long>(w.ladder[2]),
+                  static_cast<unsigned long long>(w.ladder[3]));
+    std::printf("%10.0f %8llu %8.2f %7.2f %7llu %7llu %10.1f %10.1f  "
+                "%-17s %s\n",
+                w.start, static_cast<unsigned long long>(w.requests),
+                reqs_per_sec, shed_pct,
+                static_cast<unsigned long long>(w.conflicts),
+                static_cast<unsigned long long>(w.rematches),
+                w.commit_p50_us, w.commit_p99_us, ladder,
+                violated ? "VIOLATED" : (*slo_p99_us > 0.0 ? "ok" : "-"));
+  }
+  if (*slo_p99_us > 0.0) {
+    std::printf("\nslo: %zu of %zu windows violated p99 <= %.0f us\n",
+                violations, timeseries->windows.size(), *slo_p99_us);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ptar::cli
+
+int main(int argc, char** argv) { return ptar::cli::Main(argc, argv); }
