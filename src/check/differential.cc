@@ -62,6 +62,9 @@ std::string Divergence::Describe() const {
         << lemma_hits[l];
     any_lemma = true;
   }
+  if (ellipse_pruned > 0) {
+    out << " prune-hits: ellipse=" << ellipse_pruned;
+  }
   return out.str();
 }
 
@@ -264,6 +267,7 @@ StatusOr<DifferentialOutcome> RunDifferential(
         d.request_index = r;
         d.request = request.id;
         d.lemma_hits = mr.stats.lemma_hits;
+        d.ellipse_pruned = mr.stats.ellipse_pruned;
         outcome.divergences.push_back(std::move(d));
         diverged = true;
       }

@@ -44,6 +44,10 @@ struct Divergence {
   /// could have removed the lost option (the attribution the harness
   /// reports for missing-option divergences).
   LemmaCounters lemma_hits;
+  /// The matcher's GeoPrune rejection count for this request. Non-zero on
+  /// a missing-option divergence attributes the loss to the ellipse
+  /// prefilter stage (e.g. a ShrinkEllipse fault), parallel to lemma_hits.
+  std::uint64_t ellipse_pruned = 0;
 
   std::string Describe() const;
 };

@@ -1,0 +1,68 @@
+// Detour-ellipse geometry for the GeoPrune candidate prefilter.
+//
+// A request with source s, destination d, and a total detour allowance B
+// admits a vehicle waypoint p only if dist(s,p) + dist(p,d) <= B. Replacing
+// the network distances with a lower bound that is proportional to the
+// Euclidean distance turns that necessary condition into containment in an
+// ellipse with foci at s and d and focal-sum bound B (in scaled Euclidean
+// space). This header holds the pure geometry; the calibration that makes
+// Euclidean distances a *sound* lower bound on network distances lives in
+// ellipse_prefilter.h (see DESIGN.md §13).
+
+#ifndef PTAR_PRUNE_ELLIPSE_H_
+#define PTAR_PRUNE_ELLIPSE_H_
+
+#include <cmath>
+
+#include "graph/types.h"
+
+namespace ptar::prune {
+
+/// Absolute slack used by containment checks so boundary points (focal sum
+/// exactly equal to the bound) are always inside, matching the strict
+/// comparisons of the lemma predicates (rideshare/lemmas.h).
+inline constexpr double kContainmentTolerance = 1e-6;
+
+/// The locus of points p with |p-f1| + |p-f2| <= sum_bound. Degenerate
+/// shapes are meaningful: coincident foci give a disc of radius
+/// sum_bound / 2, sum_bound == |f1-f2| gives the focal segment, and
+/// sum_bound < |f1-f2| is the empty set.
+struct Ellipse {
+  Coord f1;
+  Coord f2;
+  double sum_bound = 0.0;
+};
+
+inline double EuclideanDistance(const Coord& a, const Coord& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// |p-f1| + |p-f2|: the quantity the containment predicate bounds.
+inline double FocalSum(const Ellipse& e, const Coord& p) {
+  return EuclideanDistance(p, e.f1) + EuclideanDistance(p, e.f2);
+}
+
+/// Distance between the foci — the minimum possible focal sum, so the
+/// ellipse is empty iff sum_bound < FocalDistance (beyond tolerance).
+inline double FocalDistance(const Ellipse& e) {
+  return EuclideanDistance(e.f1, e.f2);
+}
+
+inline bool IsEmpty(const Ellipse& e,
+                    double tolerance = kContainmentTolerance) {
+  return e.sum_bound + tolerance < FocalDistance(e);
+}
+
+/// Containment with tolerance. The early return is a fast reject — the
+/// focal sum is at least the distance to either focus alone — and must
+/// agree with the brute-force sum (prune_test fuzzes this equivalence).
+inline bool Contains(const Ellipse& e, const Coord& p,
+                     double tolerance = kContainmentTolerance) {
+  const double d1 = EuclideanDistance(p, e.f1);
+  if (d1 > e.sum_bound + tolerance) return false;
+  return d1 + EuclideanDistance(p, e.f2) <= e.sum_bound + tolerance;
+}
+
+}  // namespace ptar::prune
+
+#endif  // PTAR_PRUNE_ELLIPSE_H_

@@ -19,7 +19,13 @@ MatchResult BaselineMatcher::Match(const Request& request, MatchContext& ctx) {
 
   SkylineSet skyline;
   MatchStats stats;
-  const InsertionHooks no_hooks;  // BA never prunes
+  // BA never prunes on grid bounds; under --prune=ellipse it still applies
+  // the GeoPrune hooks (plus the verify-time empty-vehicle check inside
+  // VerifyEmptyVehicle), which is what makes a pruned full scan cheap.
+  const InsertionHooks hooks =
+      ctx.prune != nullptr
+          ? internal::MakeEllipseHooks(env, *ctx.prune, skyline, &stats)
+          : InsertionHooks{};
 
   // BA verifies the whole fleet, so the whole fleet is one candidate batch.
   // Only empty vehicles the group can board go into the counted batch:
@@ -46,16 +52,49 @@ MatchResult BaselineMatcher::Match(const Request& request, MatchContext& ctx) {
   bool complete = true;
   {
     PTAR_TRACE_SPAN("verify");
-    for (KineticTree& tree : *ctx.fleet) {
-      if (internal::BudgetExhausted(ctx)) {
-        complete = false;
-        break;
+    if (ctx.prune != nullptr) {
+      // GeoPrune path: boardable empties first, tightest lower bound
+      // leading, so the verify-time dominance check sees a seeded skyline
+      // for the rest of the fleet. Ordering never changes the final
+      // skyline — each verification is pure per vehicle and pruning
+      // removes only dominated candidates.
+      internal::OrderEmptiesForVerification(env, ctx, &batch_empty);
+      for (const VehicleId v : batch_empty) {
+        if (internal::BudgetExhausted(ctx)) {
+          complete = false;
+          break;
+        }
+        internal::VerifyEmptyVehicle((*ctx.fleet)[v], env, ctx, skyline,
+                                     stats);
       }
-      if (tree.IsEmpty()) {
-        internal::VerifyEmptyVehicle(tree, env, ctx, skyline, stats);
-      } else {
-        internal::VerifyNonEmptyVehicle(tree, env, ctx, no_hooks, skyline,
-                                        stats);
+      for (KineticTree& tree : *ctx.fleet) {
+        if (!complete || internal::BudgetExhausted(ctx)) {
+          complete = false;
+          break;
+        }
+        if (tree.IsEmpty()) {
+          // Boardable empties were verified above; the non-boardable rest
+          // still pass through VerifyEmptyVehicle so verified accounting
+          // matches the unpruned scan.
+          if (tree.capacity() >= request.riders) continue;
+          internal::VerifyEmptyVehicle(tree, env, ctx, skyline, stats);
+        } else {
+          internal::VerifyNonEmptyVehicle(tree, env, ctx, hooks, skyline,
+                                          stats);
+        }
+      }
+    } else {
+      for (KineticTree& tree : *ctx.fleet) {
+        if (internal::BudgetExhausted(ctx)) {
+          complete = false;
+          break;
+        }
+        if (tree.IsEmpty()) {
+          internal::VerifyEmptyVehicle(tree, env, ctx, skyline, stats);
+        } else {
+          internal::VerifyNonEmptyVehicle(tree, env, ctx, hooks, skyline,
+                                          stats);
+        }
       }
     }
   }

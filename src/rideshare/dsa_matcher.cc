@@ -30,7 +30,7 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
   std::vector<char> d_candidate(fleet_size, 0);
   std::vector<char> verified(fleet_size, 0);
   const InsertionHooks hooks =
-      internal::MakeLemmaHooks(env, *ctx.grid, skyline, &stats.lemma_hits);
+      internal::MakeContextHooks(env, ctx, skyline, &stats);
 
   const std::span<const CellId> cells_s =
       ctx.grid->CellsByDistance(ctx.grid->CellOfVertex(request.start));
@@ -71,6 +71,9 @@ MatchResult DsaMatcher::Match(const Request& request, MatchContext& ctx) {
       cell_span.AddArg("candidates",
                        static_cast<std::int64_t>(empty_candidates.size() +
                                                  s_new.size()));
+      // Under GeoPrune, verify the tightest-bound empty first so its option
+      // seeds the skyline for the dominance check (no-op otherwise).
+      internal::OrderEmptiesForVerification(env, ctx, &empty_candidates);
       // Counted batch for the empty candidates' pickup distances.
       internal::PrefetchBatchDistances(env, ctx, empty_candidates, {});
       PTAR_TRACE_SPAN("verify");

@@ -45,10 +45,15 @@ MatchResult GridScanMatcher::Match(const Request& request, MatchContext& ctx) {
     obs::TraceSpan cell_span("grid_scan_cell");
     cell_span.AddArg("cell", cell);
     batch.clear();
-    for (const VehicleId v : list) {
-      if ((*ctx.fleet)[v].capacity() >= request.riders) batch.push_back(v);
-    }
+    // Shared enumeration with Algorithm 2 (no dedup needed: an empty
+    // vehicle registers in exactly one cell), so the ladder fallback and
+    // the GeoPrune prefilter agree on the base candidate set by
+    // construction.
+    internal::AppendBoardableEmpties(cell, env, ctx, {}, &batch);
     cell_span.AddArg("candidates", static_cast<std::int64_t>(batch.size()));
+    // Under GeoPrune, verify the tightest-bound empty first so its option
+    // seeds the skyline for the dominance check (no-op otherwise).
+    internal::OrderEmptiesForVerification(env, ctx, &batch);
     // Same counted batch + verification as the full matchers, so option
     // values are bit-identical to what BA/SSA/DSA emit for these vehicles.
     internal::PrefetchBatchDistances(env, ctx, batch, {});

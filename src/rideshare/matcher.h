@@ -20,6 +20,10 @@
 
 namespace ptar {
 
+namespace prune {
+class EllipsePrefilter;
+}  // namespace prune
+
 /// How often each pruning lemma fired, indexed by the paper's lemma number
 /// (1-11; slot 0 is unused). The aggregate pruned_cells / pruned_vehicles
 /// counters cannot say *which* bound removed a candidate; these can, which
@@ -54,6 +58,8 @@ struct MatchStats {
   std::uint64_t scanned_cells = 0;    ///< Grid cells visited.
   std::uint64_t pruned_cells = 0;     ///< Cells skipped by Lemmas 2/4/6/8/10.
   std::uint64_t pruned_vehicles = 0;  ///< Vehicles skipped by Lemmas 1/3/5.
+  std::uint64_t ellipse_checked = 0;  ///< Candidates tested by GeoPrune.
+  std::uint64_t ellipse_pruned = 0;   ///< Candidates rejected by GeoPrune.
   LemmaCounters lemma_hits;           ///< Per-lemma attribution of the above.
   double elapsed_micros = 0.0;
 
@@ -63,6 +69,8 @@ struct MatchStats {
     scanned_cells += other.scanned_cells;
     pruned_cells += other.pruned_cells;
     pruned_vehicles += other.pruned_vehicles;
+    ellipse_checked += other.ellipse_checked;
+    ellipse_pruned += other.ellipse_pruned;
     lemma_hits.Accumulate(other.lemma_hits);
     elapsed_micros += other.elapsed_micros;
   }
@@ -100,6 +108,12 @@ struct MatchContext {
   /// pointer stays non-null either way (tree verification repairs still
   /// target live fleet state).
   const RegistrySnapshot* snapshot = nullptr;
+  /// Optional GeoPrune prefilter (src/prune). When set, matchers interleave
+  /// calibrated-Euclidean ellipse checks with the grid lower bounds: the
+  /// same lemma predicates evaluated on a second, per-pair-tight lower
+  /// bound. Lossless by construction — the differential harness's
+  /// --prune_check mode asserts pruned and unpruned skylines are identical.
+  const prune::EllipsePrefilter* prune = nullptr;
 };
 
 /// Registry reads routed through the snapshot when one is installed.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "obs/trace.h"
+#include "prune/ellipse_prefilter.h"
 #include "rideshare/lemmas.h"
 
 namespace ptar::internal {
@@ -118,10 +120,129 @@ InsertionHooks MakeLemmaHooks(const RequestEnv& env, const GridIndex& grid,
   return hooks;
 }
 
+InsertionHooks MakeEllipseHooks(const RequestEnv& env,
+                                const prune::EllipsePrefilter& prefilter,
+                                const SkylineSet& skyline, MatchStats* stats) {
+  InsertionHooks hooks;
+  if (!env.pruning.insertion_hooks) return hooks;
+  const Request* request = env.request;
+  const Distance direct = env.direct;
+  const double fn = env.fn;
+  const prune::EllipsePrefilter* filter = &prefilter;
+
+  hooks.prune_s = [request, direct, fn, filter, &skyline,
+                   stats](const SPositionContext& c) {
+    const VertexId s = request->start;
+    ++stats->ellipse_checked;
+    const Distance l_ox = filter->LowerBound(s, c.ox);
+    const Distance l_oy = c.tail ? 0.0 : filter->LowerBound(s, c.oy);
+    // Lemma 5 analog: s outside the feasibility ellipse with foci o_x, o_y
+    // and focal-sum bound leg_dist + detour_slack.
+    if (lemmas::StartEdgeInfeasible(c.free_seats, request->riders,
+                                    c.detour_slack, l_ox, l_oy, c.leg_dist,
+                                    c.tail)) {
+      ++stats->ellipse_pruned;
+      return true;
+    }
+    if (!skyline.empty() &&
+        lemmas::StartEdgePruned(l_ox, l_oy, c.leg_dist, c.tail, c.dist_tr_ox,
+                                skyline.options(), fn, direct)) {
+      ++stats->ellipse_pruned;
+      return true;  // Lemma 3 analog
+    }
+    return false;
+  };
+
+  hooks.prune_d = [request, direct, fn, filter, &skyline,
+                   stats](const DPositionContext& c) {
+    const VertexId d = request->destination;
+    ++stats->ellipse_checked;
+    const Distance l_ox = filter->LowerBound(d, c.ox);
+    const Distance l_oy = c.tail ? 0.0 : filter->LowerBound(d, c.oy);
+    // Lemma 7 analog (capacity is enforced exactly by the enumerator).
+    if (lemmas::DestEdgeInfeasible(std::numeric_limits<int>::max(),
+                                   request->riders, c.detour_slack, l_ox,
+                                   l_oy, c.leg_dist, c.tail)) {
+      ++stats->ellipse_pruned;
+      return true;
+    }
+    if (!skyline.empty()) {
+      // Same-gap guard as in MakeLemmaHooks: the Lemma 9 model of d's
+      // predecessor as o_x only holds when d targets a later gap than s.
+      if (!c.same_gap &&
+          lemmas::DestEdgePruned(c.dist_tr_ox, l_ox, l_oy, c.leg_dist,
+                                 c.tail, request->epsilon, direct,
+                                 skyline.options(), fn)) {
+        ++stats->ellipse_pruned;
+        return true;
+      }
+      const Distance detour_lb = lemmas::DetourLowerBound(
+          c.same_gap, c.tail, c.dist_ox_s, c.delta_s, l_ox, l_oy, c.leg_dist,
+          direct);
+      if (lemmas::AfterStartPruned(c.pickup_dist, detour_lb,
+                                   skyline.options(), fn, direct)) {
+        ++stats->ellipse_pruned;
+        return true;  // Lemma 11 analog
+      }
+    }
+    return false;
+  };
+
+  return hooks;
+}
+
+InsertionHooks CombineHooks(InsertionHooks first, InsertionHooks second) {
+  InsertionHooks out;
+  if (!first.prune_s) {
+    out.prune_s = std::move(second.prune_s);
+  } else if (!second.prune_s) {
+    out.prune_s = std::move(first.prune_s);
+  } else {
+    out.prune_s = [a = std::move(first.prune_s), b = std::move(second.prune_s)](
+                      const SPositionContext& c) { return a(c) || b(c); };
+  }
+  if (!first.prune_d) {
+    out.prune_d = std::move(second.prune_d);
+  } else if (!second.prune_d) {
+    out.prune_d = std::move(first.prune_d);
+  } else {
+    out.prune_d = [a = std::move(first.prune_d), b = std::move(second.prune_d)](
+                      const DPositionContext& c) { return a(c) || b(c); };
+  }
+  return out;
+}
+
+InsertionHooks MakeContextHooks(const RequestEnv& env, MatchContext& ctx,
+                                const SkylineSet& skyline, MatchStats* stats) {
+  InsertionHooks hooks =
+      MakeLemmaHooks(env, *ctx.grid, skyline, &stats->lemma_hits);
+  if (ctx.prune != nullptr) {
+    hooks = CombineHooks(std::move(hooks),
+                         MakeEllipseHooks(env, *ctx.prune, skyline, stats));
+  }
+  return hooks;
+}
+
 void VerifyEmptyVehicle(KineticTree& tree, const RequestEnv& env,
                         MatchContext& ctx, SkylineSet& skyline,
                         MatchStats& stats) {
   BudgetScope budget(ctx, /*base_units=*/1);
+  // GeoPrune: the Lemma 1 dominance bound on the calibrated-Euclidean
+  // distance, evaluated at verification time when the skyline is already
+  // populated (collection-time checks see an empty skyline for the cells
+  // scanned first, which hold exactly the near vehicles worth pruning).
+  // Skipping the exact pickup distance is safe because the bound never
+  // exceeds it (DESIGN.md §13).
+  if (ctx.prune != nullptr && env.pruning.edge_level && !skyline.empty()) {
+    ++stats.ellipse_checked;
+    if (lemmas::EmptyVehiclePruned(
+            ctx.prune->LowerBound(tree.location(), env.request->start),
+            skyline.options(), env.fn, env.direct)) {
+      ++stats.ellipse_pruned;
+      ++stats.pruned_vehicles;
+      return;
+    }
+  }
   ++stats.verified_vehicles;
   if (tree.capacity() < env.request->riders) return;  // group cannot board
   const Distance pickup = ctx.oracle->Dist(tree.location(),
@@ -158,6 +279,46 @@ void VerifyNonEmptyVehicle(KineticTree& tree, const RequestEnv& env,
   }
 }
 
+std::size_t AppendBoardableEmpties(CellId cell, const RequestEnv& env,
+                                   const MatchContext& ctx,
+                                   std::span<const char> emitted,
+                                   std::vector<VehicleId>* out) {
+  std::size_t capacity_skipped = 0;
+  for (const VehicleId v : CtxEmptyVehicles(ctx, cell)) {
+    if (!emitted.empty() && emitted[v]) continue;
+    // Capacity constraint (Definition 2): skip vehicles the group cannot
+    // board at all.
+    if ((*ctx.fleet)[v].capacity() < env.request->riders) {
+      ++capacity_skipped;
+      continue;
+    }
+    out->push_back(v);
+  }
+  return capacity_skipped;
+}
+
+void OrderEmptiesForVerification(const RequestEnv& env,
+                                 const MatchContext& ctx,
+                                 std::vector<VehicleId>* candidates) {
+  if (ctx.prune == nullptr || candidates->size() < 2) return;
+  const VertexId s = env.request->start;
+  // Key once per candidate (hypot is not free at 10k vehicles), then a
+  // stable sort so equal bounds keep their enumeration order — ordering
+  // stays deterministic across platforms.
+  thread_local std::vector<std::pair<double, VehicleId>> keyed;
+  keyed.clear();
+  keyed.reserve(candidates->size());
+  for (const VehicleId v : *candidates) {
+    keyed.emplace_back(ctx.prune->LowerBound((*ctx.fleet)[v].location(), s),
+                       v);
+  }
+  std::stable_sort(
+      keyed.begin(), keyed.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  candidates->clear();
+  for (const auto& [bound, v] : keyed) candidates->push_back(v);
+}
+
 void CollectEmptyCandidates(CellId cell, const RequestEnv& env,
                             MatchContext& ctx, const SkylineSet& skyline,
                             std::vector<char>& emitted, MatchStats& stats,
@@ -173,15 +334,12 @@ void CollectEmptyCandidates(CellId cell, const RequestEnv& env,
     ++stats.lemma_hits[2];
     return;
   }
-  for (const VehicleId v : list) {
-    if (emitted[v]) continue;
+  thread_local std::vector<VehicleId> boardable;
+  boardable.clear();
+  stats.pruned_vehicles +=
+      AppendBoardableEmpties(cell, env, ctx, emitted, &boardable);
+  for (const VehicleId v : boardable) {
     const KineticTree& tree = (*ctx.fleet)[v];
-    // Capacity constraint (Definition 2): skip vehicles the group cannot
-    // board at all.
-    if (tree.capacity() < env.request->riders) {
-      ++stats.pruned_vehicles;
-      continue;
-    }
     // Lemma 1, per vehicle.
     if (env.pruning.edge_level && !skyline.empty() &&
         lemmas::EmptyVehiclePruned(ctx.grid->LowerBound(tree.location(), s),
@@ -189,6 +347,18 @@ void CollectEmptyCandidates(CellId cell, const RequestEnv& env,
       ++stats.pruned_vehicles;
       ++stats.lemma_hits[1];
       continue;
+    }
+    // GeoPrune: Lemma 1 again on the calibrated-Euclidean bound, which is
+    // per-pair tight where the grid bound collapses to zero (same cell).
+    if (ctx.prune != nullptr && env.pruning.edge_level && !skyline.empty()) {
+      ++stats.ellipse_checked;
+      if (lemmas::EmptyVehiclePruned(
+              ctx.prune->LowerBound(tree.location(), s), skyline.options(),
+              env.fn, env.direct)) {
+        ++stats.ellipse_pruned;
+        ++stats.pruned_vehicles;
+        continue;
+      }
     }
     emitted[v] = 1;
     out->push_back(v);
@@ -243,6 +413,30 @@ void CollectStartCandidates(CellId cell, const RequestEnv& env,
       ++stats.lemma_hits[3];
       continue;
     }
+    // GeoPrune: Lemmas 5 and 3 on the calibrated-Euclidean bounds — the
+    // feasibility clause is containment of s in the detour ellipse with
+    // foci o_x, o_y.
+    if (ctx.prune != nullptr && env.pruning.edge_level) {
+      ++stats.ellipse_checked;
+      const Distance e_ox = ctx.prune->LowerBound(s, entry.ox);
+      const Distance e_oy =
+          entry.tail ? 0.0 : ctx.prune->LowerBound(s, entry.oy);
+      if (lemmas::StartEdgeInfeasible(entry.capacity, riders, entry.detour,
+                                      e_ox, e_oy, entry.leg_dist,
+                                      entry.tail)) {
+        ++stats.ellipse_pruned;
+        ++stats.pruned_vehicles;
+        continue;
+      }
+      if (!skyline.empty() &&
+          lemmas::StartEdgePruned(e_ox, e_oy, entry.leg_dist, entry.tail,
+                                  entry.dist_tr, skyline.options(), env.fn,
+                                  env.direct)) {
+        ++stats.ellipse_pruned;
+        ++stats.pruned_vehicles;
+        continue;
+      }
+    }
     emitted[entry.vehicle] = 1;
     out->push_back(entry.vehicle);
   }
@@ -296,6 +490,28 @@ void CollectDestCandidates(CellId cell, const RequestEnv& env,
       ++stats.pruned_vehicles;
       ++stats.lemma_hits[9];
       continue;
+    }
+    // GeoPrune: Lemmas 7 and 9 on the calibrated-Euclidean bounds.
+    if (ctx.prune != nullptr && env.pruning.edge_level) {
+      ++stats.ellipse_checked;
+      const Distance e_ox = ctx.prune->LowerBound(d, entry.ox);
+      const Distance e_oy =
+          entry.tail ? 0.0 : ctx.prune->LowerBound(d, entry.oy);
+      if (lemmas::DestEdgeInfeasible(entry.capacity, riders, entry.detour,
+                                     e_ox, e_oy, entry.leg_dist,
+                                     entry.tail)) {
+        ++stats.ellipse_pruned;
+        ++stats.pruned_vehicles;
+        continue;
+      }
+      if (!skyline.empty() &&
+          lemmas::DestEdgePruned(entry.dist_tr, e_ox, e_oy, entry.leg_dist,
+                                 entry.tail, epsilon, env.direct,
+                                 skyline.options(), env.fn)) {
+        ++stats.ellipse_pruned;
+        ++stats.pruned_vehicles;
+        continue;
+      }
     }
     emitted[entry.vehicle] = 1;
     out->push_back(entry.vehicle);

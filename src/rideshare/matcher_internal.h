@@ -44,6 +44,26 @@ InsertionHooks MakeLemmaHooks(const RequestEnv& env, const GridIndex& grid,
                               const SkylineSet& skyline,
                               LemmaCounters* counters);
 
+/// GeoPrune insertion hooks: the same s-side (Lemmas 3/5) and d-side
+/// (Lemmas 7/9/11 + Def. 7) predicates evaluated on the prefilter's
+/// calibrated-Euclidean lower bounds instead of the grid bounds — including
+/// the same-gap guard on the Lemma 9 analog. Rejections are counted into
+/// stats->ellipse_checked / ellipse_pruned (not lemma_hits, which stays
+/// grid-bound attribution). Used standalone by BA-style matchers under
+/// --prune=ellipse and composed with the grid hooks elsewhere.
+InsertionHooks MakeEllipseHooks(const RequestEnv& env,
+                                const prune::EllipsePrefilter& prefilter,
+                                const SkylineSet& skyline, MatchStats* stats);
+
+/// Chains two hook sets: `first` is consulted before `second`, short-
+/// circuiting on the first rejection. Null members pass through.
+InsertionHooks CombineHooks(InsertionHooks first, InsertionHooks second);
+
+/// The insertion hooks a grid matcher should use for this context: the
+/// lemma hooks, chained with the GeoPrune hooks when ctx.prune is set.
+InsertionHooks MakeContextHooks(const RequestEnv& env, MatchContext& ctx,
+                                const SkylineSet& skyline, MatchStats* stats);
+
 /// Verifies one empty vehicle: computes its single option exactly and
 /// inserts it (Algorithm 4, lines 1-2).
 void VerifyEmptyVehicle(KineticTree& tree, const RequestEnv& env,
@@ -55,6 +75,32 @@ void VerifyEmptyVehicle(KineticTree& tree, const RequestEnv& env,
 void VerifyNonEmptyVehicle(KineticTree& tree, const RequestEnv& env,
                            MatchContext& ctx, const InsertionHooks& hooks,
                            SkylineSet& skyline, MatchStats& stats);
+
+/// The single candidate-enumeration step shared by CollectEmptyCandidates
+/// and GridScanMatcher: appends the cell's empty vehicles that can board
+/// the group (capacity filter only, no skyline pruning), skipping vehicles
+/// marked in `emitted` (pass an empty span for no dedup). Returns the
+/// number skipped for capacity, which Algorithm 2 counts as pruned and the
+/// grid-scan ladder does not. Sharing this enumeration pins ladder
+/// fallbacks and pruned matchers to the same base candidate set
+/// (prune_test holds the regression).
+std::size_t AppendBoardableEmpties(CellId cell, const RequestEnv& env,
+                                   const MatchContext& ctx,
+                                   std::span<const char> emitted,
+                                   std::vector<VehicleId>* out);
+
+/// When the GeoPrune prefilter is active, stably reorders an empty-vehicle
+/// candidate batch by ascending prefilter pickup lower bound. Verifying the
+/// tightest-bound candidate first seeds the skyline with the strongest
+/// empty-vehicle option, which lets the verify-time GeoPrune dominance
+/// check inside VerifyEmptyVehicle reject most of the remaining batch.
+/// Ordering never changes the final skyline: each verification computes the
+/// same option regardless of position, and pruning removes only dominated
+/// candidates. No-op without a prefilter, so unpruned runs keep their
+/// original verification order.
+void OrderEmptiesForVerification(const RequestEnv& env,
+                                 const MatchContext& ctx,
+                                 std::vector<VehicleId>* candidates);
 
 /// Algorithm 2 (find_empty_vehicle): appends the cell's empty vehicles that
 /// survive Lemmas 1 and 2. `emitted[v]` marks vehicles already produced and

@@ -22,7 +22,7 @@ MatchResult SsaMatcher::Match(const Request& request, MatchContext& ctx) {
   MatchStats stats;
   std::vector<char> emitted(ctx.fleet->size(), 0);
   const InsertionHooks hooks =
-      internal::MakeLemmaHooks(env, *ctx.grid, skyline, &stats.lemma_hits);
+      internal::MakeContextHooks(env, ctx, skyline, &stats);
 
   const CellId start_cell = ctx.grid->CellOfVertex(request.start);
   const std::span<const CellId> cells =
@@ -56,6 +56,9 @@ MatchResult SsaMatcher::Match(const Request& request, MatchContext& ctx) {
     cell_span.AddArg("candidates",
                      static_cast<std::int64_t>(empty_candidates.size() +
                                                nonempty_candidates.size()));
+    // Under GeoPrune, verify the tightest-bound empty first so its option
+    // seeds the skyline for the dominance check (no-op otherwise).
+    internal::OrderEmptiesForVerification(env, ctx, &empty_candidates);
     // One batched sweep per cell batch instead of per-pair searches.
     internal::PrefetchBatchDistances(env, ctx, empty_candidates,
                                      nonempty_candidates);

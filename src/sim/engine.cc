@@ -43,6 +43,18 @@ std::unique_ptr<CHGraph> Engine::MaybeBuildCH(const RoadNetwork* graph,
   return ch;
 }
 
+bool ParsePruneMode(const std::string& text, PruneMode* out) {
+  if (text.empty() || text == "none") {
+    *out = PruneMode::kNone;
+    return true;
+  }
+  if (text == "ellipse") {
+    *out = PruneMode::kEllipse;
+    return true;
+  }
+  return false;
+}
+
 Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
                const EngineOptions& options)
     : graph_(graph),
@@ -72,6 +84,15 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
   if (ch_graph_ != nullptr) {
     metrics_.AddCounter("ch/shortcuts", ch_graph_->num_shortcuts());
     metrics_.Histogram("ch/preprocess_us").Add(ch_preprocess_micros_);
+  }
+  if (options_.prune == PruneMode::kEllipse) {
+    prune_filter_ = std::make_unique<prune::EllipsePrefilter>(
+        prune::EllipsePrefilter::Build(*graph));
+    // The calibrated factor, scaled for counter precision: alpha == 1 maps
+    // to 1e6. Zero means the graph had no usable edge (filter inert).
+    metrics_.AddCounter(
+        "prune/alpha_ppm",
+        static_cast<std::uint64_t>(prune_filter_->alpha() * 1e6));
   }
   phase_advance_us_ = &metrics_.Histogram("engine/advance_us");
   phase_refresh_us_ = &metrics_.Histogram("engine/refresh_us");
@@ -113,6 +134,7 @@ MatchContext Engine::MakeMatchContext() {
   ctx.fleet = &fleet_;
   ctx.oracle = &match_oracle_;
   ctx.price_model = PriceModel{};
+  ctx.prune = prune_filter_.get();
   return ctx;
 }
 
@@ -713,6 +735,22 @@ RunStats Engine::Run(std::span<const Request> requests,
       }
       agg.recall_sum +=
           exact.empty() ? 1.0 : static_cast<double>(covered) / exact.size();
+    }
+    // GeoPrune observability (slot 0, the committing path — including
+    // ladder fallbacks, which also run with the prefilter installed). The
+    // counters land in the run report's metrics block; the histogram gives
+    // the per-request pruned-vs-(pruned+verified) share in percent.
+    if (prune_filter_ != nullptr && outcome.evaluated[0]) {
+      const MatchStats& st = outcome.results[0].stats;
+      metrics_.AddCounter("prune/ellipse_checked", st.ellipse_checked);
+      metrics_.AddCounter("prune/ellipse_pruned", st.ellipse_pruned);
+      metrics_.AddCounter("prune/verified_vehicles", st.verified_vehicles);
+      const std::uint64_t denom = st.ellipse_pruned + st.verified_vehicles;
+      if (denom > 0) {
+        metrics_.Histogram("prune/pruned_share_pct")
+            .Add(100.0 * static_cast<double>(st.ellipse_pruned) /
+                 static_cast<double>(denom));
+      }
     }
     if (outcome.served) {
       ++stats.served;

@@ -37,6 +37,7 @@
 #include "grid/vehicle_registry.h"
 #include "kinetic/kinetic_tree.h"
 #include "kinetic/tree_auditor.h"
+#include "prune/ellipse_prefilter.h"
 #include "rideshare/grid_scan_matcher.h"
 #include "rideshare/matcher.h"
 #include "rideshare/ssa_matcher.h"
@@ -52,6 +53,17 @@ enum class ChoicePolicy {
   kBalanced,   ///< Minimal normalized price + pickup sum.
   kRandom,     ///< Uniform over the skyline (seeded).
 };
+
+/// Candidate-prefilter stage in front of the matchers (EngineOptions::
+/// prune, CLI --prune=MODE).
+enum class PruneMode {
+  kNone,     ///< Grid lower bounds only (the paper's configuration).
+  kEllipse,  ///< GeoPrune detour-ellipse prefilter (DESIGN.md §13).
+};
+
+/// Parses "none" / "ellipse" (case-sensitive, like the backend parser).
+/// Returns false on anything else.
+bool ParsePruneMode(const std::string& text, PruneMode* out);
 
 struct EngineOptions {
   int num_vehicles = 500;
@@ -118,6 +130,13 @@ struct EngineOptions {
 #else
       false;
 #endif
+  /// GeoPrune candidate prefilter (src/prune). kEllipse builds one
+  /// EllipsePrefilter at engine construction and installs it on every
+  /// MatchContext, so all matchers (including ladder fallbacks) interleave
+  /// calibrated-Euclidean ellipse checks with the grid lower bounds.
+  /// Lossless: committed assignments and skylines are identical to kNone
+  /// (the differential harness's --prune_check mode enforces this).
+  PruneMode prune = PruneMode::kNone;
 };
 
 /// Aggregated per-matcher measurements across a run.
@@ -421,6 +440,9 @@ class Engine {
   /// fraction; GRID verifies empty vehicles only).
   SsaMatcher fallback_ssa_;
   GridScanMatcher fallback_grid_;
+  /// GeoPrune prefilter, built once at construction when options_.prune is
+  /// kEllipse and installed on every MatchContext (null otherwise).
+  std::unique_ptr<prune::EllipsePrefilter> prune_filter_;
   /// Workers for shadow-matcher evaluation; null when options.threads == 1.
   std::unique_ptr<ThreadPool> pool_;
   /// Workers for the request-parallel pipeline; created lazily on the

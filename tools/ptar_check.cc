@@ -15,7 +15,9 @@
 //
 // All randomness is seed-driven; identical invocations are bit-identical.
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,7 +29,11 @@
 #include "check/shrinker.h"
 #include "common/flags.h"
 #include "obs/report.h"
+#include "prune/ellipse_prefilter.h"
 #include "rideshare/baseline_matcher.h"
+#include "rideshare/dsa_matcher.h"
+#include "rideshare/ellipse_matcher.h"
+#include "rideshare/ssa_matcher.h"
 
 namespace ptar::check {
 namespace {
@@ -58,6 +64,8 @@ int Help() {
       "usage: ptar_check [--seeds=N] [--first_seed=N] [--shrink]\n"
       "                  [--repro_out=FILE] [--replay=FILE] [--selftest]\n"
       "                  [--broken_lemma=1|3|11] [--report_out=FILE]\n"
+      "                  [--prune_check] [--corpus_dir=DIR]\n"
+      "                  [--shrink_ellipse=F]\n"
       "                  [--distance_backend=dijkstra|ch]\n"
       "                  [--request_budget=N] [--inject=SPEC] [--verbose]\n"
       "                  [--help]\n\n"
@@ -71,6 +79,19 @@ int Help() {
       "  --broken_lemma=N  which lemma the selftest sabotages (default 3)\n"
       "  --report_out=FILE versioned JSON run report (schema v2, "
       "\"differential\" counters)\n"
+      "  --prune_check     prune-soundness mode: run BA/SSA/DSA with and\n"
+      "                    without the GeoPrune ellipse prefilter (plus the\n"
+      "                    standalone ELLIPSE matcher) against the\n"
+      "                    reference; any skyline difference between pruned\n"
+      "                    and unpruned twins fails the sweep\n"
+      "  --corpus_dir=DIR  with --prune_check: first replay every .replay\n"
+      "                    file in DIR (the saved regression corpus) under\n"
+      "                    the pruned matcher set, then fuzz --seeds\n"
+      "  --shrink_ellipse=F  with --prune_check: ShrinkEllipse fault\n"
+      "                    selftest — under-size every ellipse by factor F\n"
+      "                    in (0, 1) and demand the harness catch the\n"
+      "                    resulting missing options and attribute them to\n"
+      "                    the prune stage (default 1 = sound, no fault)\n"
       "  --distance_backend=NAME  oracle backend for every engine in the\n"
       "                    run: dijkstra (default) or ch\n"
       "  --request_budget=N  deterministic work-unit budget per tested\n"
@@ -139,6 +160,13 @@ int WriteReport(const HarnessStats& stats, const std::string& path) {
           "differential/" + m.name + "/lemma" + std::to_string(l) + "_hits",
           m.totals.lemma_hits[l]);
     }
+    if (m.totals.ellipse_checked > 0) {
+      report.metrics.AddCounter(
+          "differential/" + m.name + "/ellipse_checked",
+          m.totals.ellipse_checked);
+      report.metrics.AddCounter("differential/" + m.name + "/ellipse_pruned",
+                                m.totals.ellipse_pruned);
+    }
   }
   const Status status = obs::WriteRunReport(report, path);
   if (!status.ok()) return Fail(status);
@@ -183,10 +211,11 @@ int ShrinkAndSave(const ScenarioSpec& spec, const std::string& repro_out,
 int RunOneReplay(const std::string& path, bool shrink,
                  const std::string& repro_out,
                  const std::string& report_out,
-                 const DifferentialConfig& config) {
+                 const DifferentialConfig& config,
+                 const MatcherFactory& factory = nullptr) {
   auto spec = LoadReplayFromFile(path);
   if (!spec.ok()) return Fail(spec.status());
-  auto outcome = RunDifferential(spec.value(), config);
+  auto outcome = RunDifferential(spec.value(), config, factory);
   if (!outcome.ok()) return Fail(outcome.status());
 
   HarnessStats stats;
@@ -200,7 +229,7 @@ int RunOneReplay(const std::string& path, bool shrink,
     PrintDivergences(outcome.value(), 10);
     if (shrink) {
       if (const int rc =
-              ShrinkAndSave(spec.value(), repro_out, nullptr, config);
+              ShrinkAndSave(spec.value(), repro_out, factory, config);
           rc != 0) {
         return rc;
       }
@@ -214,11 +243,12 @@ int RunOneReplay(const std::string& path, bool shrink,
 
 int Fuzz(std::uint64_t first_seed, std::uint64_t seeds, bool shrink,
          const std::string& repro_out, const std::string& report_out,
-         bool verbose, const DifferentialConfig& config) {
+         bool verbose, const DifferentialConfig& config,
+         const MatcherFactory& factory = nullptr) {
   HarnessStats stats;
   for (std::uint64_t seed = first_seed; seed < first_seed + seeds; ++seed) {
     const ScenarioSpec spec = MakeRandomSpec(seed);
-    auto outcome = RunDifferential(spec, config);
+    auto outcome = RunDifferential(spec, config, factory);
     if (!outcome.ok()) return Fail(outcome.status());
     stats.Fold(outcome.value());
     if (!outcome.value().ok()) {
@@ -228,7 +258,7 @@ int Fuzz(std::uint64_t first_seed, std::uint64_t seeds, bool shrink,
       PrintDivergences(outcome.value(), 10);
       WriteReport(stats, report_out);
       if (shrink) {
-        if (const int rc = ShrinkAndSave(spec, repro_out, nullptr, config);
+        if (const int rc = ShrinkAndSave(spec, repro_out, factory, config);
             rc != 0) {
           return rc;
         }
@@ -322,6 +352,131 @@ int SelfTest(int broken_lemma, std::uint64_t seeds,
   return 1;
 }
 
+/// BA/SSA/DSA with and without the GeoPrune prefilter, plus the standalone
+/// ELLIPSE matcher. The unpruned trio already pins the exact answer against
+/// the reference, so any divergence on a "+EL" twin (or ELLIPSE) is a
+/// prefilter soundness bug, not a matcher bug.
+MatcherFactory MakePruneFactory(double shrink_factor) {
+  return [shrink_factor] {
+    prune::EllipsePrefilter::Options popts;
+    popts.shrink_factor = shrink_factor;
+    std::vector<std::unique_ptr<Matcher>> matchers;
+    matchers.push_back(std::make_unique<BaselineMatcher>());
+    matchers.push_back(std::make_unique<SsaMatcher>(1.0));
+    matchers.push_back(std::make_unique<DsaMatcher>(1.0));
+    matchers.push_back(std::make_unique<PrunedMatcher>(
+        std::make_unique<BaselineMatcher>(), popts));
+    matchers.push_back(std::make_unique<PrunedMatcher>(
+        std::make_unique<SsaMatcher>(1.0), popts));
+    matchers.push_back(std::make_unique<PrunedMatcher>(
+        std::make_unique<DsaMatcher>(1.0), popts));
+    matchers.push_back(std::make_unique<EllipseMatcher>(popts));
+    return matchers;
+  };
+}
+
+/// Prune-soundness sweep: every saved regression repro first (each one is a
+/// scenario that once exposed a pruning bug, so the prefilter must stay
+/// divergence-free on it), then fresh fuzz seeds — all under the pruned
+/// matcher set.
+int PruneCheck(std::uint64_t first_seed, std::uint64_t seeds,
+               const std::string& corpus_dir, bool shrink,
+               const std::string& repro_out, const std::string& report_out,
+               bool verbose, const DifferentialConfig& config) {
+  const MatcherFactory factory = MakePruneFactory(1.0);
+  if (!corpus_dir.empty()) {
+    std::error_code ec;
+    std::vector<std::filesystem::path> files;
+    for (std::filesystem::directory_iterator it(corpus_dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->path().extension() == ".replay") files.push_back(it->path());
+    }
+    if (ec) {
+      return FailUsage("cannot read --corpus_dir=" + corpus_dir + ": " +
+                       ec.message());
+    }
+    if (files.empty()) {
+      return FailUsage("no .replay files in --corpus_dir=" + corpus_dir);
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::filesystem::path& file : files) {
+      if (const int rc = RunOneReplay(file.string(), shrink, repro_out,
+                                      /*report_out=*/"", config, factory);
+          rc != 0) {
+        return rc;
+      }
+    }
+  }
+  return Fuzz(first_seed, seeds, shrink, repro_out, report_out, verbose,
+              config, factory);
+}
+
+/// Validates that the prune-soundness harness has teeth: a deliberately
+/// under-sized ellipse (the ShrinkEllipse fault) must produce a divergence
+/// that is caught, classified as missing-option, attributed to the prune
+/// stage via the ellipse_pruned counter, and shrunk to a small repro.
+int PruneSelfTest(double shrink_factor, std::uint64_t seeds,
+                  const std::string& repro_out,
+                  const DifferentialConfig& config) {
+  // BA vs BA+EL(shrunk): any answer difference is the injected fault.
+  const MatcherFactory factory = [shrink_factor] {
+    prune::EllipsePrefilter::Options popts;
+    popts.shrink_factor = shrink_factor;
+    std::vector<std::unique_ptr<Matcher>> matchers;
+    matchers.push_back(std::make_unique<BaselineMatcher>());
+    matchers.push_back(std::make_unique<PrunedMatcher>(
+        std::make_unique<BaselineMatcher>(), popts));
+    return matchers;
+  };
+
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const ScenarioSpec spec = MakeRandomSpec(seed);
+    auto outcome = RunDifferential(spec, config, factory);
+    if (!outcome.ok()) return Fail(outcome.status());
+    if (outcome.value().ok()) continue;
+
+    const Divergence& first = outcome.value().divergences.front();
+    std::printf("prune selftest: seed %llu diverged: %s\n",
+                static_cast<unsigned long long>(seed),
+                first.Describe().c_str());
+    if (first.type != DivergenceType::kMissingOption) {
+      std::fprintf(stderr,
+                   "prune selftest FAIL: expected missing-option, got %s\n",
+                   DivergenceTypeName(first.type));
+      return 1;
+    }
+    if (first.ellipse_pruned == 0) {
+      std::fprintf(stderr,
+                   "prune selftest FAIL: divergence not attributed to the "
+                   "prune stage (ellipse_pruned == 0)\n");
+      return 1;
+    }
+    ShrinkOptions sopts;
+    sopts.config = config;
+    const ShrinkResult shrunk = ShrinkScenario(spec, sopts, factory);
+    if (!shrunk.reproduced) {
+      std::fprintf(stderr, "prune selftest FAIL: shrink did not reproduce\n");
+      return 1;
+    }
+    std::printf("prune selftest: shrunk to %zu vehicle(s), %zu request(s)\n",
+                shrunk.spec.vehicle_starts.size(),
+                shrunk.spec.requests.size());
+    if (!repro_out.empty()) {
+      const Status saved = SaveReplayToFile(shrunk.spec, repro_out);
+      if (!saved.ok()) return Fail(saved);
+      std::printf("prune selftest repro written to %s\n", repro_out.c_str());
+    }
+    std::printf("prune selftest PASS (ShrinkEllipse %.3g caught)\n",
+                shrink_factor);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "prune selftest FAIL: no divergence in %llu seed(s) — the "
+               "under-sized ellipse was not caught\n",
+               static_cast<unsigned long long>(seeds));
+  return 1;
+}
+
 int Main(int argc, char** argv) {
   auto parsed = FlagParser::Parse(argc, argv);
   if (!parsed.ok()) return FailUsage(parsed.status().message());
@@ -336,6 +491,9 @@ int Main(int argc, char** argv) {
   const auto shrink = flags.GetBool("shrink", false);
   const auto selftest = flags.GetBool("selftest", false);
   const auto broken_lemma = flags.GetInt("broken_lemma", 3);
+  const auto prune_check = flags.GetBool("prune_check", false);
+  const auto shrink_ellipse = flags.GetDouble("shrink_ellipse", 1.0);
+  const std::string corpus_dir = flags.GetString("corpus_dir", "");
   const auto verbose = flags.GetBool("verbose", false);
   const std::string replay = flags.GetString("replay", "");
   const std::string repro_out = flags.GetString("repro_out", "repro.replay");
@@ -349,11 +507,20 @@ int Main(int argc, char** argv) {
   if (!shrink.ok()) return Fail(shrink.status());
   if (!selftest.ok()) return Fail(selftest.status());
   if (!broken_lemma.ok()) return Fail(broken_lemma.status());
+  if (!prune_check.ok()) return Fail(prune_check.status());
+  if (!shrink_ellipse.ok()) return Fail(shrink_ellipse.status());
   if (!verbose.ok()) return Fail(verbose.status());
   if (!request_budget.ok()) return Fail(request_budget.status());
   if (*seeds < 1) return FailUsage("--seeds must be >= 1");
   if (*first_seed < 0) return FailUsage("--first_seed must be >= 0");
   if (*request_budget < 0) return FailUsage("--request_budget must be >= 0");
+  if (*shrink_ellipse <= 0.0 || *shrink_ellipse > 1.0) {
+    return FailUsage("--shrink_ellipse must be in (0, 1]");
+  }
+  if (!*prune_check && (*shrink_ellipse != 1.0 || !corpus_dir.empty())) {
+    return FailUsage(
+        "--shrink_ellipse and --corpus_dir require --prune_check");
+  }
   const auto backend = ParseDistanceBackend(backend_name);
   if (!backend.ok()) return FailUsage(backend.status().message());
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
@@ -373,6 +540,16 @@ int Main(int argc, char** argv) {
     }
     return SelfTest(static_cast<int>(*broken_lemma),
                     static_cast<std::uint64_t>(*seeds), repro_out, config);
+  }
+  if (*prune_check) {
+    if (*shrink_ellipse != 1.0) {
+      return PruneSelfTest(*shrink_ellipse,
+                           static_cast<std::uint64_t>(*seeds), repro_out,
+                           config);
+    }
+    return PruneCheck(static_cast<std::uint64_t>(*first_seed),
+                      static_cast<std::uint64_t>(*seeds), corpus_dir,
+                      *shrink, repro_out, report_out, *verbose, config);
   }
   if (!replay.empty()) {
     return RunOneReplay(replay, *shrink, repro_out, report_out, config);

@@ -72,6 +72,7 @@ int Help() {
       "      [--capacity=N] [--cell-size=M] [--adaptive] [--fraction=F]\n"
       "      [--policy=price|time|balanced|random] [--shadow] [--seed=N]\n"
       "      [--threads=N] [--distance_backend=dijkstra|ch]\n"
+      "      [--prune=none|ellipse]\n"
       "      [--request_budget=N] [--deadline_ms=MS] [--inject=SPEC]\n"
       "      [--engine_threads=N] [--wave_size=N] [--serial_check]\n"
       "      [--trace_out=FILE] [--report_out=FILE]\n"
@@ -79,7 +80,7 @@ int Help() {
       "      [--slo_p99_us=US] [--telemetry_window=SEC]\n"
       "  match --network=FILE --from=V --to=V [--riders=N] [--wait-min=MIN]\n"
       "      [--epsilon=E] [--vehicles=N] [--cell-size=M] [--seed=N]\n"
-      "      [--distance_backend=dijkstra|ch]\n"
+      "      [--distance_backend=dijkstra|ch] [--prune=none|ellipse]\n"
       "  help\n");
   return 0;
 }
@@ -232,6 +233,7 @@ int Simulate(const FlagParser& flags) {
   const auto request_budget = flags.GetInt("request_budget", 0);
   const auto deadline_ms = flags.GetDouble("deadline_ms", 0.0);
   const std::string inject = flags.GetString("inject", "");
+  const std::string prune_name = flags.GetString("prune", "none");
   const bool pipelined = flags.Has("engine_threads") ||
                          flags.Has("wave_size") || flags.Has("serial_check");
   const auto engine_threads = flags.GetInt("engine_threads", 1);
@@ -264,6 +266,10 @@ int Simulate(const FlagParser& flags) {
     return FailUsage("--lifecycle_sample must be in [0, 1]");
   }
   if (*slo_p99_us < 0.0) return FailUsage("--slo_p99_us must be >= 0");
+  PruneMode prune_mode = PruneMode::kNone;
+  if (!ParsePruneMode(prune_name, &prune_mode)) {
+    return FailUsage("--prune must be none|ellipse");
+  }
   if (pipelined && *shadow) {
     return FailUsage(
         "--shadow is incompatible with the request-parallel pipeline "
@@ -296,6 +302,7 @@ int Simulate(const FlagParser& flags) {
   eopts.overload.deadline_ms = *deadline_ms;
   eopts.overload.slo_p99_us = *slo_p99_us;
   eopts.telemetry.window_seconds = *telemetry_window;
+  eopts.prune = prune_mode;
   Engine engine(&*graph, &*grid, eopts);
   // Timing fields in the lifecycle log are opt-in via the one mode that is
   // already documented as nondeterministic (a wall-clock deadline); the
@@ -374,6 +381,24 @@ int Simulate(const FlagParser& flags) {
                 static_cast<unsigned long long>(stats.ladder_requests[1]),
                 static_cast<unsigned long long>(stats.ladder_requests[2]),
                 static_cast<unsigned long long>(stats.ladder_requests[3]));
+  }
+  if (prune_mode == PruneMode::kEllipse) {
+    const std::uint64_t checked =
+        engine.metrics().Counter("prune/ellipse_checked");
+    const std::uint64_t pruned =
+        engine.metrics().Counter("prune/ellipse_pruned");
+    const std::uint64_t verified =
+        engine.metrics().Counter("prune/verified_vehicles");
+    const std::uint64_t denom = pruned + verified;
+    std::printf("prune: ellipse checked %llu, pruned %llu, verified %llu "
+                "(pruned share %.1f%%, alpha %.3f)\n",
+                static_cast<unsigned long long>(checked),
+                static_cast<unsigned long long>(pruned),
+                static_cast<unsigned long long>(verified),
+                denom > 0 ? 100.0 * static_cast<double>(pruned) /
+                                static_cast<double>(denom)
+                          : 0.0,
+                engine.metrics().Counter("prune/alpha_ppm") / 1e6);
   }
   if (pipelined) {
     const double reqs_per_sec =
@@ -488,6 +513,7 @@ int MatchOne(const FlagParser& flags) {
   const auto seed = flags.GetInt("seed", 13);
   const auto backend =
       ParseDistanceBackend(flags.GetString("distance_backend", "dijkstra"));
+  const std::string prune_name = flags.GetString("prune", "none");
   for (const Status& st :
        {from.status(), to.status(), riders.status(), wait.status(),
         epsilon.status(), vehicles.status(), cell_size.status(),
@@ -495,6 +521,10 @@ int MatchOne(const FlagParser& flags) {
     if (!st.ok()) return Fail(st);
   }
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
+  PruneMode prune_mode = PruneMode::kNone;
+  if (!ParsePruneMode(prune_name, &prune_mode)) {
+    return FailUsage("--prune must be none|ellipse");
+  }
   if (!graph->IsValidVertex(static_cast<VertexId>(*from)) ||
       !graph->IsValidVertex(static_cast<VertexId>(*to)) || *from == *to) {
     return FailUsage("--from/--to must be distinct vertices of the network");
@@ -508,6 +538,7 @@ int MatchOne(const FlagParser& flags) {
   eopts.num_vehicles = static_cast<int>(*vehicles);
   eopts.seed = static_cast<std::uint64_t>(*seed);
   eopts.distance_backend = *backend;
+  eopts.prune = prune_mode;
   Engine engine(&*graph, &*grid, eopts);
   // Let the random fleet spread out a little before asking.
   engine.AdvanceTo(120.0);
