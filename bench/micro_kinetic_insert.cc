@@ -65,7 +65,7 @@ void BM_EnumerateInsertions(benchmark::State& state) {
     benchmark::DoNotOptimize(tree.EnumerateInsertions(
         probe, direct, dist, ptar::InsertionHooks{}));
   }
-  state.counters["branches"] = static_cast<double>(tree.schedules().size());
+  state.counters["branches"] = static_cast<double>(tree.num_branches());
 }
 BENCHMARK(BM_EnumerateInsertions)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 

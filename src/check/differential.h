@@ -108,6 +108,14 @@ struct DifferentialConfig {
   /// results are incomplete by definition and must still pass DiffSubset
   /// against the unfaulted reference: faults may only remove options.
   FaultPlan faults;
+  /// Per-vehicle kinetic-tree branch cap for the scenario engine. The
+  /// harness pins a finite cap (the seed's shipped default) instead of the
+  /// engine's unlimited default: the brute-force reference enumerates every
+  /// branch of every vehicle per request, so an adversarial seed's
+  /// factorial fan-out would make the sweep intractable. All slots —
+  /// tested matchers and the reference — share the same capped trees, so
+  /// parity semantics are unchanged.
+  std::size_t tree_max_branches = 64;
 };
 
 /// Builds the matchers under test; the reference is appended by the

@@ -131,15 +131,14 @@ VehicleId CorruptRandomLeg(std::vector<KineticTree>& fleet,
   const VehicleId victim =
       candidates[MixPair(1, 2, seed) % candidates.size()];
   KineticTree& tree = fleet[victim];
-  const std::size_t branch =
-      MixPair(3, 4, seed) % tree.schedules().size();
-  const std::size_t legs = tree.schedules()[branch].legs.size();
+  const std::size_t branch = MixPair(3, 4, seed) % tree.num_branches();
+  const Schedule schedule = tree.BranchSchedule(branch);
+  const std::size_t legs = schedule.legs.size();
   if (legs == 0) return kInvalidVehicle;
   const std::size_t leg = MixPair(5, 6, seed) % legs;
   // A hugely inflated (but finite) leg: breaks leg exactness, validity, and
   // the active-branch minimality the auditor checks.
-  tree.CorruptLegForTest(branch, leg,
-                         tree.schedules()[branch].legs[leg] + 1e7);
+  tree.CorruptLegForTest(branch, leg, schedule.legs[leg] + 1e7);
   return victim;
 }
 

@@ -29,7 +29,8 @@ void EnumerateVehicleOptions(const KineticTree& tree, const Request& request,
   const Stop s_stop{StopType::kPickup, request.id, request.start};
   const Stop d_stop{StopType::kDropoff, request.id, request.destination};
 
-  for (const Schedule& branch : tree.schedules()) {
+  const std::vector<Schedule> schedules = tree.Schedules();
+  for (const Schedule& branch : schedules) {
     const std::size_t k = branch.stops.size();
     for (std::size_t i = 0; i <= k; ++i) {
       for (std::size_t j = i; j <= k; ++j) {

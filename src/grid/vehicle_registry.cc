@@ -249,19 +249,38 @@ std::size_t VehicleRegistry::AuditAggregates(
 }
 
 std::size_t VehicleRegistry::MemoryBytes() const {
+  // Actual heap footprint, not just payload: every hash table owns its
+  // bucket array plus one individually allocated node (entry + chain
+  // pointer) per element, and every non-empty vector owns one block of
+  // capacity() elements. kAllocOverhead is the per-malloc bookkeeping the
+  // kinetic accounting uses (verified against a counting allocator in
+  // kinetic_memory_test).
+  constexpr std::size_t kAllocOverhead = 16;
   std::size_t bytes = 0;
+  const auto block = [&](std::size_t cap, std::size_t elem) {
+    if (cap != 0) bytes += cap * elem + kAllocOverhead;
+  };
+  const auto table = [&](std::size_t buckets, std::size_t nodes,
+                         std::size_t entry) {
+    block(buckets, sizeof(void*));
+    bytes += nodes * (entry + sizeof(void*) + kAllocOverhead);
+  };
   for (const Shard& shard : shards_) {
-    bytes += sizeof(Shard) + sizeof(ShardState);
+    bytes += sizeof(Shard) + sizeof(ShardState) + kAllocOverhead;
+    table(shard.state->cells.bucket_count(), shard.state->cells.size(),
+          sizeof(std::pair<const CellId, CellState>));
     for (const auto& [cell, state] : shard.state->cells) {
-      bytes += sizeof(cell) + sizeof(state);
-      bytes += state.empty_vehicles.capacity() * sizeof(VehicleId);
-      bytes += state.edges.capacity() * sizeof(KineticEdgeEntry);
+      block(state.empty_vehicles.capacity(), sizeof(VehicleId));
+      block(state.edges.capacity(), sizeof(KineticEdgeEntry));
     }
   }
+  table(vehicle_edge_cells_.bucket_count(), vehicle_edge_cells_.size(),
+        sizeof(std::pair<const VehicleId, std::vector<CellId>>));
   for (const auto& [vehicle, cells] : vehicle_edge_cells_) {
-    bytes += sizeof(vehicle) + cells.capacity() * sizeof(CellId);
+    block(cells.capacity(), sizeof(CellId));
   }
-  bytes += empty_vehicle_cell_.size() * (sizeof(VehicleId) + sizeof(CellId));
+  table(empty_vehicle_cell_.bucket_count(), empty_vehicle_cell_.size(),
+        sizeof(std::pair<const VehicleId, CellId>));
   return bytes;
 }
 

@@ -1,11 +1,10 @@
 #include "kinetic/kinetic_tree.h"
 
 #include <algorithm>
-#include <limits>
 #include <cstdint>
 #include <map>
-#include <set>
 #include <tuple>
+#include <utility>
 
 namespace ptar {
 
@@ -13,21 +12,6 @@ namespace {
 
 /// Numeric slack for floating-point distance comparisons.
 constexpr Distance kDistTolerance = 1e-6;
-
-}  // namespace
-
-KineticTree::KineticTree(VehicleId vehicle, VertexId location, int capacity,
-                         std::size_t max_branches)
-    : vehicle_(vehicle),
-      location_(location),
-      capacity_(capacity),
-      max_branches_(max_branches) {
-  PTAR_CHECK(capacity >= 1);
-  PTAR_CHECK(max_branches >= 1);
-  schedules_.push_back(Schedule{});  // the idle (empty) schedule
-}
-
-namespace {
 
 /// Deterministic branch order: shorter total first, ties by stop sequence.
 bool BranchLess(const Schedule& a, const Schedule& b) {
@@ -45,24 +29,113 @@ bool BranchLess(const Schedule& a, const Schedule& b) {
   return a.stops.size() < b.stops.size();
 }
 
+/// FNV-1a over the stop sequence (legs excluded, like Schedule::SameStops).
+std::uint64_t StopsHash(const Schedule& schedule) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const Stop& stop : schedule.stops) {
+    mix(static_cast<std::uint64_t>(stop.type));
+    mix(stop.request);
+    mix(stop.location);
+  }
+  return h;
+}
+
+/// Open-addressed first-occurrence filter keyed by stop sequence. Collisions
+/// fall back to an exact SameStops comparison against the kept candidate, so
+/// the verdict never depends on the hash. Allocation-free once warmed up
+/// (lives in thread_local storage; enumeration runs concurrently on a frozen
+/// tree from matcher workers).
+class StopSeqDedup {
+ public:
+  void Reset(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, kEmptySlot);
+    hashes_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// True iff `schedule` (about to become unique[unique.size()]) has not
+  /// been seen; records it when new.
+  bool FirstOccurrence(const Schedule& schedule,
+                       const std::vector<InsertionCandidate>& unique) {
+    const std::uint64_t hash = StopsHash(schedule);
+    std::size_t i = hash & mask_;
+    while (slots_[i] != kEmptySlot) {
+      if (hashes_[i] == hash &&
+          unique[slots_[i]].schedule.SameStops(schedule)) {
+        return false;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = static_cast<std::uint32_t>(unique.size());
+    hashes_[i] = hash;
+    return true;
+  }
+
+ private:
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::uint64_t> hashes_;
+  std::size_t mask_ = 0;
+};
+
 }  // namespace
 
-const Schedule& KineticTree::ActiveSchedule() const {
-  PTAR_DCHECK(active_index_ < schedules_.size());
-  return schedules_[active_index_];
+KineticTree::KineticTree(VehicleId vehicle, VertexId location, int capacity,
+                         std::size_t max_branches)
+    : vehicle_(vehicle),
+      location_(location),
+      capacity_(capacity),
+      max_branches_(max_branches) {
+  PTAR_CHECK(capacity >= 1);
+  PTAR_CHECK(max_branches >= 1);
+  // The idle (empty) schedule is implicit: the store stays empty, so an
+  // idle vehicle owns zero heap.
+}
+
+Schedule KineticTree::BranchSchedule(std::size_t b) const {
+  Schedule out;
+  if (store_.empty()) {
+    PTAR_DCHECK(b == 0);
+    return out;  // the idle branch
+  }
+  PTAR_CHECK(b < store_.num_leaves());
+  store_.Materialize(store_.leaf(b), &out);
+  return out;
+}
+
+std::vector<Schedule> KineticTree::Schedules() const {
+  std::vector<Schedule> out(num_branches());
+  if (store_.empty()) return out;  // one empty schedule
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    store_.Materialize(store_.leaf(b), &out[b]);
+  }
+  return out;
+}
+
+Distance KineticTree::CurrentTotal() const {
+  return store_.empty() ? 0.0 : store_.PathTotal(store_.leaf(active_index_));
 }
 
 VertexId KineticTree::NextStopLocation() const {
-  const Schedule& active = ActiveSchedule();
-  return active.stops.empty() ? kInvalidVertex : active.stops[0].location;
+  if (store_.empty()) return kInvalidVertex;
+  return store_.location(store_.FirstOnPath(store_.leaf(active_index_)));
 }
 
 void KineticTree::RecomputeActive() {
-  PTAR_CHECK(!schedules_.empty());
+  if (store_.empty()) {
+    active_index_ = 0;
+    return;
+  }
   active_index_ = 0;
-  Distance best = schedules_[0].total();
-  for (std::size_t i = 1; i < schedules_.size(); ++i) {
-    const Distance t = schedules_[i].total();
+  Distance best = store_.PathTotal(store_.leaf(0));
+  for (std::size_t i = 1; i < store_.num_leaves(); ++i) {
+    const Distance t = store_.PathTotal(store_.leaf(i));
     if (t < best) {
       best = t;
       active_index_ = i;
@@ -77,83 +150,116 @@ const AssignedRequest* KineticTree::FindAssigned(RequestId id) const {
   return nullptr;
 }
 
+int KineticTree::RidersOf(RequestId id) const {
+  const AssignedRequest* a = FindAssigned(id);
+  return a != nullptr ? a->request.riders : 0;
+}
+
+void KineticTree::LoadBranches(const std::vector<Schedule>& schedules) {
+  store_.Clear();
+  for (const Schedule& schedule : schedules) {
+    if (schedule.stops.empty()) continue;  // the idle branch is implicit
+    store_.AddBranch(schedule,
+                     [this](RequestId id) { return RidersOf(id); });
+  }
+}
+
 bool KineticTree::IsValidSchedule(const Schedule& schedule,
                                   const AssignedRequest* extra) const {
   PTAR_DCHECK(schedule.stops.size() == schedule.legs.size());
+  const std::size_t k = schedule.stops.size();
+  const std::size_t num_requests = assigned_.size() + (extra != nullptr);
 
-  // Locate every request's stops; reject strays and duplicates.
-  struct StopIndex {
-    int pickup = -1;
-    int dropoff = -1;
+  // Scratch is thread-local, not a member: this runs per candidate on the
+  // enumeration hot path, concurrently on the same (frozen) tree from
+  // matcher workers.
+  thread_local std::vector<Distance> prefix;
+  thread_local std::vector<int> pickup_pos;
+  thread_local std::vector<int> dropoff_pos;
+  thread_local std::vector<int> stop_slot;
+  prefix.resize(k);
+  stop_slot.resize(k);
+  pickup_pos.assign(num_requests, -1);
+  dropoff_pos.assign(num_requests, -1);
+
+  // Requests are addressed by slot: position in assigned_, extra last.
+  auto slot_of = [&](RequestId id) -> int {
+    for (std::size_t i = 0; i < assigned_.size(); ++i) {
+      if (assigned_[i].request.id == id) return static_cast<int>(i);
+    }
+    if (extra != nullptr && extra->request.id == id) {
+      return static_cast<int>(assigned_.size());
+    }
+    return -1;
   };
-  std::map<RequestId, StopIndex> positions;
-  for (std::size_t i = 0; i < schedule.stops.size(); ++i) {
-    const Stop& stop = schedule.stops[i];
-    StopIndex& pos = positions[stop.request];
-    if (stop.type == StopType::kPickup) {
-      if (pos.pickup != -1) return false;  // duplicate pickup
-      pos.pickup = static_cast<int>(i);
-    } else {
-      if (pos.dropoff != -1) return false;  // duplicate dropoff
-      pos.dropoff = static_cast<int>(i);
+  auto request_at = [&](std::size_t slot) -> const AssignedRequest& {
+    return slot < assigned_.size() ? assigned_[slot] : *extra;
+  };
+
+  // One pass: prefix distances, each request's stop positions, and slot of
+  // every stop. Strays (stops of unknown requests) and duplicate stops
+  // reject immediately.
+  {
+    Distance acc = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      acc += schedule.legs[i];
+      prefix[i] = acc;
+      const Stop& stop = schedule.stops[i];
+      const int slot = slot_of(stop.request);
+      if (slot < 0) return false;  // stray
+      stop_slot[i] = slot;
+      if (stop.type == StopType::kPickup) {
+        if (pickup_pos[slot] != -1) return false;  // duplicate pickup
+        pickup_pos[slot] = static_cast<int>(i);
+      } else {
+        if (dropoff_pos[slot] != -1) return false;  // duplicate dropoff
+        dropoff_pos[slot] = static_cast<int>(i);
+      }
     }
   }
 
-  auto check_request = [&](const AssignedRequest& a) {
-    auto it = positions.find(a.request.id);
-    if (it == positions.end()) return false;  // request missing entirely
-    const StopIndex& pos = it->second;
-    if (pos.dropoff == -1) return false;
+  std::size_t expected_stops = 0;
+  for (std::size_t slot = 0; slot < num_requests; ++slot) {
+    const AssignedRequest& a = request_at(slot);
+    const int mp = pickup_pos[slot];
+    const int mq = dropoff_pos[slot];
+    if (mq == -1) return false;  // dropoff missing
     if (a.picked_up) {
       // Riders on board: only a dropoff may appear.
-      if (pos.pickup != -1) return false;
+      if (mp != -1) return false;
       // Service constraint from the actual pickup point.
       const Distance travelled = odometer_ - a.pickup_odometer;
-      if (travelled + schedule.PrefixDistance(pos.dropoff) >
+      if (travelled + prefix[mq] >
           (1.0 + a.request.epsilon) * a.direct_dist + kDistTolerance) {
         return false;
       }
+      expected_stops += 1;
     } else {
       // Point order: pickup exists and precedes the dropoff.
-      if (pos.pickup == -1 || pos.pickup > pos.dropoff) return false;
+      if (mp == -1 || mp > mq) return false;
       // Waiting-time constraint (odometer form).
-      if (odometer_ + schedule.PrefixDistance(pos.pickup) >
-          a.deadline_odometer + kDistTolerance) {
+      if (odometer_ + prefix[mp] > a.deadline_odometer + kDistTolerance) {
         return false;
       }
       // Service constraint.
-      if (schedule.PrefixDistance(pos.dropoff) -
-              schedule.PrefixDistance(pos.pickup) >
+      if (prefix[mq] - prefix[mp] >
           (1.0 + a.request.epsilon) * a.direct_dist + kDistTolerance) {
         return false;
       }
+      expected_stops += 2;
     }
-    return true;
-  };
-
-  std::size_t expected_stops = 0;
-  for (const AssignedRequest& a : assigned_) {
-    if (!check_request(a)) return false;
-    expected_stops += a.picked_up ? 1 : 2;
   }
-  if (extra != nullptr) {
-    if (!check_request(*extra)) return false;
-    expected_stops += extra->picked_up ? 1 : 2;
-  }
-  if (schedule.stops.size() != expected_stops) return false;  // strays
+  if (k != expected_stops) return false;  // strays
 
   // Capacity along the whole schedule.
   int onboard = onboard_;
-  for (const Stop& stop : schedule.stops) {
-    const AssignedRequest* a =
-        (extra != nullptr && extra->request.id == stop.request) ? extra
-        : FindAssigned(stop.request);
-    if (a == nullptr) return false;
-    if (stop.type == StopType::kPickup) {
-      onboard += a->request.riders;
+  for (std::size_t i = 0; i < k; ++i) {
+    const AssignedRequest& a = request_at(stop_slot[i]);
+    if (schedule.stops[i].type == StopType::kPickup) {
+      onboard += a.request.riders;
       if (onboard > capacity_) return false;
     } else {
-      onboard -= a->request.riders;
+      onboard -= a.request.riders;
       if (onboard < 0) return false;
     }
   }
@@ -368,23 +474,23 @@ std::vector<InsertionCandidate> KineticTree::EnumerateInsertions(
     const InsertionHooks& hooks) const {
   PTAR_CHECK(!stale_) << "Refresh() the tree before enumerating insertions";
   std::vector<InsertionCandidate> out;
-  for (const Schedule& branch : schedules_) {
-    EnumerateIntoBranch(branch, request, direct_dist, dist, hooks, &out);
+  if (store_.empty()) {
+    EnumerateIntoBranch(Schedule{}, request, direct_dist, dist, hooks, &out);
+  } else {
+    thread_local Schedule branch;
+    for (std::size_t b = 0; b < store_.num_leaves(); ++b) {
+      store_.Materialize(store_.leaf(b), &branch);
+      EnumerateIntoBranch(branch, request, direct_dist, dist, hooks, &out);
+    }
   }
   // Deduplicate by stop sequence (identical insertions can arise from
-  // branches sharing prefixes).
-  std::set<std::vector<std::uint64_t>> seen;
+  // branches sharing prefixes), keeping the first occurrence.
+  thread_local StopSeqDedup seen;
+  seen.Reset(out.size());
   std::vector<InsertionCandidate> unique;
   unique.reserve(out.size());
   for (auto& cand : out) {
-    std::vector<std::uint64_t> key;
-    key.reserve(2 * cand.schedule.stops.size());
-    for (const Stop& stop : cand.schedule.stops) {
-      key.push_back((static_cast<std::uint64_t>(stop.type) << 32) |
-                    stop.request);
-      key.push_back(stop.location);
-    }
-    if (seen.insert(std::move(key)).second) {
+    if (seen.FirstOccurrence(cand.schedule, unique)) {
       unique.push_back(std::move(cand));
     }
   }
@@ -415,17 +521,48 @@ Status KineticTree::Commit(const Request& request, Distance direct_dist,
   assigned.deadline_odometer = odometer_ + deadline;
   assigned_.push_back(assigned);
 
-  schedules_.clear();
-  schedules_.reserve(candidates.size());
+  std::vector<Schedule> branches;
+  branches.reserve(candidates.size());
   for (auto& c : candidates) {
-    schedules_.push_back(std::move(c.schedule));
+    branches.push_back(std::move(c.schedule));
   }
-  // Bound the branch set: keep the max_branches_ shortest schedules
-  // (deterministic order). The active branch is by definition among them.
-  if (schedules_.size() > max_branches_) {
-    std::sort(schedules_.begin(), schedules_.end(), BranchLess);
-    schedules_.resize(max_branches_);
+  if (branches.size() > max_branches_) {
+    // Bounded enumeration with best-branch retention (DESIGN.md §14): keep
+    // every skyline-supporting branch under (total, first-leg) — any
+    // branch some rider-facing tradeoff could prefer — then fill with the
+    // shortest remaining schedules in deterministic order. The active
+    // (shortest) branch sorts first and is always on the skyline.
+    ++cap_hits_;
+    branches_dropped_ += branches.size() - max_branches_;
+    std::sort(branches.begin(), branches.end(), BranchLess);
+    std::vector<char> skyline(branches.size(), 0);
+    std::size_t num_skyline = 0;
+    Distance best_first_leg = kInfDistance;
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+      const Distance first_leg =
+          branches[i].legs.empty() ? 0.0 : branches[i].legs[0];
+      if (first_leg < best_first_leg) {
+        skyline[i] = 1;
+        best_first_leg = first_leg;
+        ++num_skyline;
+      }
+    }
+    std::vector<Schedule> kept;
+    kept.reserve(max_branches_);
+    std::size_t fill =
+        max_branches_ > num_skyline ? max_branches_ - num_skyline : 0;
+    for (std::size_t i = 0;
+         i < branches.size() && kept.size() < max_branches_; ++i) {
+      if (skyline[i]) {
+        kept.push_back(std::move(branches[i]));
+      } else if (fill > 0) {
+        kept.push_back(std::move(branches[i]));
+        --fill;
+      }
+    }
+    branches = std::move(kept);
   }
+  LoadBranches(branches);
   RecomputeActive();
   return Status::OK();
 }
@@ -434,19 +571,26 @@ void KineticTree::MoveTo(VertexId new_location, Distance driven) {
   PTAR_DCHECK(driven >= 0.0);
   odometer_ += driven;
   location_ = new_location;
-  Schedule& active = schedules_[active_index_];
-  if (!active.stops.empty()) {
-    active.legs[0] = std::max<Distance>(0.0, active.legs[0] - driven);
-    if (schedules_.size() > 1) stale_ = true;
+  if (!store_.empty()) {
+    // One in-place write updates the shared first-leg node: every branch
+    // driving through the same first stop sees the new distance. Branches
+    // through a *different* first stop still measure from the old
+    // location and go stale until Refresh().
+    const BranchStore::NodeId first =
+        store_.FirstOnPath(store_.leaf(active_index_));
+    store_.set_leg(first,
+                   std::max<Distance>(0.0, store_.leg(first) - driven));
+    if (store_.num_leaves() > 1) stale_ = true;
   }
 }
 
 StatusOr<KineticTree::StopEvent> KineticTree::ArriveAtNextStop() {
-  Schedule& active = schedules_[active_index_];
-  if (active.stops.empty()) {
+  using NodeId = BranchStore::NodeId;
+  if (store_.empty()) {
     return Status::FailedPrecondition("vehicle has no scheduled stop");
   }
-  const Stop served = active.stops[0];
+  const NodeId active_first = store_.FirstOnPath(store_.leaf(active_index_));
+  const Stop served = store_.StopOf(active_first);
   if (served.location != location_) {
     return Status::FailedPrecondition(
         "vehicle is not at the next scheduled stop");
@@ -479,36 +623,60 @@ StatusOr<KineticTree::StopEvent> KineticTree::ArriveAtNextStop() {
   }
   PTAR_CHECK(found) << "served stop references an unknown request";
 
-  // Branch surgery: keep only branches that begin with the served stop and
-  // pop their head. The popped first leg was (approximately) zero; the new
-  // first leg dist(stop, stops[1]) was already exact.
-  std::vector<Schedule> survivors;
-  for (Schedule& schedule : schedules_) {
-    if (schedule.stops.empty() || !(schedule.stops[0] == served)) continue;
-    schedule.stops.erase(schedule.stops.begin());
-    schedule.legs.erase(schedule.legs.begin());
-    bool duplicate = false;
-    for (const Schedule& kept : survivors) {
-      if (kept.SameStops(schedule)) {
-        duplicate = true;
-        break;
-      }
+  // Branch surgery. Fast (normal) path: the served stop maps to exactly one
+  // root child, so advancing is copy-free — drop the leaves of the other
+  // subtrees, recycle those subtrees into the arena, and promote the served
+  // node's children to root children in place.
+  bool unique_match = true;
+  for (NodeId c = store_.root_child_head(); c != BranchStore::kNilNode;
+       c = store_.next_sibling(c)) {
+    if (c != active_first && store_.StopOf(c) == served) {
+      unique_match = false;
+      break;
     }
-    if (!duplicate) survivors.push_back(std::move(schedule));
   }
-  PTAR_CHECK(!survivors.empty()) << "active branch must survive its own stop";
+  if (unique_match) {
+    store_.RemoveLeavesNotUnder(active_first);
+    PTAR_CHECK(store_.num_leaves() > 0)
+        << "active branch must survive its own stop";
+    store_.AdvanceRoot(active_first);
+  } else {
+    // Defensive slow path: several root children carry the served stop by
+    // value (bit-different first legs — does not arise from the normal
+    // commit/refresh flow). Fall back to surgery on materialized branches.
+    std::vector<Schedule> survivors;
+    Schedule scratch;
+    for (std::size_t b = 0; b < store_.num_leaves(); ++b) {
+      store_.Materialize(store_.leaf(b), &scratch);
+      if (scratch.stops.empty() || !(scratch.stops[0] == served)) continue;
+      scratch.stops.erase(scratch.stops.begin());
+      scratch.legs.erase(scratch.legs.begin());
+      bool duplicate = false;
+      for (const Schedule& kept : survivors) {
+        if (kept.SameStops(scratch)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) survivors.push_back(scratch);
+    }
+    PTAR_CHECK(!survivors.empty())
+        << "active branch must survive its own stop";
+    LoadBranches(survivors);
+  }
 
   // Re-validate (non-active branches may have drifted out of budget while
   // the vehicle drove).
-  std::vector<Schedule> valid;
-  for (Schedule& schedule : survivors) {
-    if (IsValidSchedule(schedule, nullptr)) valid.push_back(std::move(schedule));
+  thread_local Schedule branch;
+  for (std::size_t b = store_.num_leaves(); b-- > 0;) {
+    store_.Materialize(store_.leaf(b), &branch);
+    if (!IsValidSchedule(branch, nullptr)) store_.RemoveLeaf(b);
   }
-  PTAR_CHECK(!valid.empty()) << "no valid schedule after serving a stop";
-  schedules_ = std::move(valid);
-
   if (assigned_.empty()) {
-    PTAR_CHECK(schedules_.size() == 1 && schedules_[0].stops.empty());
+    // Canonical idle shape: nothing left to drive, zero heap branches.
+    PTAR_CHECK(store_.empty());
+  } else {
+    PTAR_CHECK(!store_.empty()) << "no valid schedule after serving a stop";
   }
   stale_ = false;
   RecomputeActive();
@@ -516,22 +684,32 @@ StatusOr<KineticTree::StopEvent> KineticTree::ArriveAtNextStop() {
 }
 
 void KineticTree::Refresh(const DistFn& dist) {
+  using NodeId = BranchStore::NodeId;
   if (!stale_) return;
-  std::vector<Schedule> valid;
-  valid.reserve(schedules_.size());
-  for (std::size_t i = 0; i < schedules_.size(); ++i) {
-    Schedule& schedule = schedules_[i];
-    if (i != active_index_ && !schedule.stops.empty()) {
-      schedule.legs[0] = dist(location_, schedule.stops[0].location);
-    }
-    if (IsValidSchedule(schedule, nullptr)) {
-      valid.push_back(std::move(schedule));
-    } else {
-      PTAR_CHECK(i != active_index_) << "active branch became invalid";
-    }
+  if (store_.empty()) {
+    stale_ = false;
+    return;
   }
-  PTAR_CHECK(!valid.empty());
-  schedules_ = std::move(valid);
+  // Repair shared first legs in place: one distance per distinct non-active
+  // root child, not one per branch. The active root child's leg is already
+  // exact (MoveTo shrinks it along the driven path).
+  const NodeId active_first = store_.FirstOnPath(store_.leaf(active_index_));
+  for (NodeId c = store_.root_child_head(); c != BranchStore::kNilNode;
+       c = store_.next_sibling(c)) {
+    if (c == active_first) continue;
+    store_.set_leg(c, dist(location_, store_.location(c)));
+  }
+  // Drop branches that drifted out of budget; the driven branch must stay.
+  const NodeId active_leaf = store_.leaf(active_index_);
+  thread_local Schedule branch;
+  for (std::size_t b = store_.num_leaves(); b-- > 0;) {
+    store_.Materialize(store_.leaf(b), &branch);
+    if (IsValidSchedule(branch, nullptr)) continue;
+    PTAR_CHECK(store_.leaf(b) != active_leaf)
+        << "active branch became invalid";
+    store_.RemoveLeaf(b);
+  }
+  PTAR_CHECK(!store_.empty());
   stale_ = false;
   RecomputeActive();
 }
@@ -539,15 +717,15 @@ void KineticTree::Refresh(const DistFn& dist) {
 Status KineticTree::RebuildBranches(const DistFn& dist) {
   if (assigned_.empty()) {
     // Canonical empty-tree shape regardless of how corrupted it was.
-    schedules_.clear();
-    schedules_.push_back(Schedule{});
+    store_.Clear();
     active_index_ = 0;
     stale_ = false;
     return Status::OK();
   }
+  std::vector<Schedule> branches = Schedules();
   std::vector<Schedule> rebuilt;
-  rebuilt.reserve(schedules_.size());
-  for (Schedule& branch : schedules_) {
+  rebuilt.reserve(branches.size());
+  for (Schedule& branch : branches) {
     branch.legs.clear();
     branch.legs.reserve(branch.stops.size());
     VertexId prev = location_;
@@ -576,7 +754,7 @@ Status KineticTree::RebuildBranches(const DistFn& dist) {
                             std::to_string(vehicle_));
   }
   std::sort(rebuilt.begin(), rebuilt.end(), BranchLess);
-  schedules_ = std::move(rebuilt);
+  LoadBranches(rebuilt);
   stale_ = false;
   RecomputeActive();
   return Status::OK();
@@ -584,9 +762,12 @@ Status KineticTree::RebuildBranches(const DistFn& dist) {
 
 void KineticTree::CorruptLegForTest(std::size_t branch, std::size_t leg,
                                     Distance value) {
-  PTAR_CHECK(branch < schedules_.size());
-  PTAR_CHECK(leg < schedules_[branch].legs.size());
-  schedules_[branch].legs[leg] = value;
+  PTAR_CHECK(branch < num_branches());
+  PTAR_CHECK(!store_.empty());
+  std::vector<BranchStore::NodeId> path;
+  store_.MaterializePath(store_.leaf(branch), &path);
+  PTAR_CHECK(leg < path.size());
+  store_.set_leg(path[leg], value);
 }
 
 std::vector<std::pair<CellId, KineticEdgeEntry>>
@@ -606,7 +787,9 @@ KineticTree::BuildRegistration(const GridIndex& grid) const {
     }
   };
 
-  for (const Schedule& branch : schedules_) {
+  Schedule branch;
+  for (std::size_t b = 0; b < store_.num_leaves(); ++b) {
+    store_.Materialize(store_.leaf(b), &branch);
     if (branch.stops.empty()) continue;
     const std::size_t k = branch.stops.size();
     const std::vector<Distance> slacks = GapSlacks(branch);
@@ -637,13 +820,17 @@ KineticTree::BuildRegistration(const GridIndex& grid) const {
 }
 
 std::size_t KineticTree::MemoryBytes() const {
-  std::size_t bytes = sizeof(*this);
-  for (const Schedule& schedule : schedules_) {
-    bytes += schedule.stops.capacity() * sizeof(Stop) +
-             schedule.legs.capacity() * sizeof(Distance);
-  }
-  bytes += assigned_.capacity() * sizeof(AssignedRequest);
-  return bytes;
+  return sizeof(*this) + store_.HeapBytes() +
+         assigned_.capacity() * sizeof(AssignedRequest);
+}
+
+KineticTree::ArenaStats KineticTree::arena_stats() const {
+  ArenaStats stats;
+  stats.heap_bytes = MemoryBytes() - sizeof(*this);
+  stats.live_nodes = store_.live_nodes();
+  stats.node_slots = store_.slots();
+  stats.branches = num_branches();
+  return stats;
 }
 
 }  // namespace ptar

@@ -1,12 +1,17 @@
 // Kinetic tree: the per-vehicle index of all valid trip schedules
 // (paper Section IV.B, after Huang et al. [17]).
 //
-// Representation. The tree is stored as its set of branches — every branch
-// is one valid Schedule. This is semantically identical to the node-sharing
-// tree of [17] (see DESIGN.md) and lets validity be checked against a single
-// authoritative ValidateSchedule routine. The per-node annotations the paper
-// stores (o_x.capacity, o_x.detour, o_x.dist_tr) are derived on demand for
-// pruning hooks and grid registration.
+// Representation (DESIGN.md §14). The tree is a node-sharing prefix tree
+// held in an arena-backed structure-of-arrays BranchStore: every stop node
+// lives once in flat pooled arrays (stop identity, leg distance, onboard
+// delta, parent/child/sibling links), branches are the root-to-leaf paths,
+// and sibling branches share their common prefix nodes. This replaces the
+// earlier flat set of per-branch `std::vector<Stop>` copies: a tree with B
+// branches of depth k costs O(distinct nodes) instead of O(B * k) stop
+// copies across 2B+1 heap blocks. Validity is still checked against the
+// single authoritative IsValidSchedule routine on materialized branches,
+// and the per-node annotations the paper stores (o_x.capacity via the
+// onboard delta, o_x.detour, o_x.dist_tr) are derived from the arrays.
 //
 // Movement model. The vehicle keeps a distance odometer. Each assigned
 // request stores its pickup deadline as an odometer value
@@ -16,23 +21,36 @@
 // which is exact while driving and trivially monotone. The service
 // constraint similarly uses the pickup odometer once riders are on board.
 //
-// While the vehicle drives along the active (shortest total) branch, that
-// branch's first leg shrinks exactly; other branches' first legs go stale
-// and are repaired lazily by Refresh() (through the caller's distance
-// function, so repairs count as compdists exactly like the paper's
-// "update the nodes connected to the root").
+// While the vehicle drives along the active (shortest total) branch, the
+// shared first-leg node of every branch through the same first stop shrinks
+// exactly in place (one write, all sharers); branches through a different
+// first stop go stale and are repaired lazily by Refresh() — one distance
+// per distinct first stop, through the caller's distance function, so
+// repairs count as compdists exactly like the paper's "update the nodes
+// connected to the root". Serving a stop advances the root copy-free:
+// sibling subtrees are recycled into the arena free list and the served
+// node's children become the new root children (no branch is re-copied).
+//
+// Bounded enumeration. By default the tree keeps every valid schedule (the
+// paper's c.S_tr). An opt-in cap (`--tree_max_branches`) bounds the
+// branch set with best-branch retention: the active (shortest) branch and
+// every skyline-supporting branch — the Pareto-minimal set under
+// (total distance, first-leg distance) — are always kept, and drops are
+// counted (branches_dropped/cap_hits, surfaced as tree/* run counters).
 
 #ifndef PTAR_KINETIC_KINETIC_TREE_H_
 #define PTAR_KINETIC_KINETIC_TREE_H_
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/status.h"
 #include "graph/types.h"
 #include "grid/grid_index.h"
 #include "grid/vehicle_registry.h"
+#include "kinetic/branch_store.h"
 #include "kinetic/request.h"
 #include "kinetic/schedule.h"
 
@@ -99,16 +117,16 @@ class KineticTree {
   /// Exact shortest-path distance callback (normally a DistanceOracle).
   using DistFn = std::function<Distance(VertexId, VertexId)>;
 
-  /// Default bound on the number of kept branches. The paper observes the
-  /// worst case is (2 n_r)! but "the actual number of branches is much
-  /// lower ... due to the constraints"; with deliberately loose constraints
-  /// it is not, so the tree keeps only the `max_branches` shortest valid
-  /// schedules (deterministic: ties broken by stop sequence). The active
-  /// (shortest) schedule is always retained.
-  static constexpr std::size_t kDefaultMaxBranches = 64;
+  /// Default branch bound: none. The paper observes the worst case is
+  /// (2 n_r)! but "the actual number of branches is much lower ... due to
+  /// the constraints", and the tree's definition of c.S_tr keeps *all*
+  /// valid schedules. Opt-in caps (`--tree_max_branches`) trade option
+  /// coverage for memory with best-branch retention (see Commit).
+  static constexpr std::size_t kUnlimitedBranches =
+      std::numeric_limits<std::size_t>::max();
 
   KineticTree(VehicleId vehicle, VertexId location, int capacity,
-              std::size_t max_branches = kDefaultMaxBranches);
+              std::size_t max_branches = kUnlimitedBranches);
 
   KineticTree(const KineticTree&) = default;
   KineticTree& operator=(const KineticTree&) = default;
@@ -126,18 +144,47 @@ class KineticTree {
   /// True iff no unfinished request is assigned (paper's "empty vehicle").
   bool IsEmpty() const { return assigned_.empty(); }
   const std::vector<AssignedRequest>& assigned() const { return assigned_; }
-  const std::vector<Schedule>& schedules() const { return schedules_; }
+
+  /// Number of branches. An idle tree has exactly one (empty) branch.
+  std::size_t num_branches() const {
+    return store_.empty() ? 1 : store_.num_leaves();
+  }
+  /// Materializes branch `b` (stops and exact legs) out of the arena.
+  Schedule BranchSchedule(std::size_t b) const;
+  /// Materializes every branch in branch order. Convenience for audits,
+  /// tests and the reference matcher; hot paths iterate num_branches() and
+  /// reuse a scratch Schedule instead.
+  std::vector<Schedule> Schedules() const;
   /// The branch the vehicle actually drives: minimal total distance.
-  const Schedule& ActiveSchedule() const;
+  Schedule ActiveSchedule() const { return BranchSchedule(active_index_); }
   std::size_t active_index() const { return active_index_; }
   /// dist_tr of the current (active) schedule — the price baseline.
-  Distance CurrentTotal() const { return ActiveSchedule().total(); }
+  Distance CurrentTotal() const;
   /// True if some non-active branch's first leg may be outdated; call
   /// Refresh() before relying on exact branch distances.
   bool stale() const { return stale_; }
 
   /// First waypoint of the active schedule, or kInvalidVertex if idle.
   VertexId NextStopLocation() const;
+
+  /// Visits the location of every live stop node exactly once (a shared
+  /// prefix is not repeated per branch). Cheaper than materializing
+  /// branches when only the set of points matters, e.g. distance prefetch
+  /// warmup.
+  template <typename Fn>
+  void ForEachStopLocation(Fn&& fn) const {
+    store_.ForEachLiveNode(
+        [&](BranchStore::NodeId n) { fn(store_.location(n)); });
+  }
+
+  /// Branch cap in force (kUnlimitedBranches by default).
+  std::size_t max_branches() const { return max_branches_; }
+  /// Branches discarded by the cap across the tree's lifetime, and the
+  /// number of commits in which the cap was hit. Both stay 0 at the default
+  /// (unlimited) setting; the engine surfaces the fleet sums as the
+  /// "tree/branches_dropped" / "tree/cap_hits" run counters.
+  std::uint64_t branches_dropped() const { return branches_dropped_; }
+  std::uint64_t cap_hits() const { return cap_hits_; }
 
   // --- Matching. ---
 
@@ -151,7 +198,10 @@ class KineticTree {
   /// Assigns the request: replaces the branch set with every valid new
   /// schedule (full, unpruned enumeration per the paper's definition of
   /// c.S_tr) and records the waiting deadline from `planned_pickup_dist`.
-  /// Fails if no valid schedule exists. Requires !stale().
+  /// When a cap is configured and the fan-out exceeds it, retention keeps
+  /// the active (shortest) branch and the (total, first-leg) Pareto set,
+  /// fills the rest in deterministic shortest-first order, and counts the
+  /// drops. Fails if no valid schedule exists. Requires !stale().
   Status Commit(const Request& request, Distance direct_dist,
                 Distance planned_pickup_dist, const DistFn& dist);
 
@@ -159,7 +209,9 @@ class KineticTree {
 
   /// The vehicle moved `driven` meters and is now at `new_location`, which
   /// must lie on the shortest path of the active branch's first leg (or be
-  /// any vertex if the vehicle is idle). Non-active branches go stale.
+  /// any vertex if the vehicle is idle). The active first-leg node shrinks
+  /// in place (shared by every branch through the same first stop);
+  /// branches through other first stops go stale.
   void MoveTo(VertexId new_location, Distance driven);
 
   struct StopEvent {
@@ -169,12 +221,14 @@ class KineticTree {
   };
 
   /// Serves the active schedule's first stop. The vehicle must be located
-  /// exactly at it. Branches that begin with a different stop are pruned;
-  /// matching branches pop their head. Returns what happened.
+  /// exactly at it. Branches that begin with a different stop are pruned
+  /// (their subtrees recycled into the arena); matching branches advance
+  /// with the root — no copies. Returns what happened.
   StatusOr<StopEvent> ArriveAtNextStop();
 
-  /// Repairs stale first legs with exact distances and drops branches that
-  /// became invalid; recomputes the active branch.
+  /// Repairs stale first legs with exact distances — one distance query per
+  /// distinct non-active first stop, shared by all branches through it —
+  /// and drops branches that became invalid; recomputes the active branch.
   void Refresh(const DistFn& dist);
 
   // --- Audit & repair (kinetic/tree_auditor, src/check fault injection). ---
@@ -188,7 +242,10 @@ class KineticTree {
   Status RebuildBranches(const DistFn& dist);
 
   /// Test seam for the auditor/fault-injection suites: overwrites one leg
-  /// distance so corruption detection has something to find. CHECKs bounds.
+  /// distance so corruption detection has something to find. Because legs
+  /// of a shared prefix live once in the arena, corrupting branch b's leg l
+  /// also corrupts every sibling branch sharing that node — which is what a
+  /// real memory fault would do. CHECKs bounds.
   void CorruptLegForTest(std::size_t branch, std::size_t leg, Distance value);
 
   // --- Derived data for the grid index. ---
@@ -203,7 +260,8 @@ class KineticTree {
 
   /// Exhaustively checks Definition 2 for `schedule` given the current
   /// assigned set plus optionally one extra (not yet assigned) request.
-  /// All legs must already be exact.
+  /// All legs must already be exact. Allocation-free (thread-local
+  /// scratch), so the per-candidate enumeration path can afford it.
   bool IsValidSchedule(const Schedule& schedule,
                        const AssignedRequest* extra) const;
 
@@ -215,15 +273,34 @@ class KineticTree {
   /// Free seats while traversing each gap j (the paper's o_x.capacity).
   std::vector<int> GapFreeSeats(const Schedule& schedule) const;
 
-  /// Approximate resident memory of the branch set, in bytes (Table IV's
-  /// "kinetic trees" row).
+  // --- Memory accounting (Table IV / table04_memory). ---
+
+  /// Resident memory of the tree: sizeof(*this) plus the exact heap
+  /// footprint of the branch arenas and the assigned list. Matches a
+  /// malloc-counting allocator on a freshly copied tree (see
+  /// kinetic_memory_test); an idle tree owns zero heap.
   std::size_t MemoryBytes() const;
+
+  struct ArenaStats {
+    std::size_t heap_bytes = 0;   ///< MemoryBytes() minus the object shell.
+    std::size_t live_nodes = 0;   ///< Reachable stop nodes.
+    std::size_t node_slots = 0;   ///< Allocated slots (live + free list).
+    std::size_t branches = 0;     ///< num_branches().
+  };
+  /// Arena occupancy for the memory bench (utilization = live/slots).
+  ArenaStats arena_stats() const;
 
  private:
   void RecomputeActive();
   const AssignedRequest* FindAssigned(RequestId id) const;
+  int RidersOf(RequestId id) const;
+  /// Loads `store_` from `schedules` in order (prefix-shared). Branches
+  /// must already be deduplicated by stop sequence; empty schedules are
+  /// skipped (the idle branch is implicit).
+  void LoadBranches(const std::vector<Schedule>& schedules);
 
-  /// Enumeration core shared by EnumerateInsertions and Commit.
+  /// Enumeration core shared by EnumerateInsertions and Commit; `branch`
+  /// is one materialized branch (empty for the idle branch).
   void EnumerateIntoBranch(const Schedule& branch, const Request& request,
                            Distance direct_dist, const DistFn& dist,
                            const InsertionHooks& hooks,
@@ -236,9 +313,13 @@ class KineticTree {
   int onboard_ = 0;
   Distance odometer_ = 0.0;
   std::vector<AssignedRequest> assigned_;
-  std::vector<Schedule> schedules_;
+  /// Arena-backed prefix tree; empty ⟺ assigned_ empty (idle branch is
+  /// implicit, so idle vehicles own zero heap).
+  BranchStore store_;
   std::size_t active_index_ = 0;
   bool stale_ = false;
+  std::uint64_t branches_dropped_ = 0;
+  std::uint64_t cap_hits_ = 0;
 };
 
 }  // namespace ptar

@@ -19,7 +19,7 @@ AuditReport KineticTreeAuditor::AuditTree(const KineticTree& tree) const {
   ++report.trees_checked;
 
   if (tree.IsEmpty()) {
-    if (tree.schedules().size() != 1 || !tree.schedules()[0].stops.empty()) {
+    if (tree.num_branches() != 1 || !tree.BranchSchedule(0).stops.empty()) {
       report.findings.push_back(
           "vehicle " + std::to_string(tree.vehicle()) +
           ": empty tree must hold exactly one empty schedule");
@@ -43,7 +43,7 @@ AuditReport KineticTreeAuditor::AuditTree(const KineticTree& tree) const {
         std::to_string(expected_onboard));
   }
 
-  if (tree.active_index() >= tree.schedules().size()) {
+  if (tree.active_index() >= tree.num_branches()) {
     report.findings.push_back("vehicle " + std::to_string(tree.vehicle()) +
                               ": active_index out of range");
     return report;  // nothing below is meaningful
@@ -54,8 +54,9 @@ AuditReport KineticTreeAuditor::AuditTree(const KineticTree& tree) const {
   // only the active branch carries hard guarantees then.
   const bool stale = tree.stale();
   Distance min_total = kInfDistance;
-  for (std::size_t b = 0; b < tree.schedules().size(); ++b) {
-    const Schedule& branch = tree.schedules()[b];
+  const std::vector<Schedule> schedules = tree.Schedules();
+  for (std::size_t b = 0; b < schedules.size(); ++b) {
+    const Schedule& branch = schedules[b];
     ++report.branches_checked;
     const bool is_active = b == tree.active_index();
 
@@ -91,7 +92,7 @@ AuditReport KineticTreeAuditor::AuditTree(const KineticTree& tree) const {
   }
 
   // The active branch must be (one of) the shortest.
-  const Distance active_total = tree.schedules()[tree.active_index()].total();
+  const Distance active_total = schedules[tree.active_index()].total();
   if (active_total > min_total + tolerance_) {
     report.findings.push_back(
         "vehicle " + std::to_string(tree.vehicle()) + ": active total " +

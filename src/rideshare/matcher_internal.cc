@@ -521,9 +521,7 @@ void CollectDestCandidates(CellId cell, const RequestEnv& env,
 void CollectSchedulePoints(const KineticTree& tree,
                            std::vector<VertexId>* out) {
   out->push_back(tree.location());
-  for (const Schedule& branch : tree.schedules()) {
-    for (const Stop& stop : branch.stops) out->push_back(stop.location);
-  }
+  tree.ForEachStopLocation([&](VertexId v) { out->push_back(v); });
 }
 
 void PrefetchBatchDistances(const RequestEnv& env, MatchContext& ctx,
@@ -533,11 +531,18 @@ void PrefetchBatchDistances(const RequestEnv& env, MatchContext& ctx,
   // Counted BatchDist pairs are work the serial path would also perform;
   // WarmFrom sweeps are uncounted here and charged on promotion, exactly
   // mirroring the compdists accounting.
-  BudgetScope budget(ctx, /*base_units=*/0);
   obs::TraceSpan span("prefetch");
   span.AddArg("empty", static_cast<std::int64_t>(empty_candidates.size()));
   span.AddArg("nonempty",
               static_cast<std::int64_t>(nonempty_candidates.size()));
+  // Prefetch is advisory: any pair skipped here is computed (and charged)
+  // on demand by the verify path, which checks the budget between vehicles.
+  // Under a limited budget the fleet-wide batch is skipped outright — a
+  // batch against a slow or faulted oracle is uninterruptible and would
+  // carry the request far past the cooperative deadline stop, while the
+  // on-demand path pays for exactly the pairs the surviving vehicles need.
+  if (ctx.budget != nullptr && ctx.budget->limited()) return;
+  BudgetScope budget(ctx, /*base_units=*/0);
   if (!empty_candidates.empty()) {
     std::vector<VertexId> locations;
     locations.reserve(empty_candidates.size());

@@ -120,7 +120,7 @@ Engine::Engine(const RoadNetwork* graph, const GridIndex* grid,
             ? static_cast<VertexId>(rng_.UniformIndex(graph->num_vertices()))
             : options_.start_vertices[i];
     fleet_.emplace_back(static_cast<VehicleId>(i), start,
-                        options.vehicle_capacity);
+                        options.vehicle_capacity, options.tree_max_branches);
     runtimes_[i].route.assign(1, start);
     registry_.AddEmptyVehicle(static_cast<VehicleId>(i), start);
     registered_empty_.push_back(true);
@@ -782,6 +782,21 @@ void Engine::HarvestRunMetrics(std::span<Matcher* const> matchers) {
                         wait - pool_wait_harvested_);
     pool_tasks_harvested_ = tasks;
     pool_wait_harvested_ = wait;
+  }
+  if (options_.tree_max_branches != KineticTree::kUnlimitedBranches) {
+    // Attribute capped-enumeration option loss. Per-tree counters are
+    // lifetime-cumulative, so fold only the delta since the last harvest.
+    std::uint64_t dropped = 0;
+    std::uint64_t cap_hits = 0;
+    for (const KineticTree& tree : fleet_) {
+      dropped += tree.branches_dropped();
+      cap_hits += tree.cap_hits();
+    }
+    metrics_.AddCounter("tree/branches_dropped",
+                        dropped - tree_dropped_harvested_);
+    metrics_.AddCounter("tree/cap_hits", cap_hits - tree_cap_hits_harvested_);
+    tree_dropped_harvested_ = dropped;
+    tree_cap_hits_harvested_ = cap_hits;
   }
 }
 

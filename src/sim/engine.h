@@ -137,6 +137,13 @@ struct EngineOptions {
   /// Lossless: committed assignments and skylines are identical to kNone
   /// (the differential harness's --prune_check mode enforces this).
   PruneMode prune = PruneMode::kNone;
+  /// Per-vehicle kinetic-tree branch cap (CLI --tree_max_branches). The
+  /// default keeps every valid schedule — the paper's c.S_tr — so results
+  /// are exactly the unbounded tree's. A finite cap bounds per-vehicle
+  /// fan-out with best-branch retention (active branch + the
+  /// (total, first-leg) skyline always kept); dropped branches surface as
+  /// the "tree/branches_dropped" and "tree/cap_hits" run counters.
+  std::size_t tree_max_branches = KineticTree::kUnlimitedBranches;
 };
 
 /// Aggregated per-matcher measurements across a run.
@@ -478,6 +485,10 @@ class Engine {
   std::uint64_t pool_wait_harvested_ = 0;
   /// Same, for engine_pool_ (folded as "pool/engine_*").
   std::uint64_t engine_pool_tasks_harvested_ = 0;
+  /// Kinetic-tree cap counters already folded into metrics_ (per-tree
+  /// counters are cumulative; HarvestRunMetrics adds only the delta).
+  std::uint64_t tree_dropped_harvested_ = 0;
+  std::uint64_t tree_cap_hits_harvested_ = 0;
   std::uint64_t engine_pool_wait_harvested_ = 0;
 };
 

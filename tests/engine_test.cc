@@ -174,6 +174,10 @@ TEST(EngineTest, SharingHappensWithConcentratedDemand) {
   GridWorld w = MakeWorld();
   EngineOptions opts;
   opts.num_vehicles = 5;  // scarce fleet forces sharing
+  // Concentrated demand on a scarce fleet is exactly the workload where
+  // unbounded enumeration goes factorial (every rider fits every gap of
+  // the hot vehicle); the test is about sharing, so pin the bounded mode.
+  opts.tree_max_branches = 64;
   Engine engine(w.graph.get(), w.grid.get(), opts);
   BaselineMatcher ba;
   std::vector<Matcher*> matchers = {&ba};

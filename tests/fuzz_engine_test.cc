@@ -53,8 +53,9 @@ void CheckFleetInvariants(const Engine& engine) {
     EXPECT_EQ(tree.onboard(), onboard_from_assigned);
 
     // Every branch is a valid schedule containing every assigned request.
-    EXPECT_GE(tree.schedules().size(), 1u);
-    for (const Schedule& schedule : tree.schedules()) {
+    EXPECT_GE(tree.num_branches(), 1u);
+    const std::vector<Schedule> schedules = tree.Schedules();
+    for (const Schedule& schedule : schedules) {
       if (tree.IsEmpty()) {
         EXPECT_TRUE(schedule.stops.empty());
         continue;

@@ -114,7 +114,8 @@ std::set<StopKey> BruteForceStopSets(const KineticTree& tree,
   extra.direct_dist = direct;
   extra.deadline_odometer = kInfDistance;
 
-  for (const Schedule& branch : tree.schedules()) {
+  const std::vector<Schedule> branches = tree.Schedules();
+  for (const Schedule& branch : branches) {
     const std::size_t k = branch.stops.size();
     for (std::size_t i = 0; i <= k; ++i) {
       for (std::size_t j = i; j <= k; ++j) {
@@ -164,7 +165,7 @@ class KineticTreeTest : public ::testing::Test {
 TEST_F(KineticTreeTest, FreshTreeIsIdle) {
   const KineticTree tree(0, 4, 4);
   EXPECT_TRUE(tree.IsEmpty());
-  EXPECT_EQ(tree.schedules().size(), 1u);
+  EXPECT_EQ(tree.num_branches(), 1u);
   EXPECT_TRUE(tree.ActiveSchedule().stops.empty());
   EXPECT_EQ(tree.NextStopLocation(), kInvalidVertex);
   EXPECT_DOUBLE_EQ(tree.CurrentTotal(), 0.0);
@@ -368,7 +369,8 @@ TEST_F(KineticTreeTest, CommitFiltersSchedulesBeyondPlannedWait) {
   ASSERT_TRUE(tree.Commit(r1, oracle_.Dist(1, 2), oracle_.Dist(0, 1), Dist())
                   .ok());
   // Every surviving schedule must respect pickup <= planned + wait.
-  for (const Schedule& s : tree.schedules()) {
+  const std::vector<Schedule> schedules = tree.Schedules();
+  for (const Schedule& s : schedules) {
     Distance prefix = 0;
     for (std::size_t i = 0; i < s.stops.size(); ++i) {
       prefix += s.legs[i];
@@ -464,7 +466,7 @@ TEST_F(KineticTreeTest, BranchCapKeepsShortestSchedules) {
   // With max_branches = 1 the tree degenerates to "always keep only the
   // shortest valid schedule" — the active branch.
   KineticTree capped(0, 0, 4, /*max_branches=*/1);
-  KineticTree full(0, 0, 4);  // default cap, high enough here
+  KineticTree full(0, 0, 4);  // unlimited by default
   const Request r1 = MakeRequest(1, 1, 7, 1, 1000.0, 1.0);
   const Request r2 = MakeRequest(2, 3, 5, 1, 1000.0, 1.0);
   for (KineticTree* tree : {&capped, &full}) {
@@ -474,8 +476,12 @@ TEST_F(KineticTreeTest, BranchCapKeepsShortestSchedules) {
     ASSERT_TRUE(
         tree->Commit(r2, oracle_.Dist(3, 5), 1e9, Dist()).ok());
   }
-  EXPECT_EQ(capped.schedules().size(), 1u);
-  EXPECT_GT(full.schedules().size(), 1u);
+  EXPECT_EQ(capped.num_branches(), 1u);
+  EXPECT_GT(full.num_branches(), 1u);
+  EXPECT_GT(capped.branches_dropped(), 0u);
+  EXPECT_GT(capped.cap_hits(), 0u);
+  EXPECT_EQ(full.branches_dropped(), 0u);
+  EXPECT_EQ(full.cap_hits(), 0u);
   // The capped tree kept exactly the shortest schedule of the full tree.
   EXPECT_DOUBLE_EQ(capped.ActiveSchedule().total(),
                    full.ActiveSchedule().total());
@@ -522,7 +528,7 @@ TEST_F(KineticTreeTest, RefreshDropsExactlyTheInvalidBranches) {
     ASSERT_TRUE(
         tree.Commit(r2, oracle_.Dist(1, 7), best->pickup_dist, Dist()).ok());
   }
-  ASSERT_GT(tree.schedules().size(), 1u) << "need a multi-branch tree";
+  ASSERT_GT(tree.num_branches(), 1u) << "need a multi-branch tree";
 
   // Drive one edge along the shortest path toward the active first stop.
   DijkstraEngine engine(&graph_);
@@ -534,7 +540,7 @@ TEST_F(KineticTreeTest, RefreshDropsExactlyTheInvalidBranches) {
   for (const Arc& a : graph_.OutArcs(path[0])) {
     if (a.head == path[1]) hop = std::min(hop, a.weight);
   }
-  std::vector<Schedule> before = tree.schedules();
+  std::vector<Schedule> before = tree.Schedules();
   const std::size_t active_before = tree.active_index();
   tree.MoveTo(path[1], hop);
   ASSERT_TRUE(tree.stale());
@@ -545,14 +551,14 @@ TEST_F(KineticTreeTest, RefreshDropsExactlyTheInvalidBranches) {
     old.legs[0] = oracle_.Dist(tree.location(), old.stops[0].location);
     const bool still_valid = tree.IsValidSchedule(old, nullptr);
     bool survived = false;
-    for (const Schedule& kept : tree.schedules()) {
+    for (const Schedule& kept : tree.Schedules()) {
       if (kept.SameStops(old)) survived = true;
     }
     EXPECT_EQ(survived, still_valid);
   }
   // The previously active branch always survives.
   bool active_survived = false;
-  for (const Schedule& kept : tree.schedules()) {
+  for (const Schedule& kept : tree.Schedules()) {
     if (kept.SameStops(before[active_before])) active_survived = true;
   }
   EXPECT_TRUE(active_survived);

@@ -1,0 +1,128 @@
+// In-tree slice of the kinetic-tree representation twin: the legacy
+// (flat-vector) implementation and the arena/SoA implementation driven
+// through identical seeded op sequences must be observably identical, and
+// the capped rider must stay subset-sound with attributed drops. The
+// heavyweight 200-seed sweep lives in `ptar_check --tree_twin` (run by
+// differential-nightly on both backends); this test keeps a fast slice in
+// every ctest run, including the sanitizer sweeps (`-L kinetic`, `-L tsan`).
+
+#include "check/tree_twin.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/distance_oracle.h"
+#include "tests/test_util.h"
+
+namespace ptar {
+namespace {
+
+using check::LegacyKineticTree;
+using check::RunTreeTwin;
+using check::TreeTwinOutcome;
+
+TEST(KineticTwinTest, DijkstraSeedsAgree) {
+  TreeTwinOutcome total;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    total.Fold(RunTreeTwin(seed, DistanceBackend::kDijkstra, /*cap=*/8));
+  }
+  for (const std::string& finding : total.findings) {
+    ADD_FAILURE() << finding;
+  }
+  EXPECT_EQ(total.divergences, 0u);
+  // The op mix must actually exercise the tree, not idle through it.
+  EXPECT_GT(total.commits, 0u);
+  EXPECT_GT(total.arrivals, 0u);
+}
+
+TEST(KineticTwinTest, CHBackendAgrees) {
+  TreeTwinOutcome total;
+  for (std::uint64_t seed = 7; seed <= 9; ++seed) {
+    total.Fold(RunTreeTwin(seed, DistanceBackend::kCH, /*cap=*/8));
+  }
+  for (const std::string& finding : total.findings) {
+    ADD_FAILURE() << finding;
+  }
+  EXPECT_EQ(total.divergences, 0u);
+  EXPECT_GT(total.commits, 0u);
+}
+
+TEST(KineticTwinTest, TightCapDropsBranchesButStaysSubsetSound) {
+  // cap=2 forces heavy dropping; subset soundness and loss attribution are
+  // asserted inside RunTreeTwin after the first drop.
+  TreeTwinOutcome total;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    total.Fold(RunTreeTwin(seed, DistanceBackend::kDijkstra, /*cap=*/2));
+  }
+  for (const std::string& finding : total.findings) {
+    ADD_FAILURE() << finding;
+  }
+  EXPECT_EQ(total.divergences, 0u);
+  EXPECT_GT(total.capped_drops, 0u);
+}
+
+TEST(KineticTwinTest, UncappedTwinReportsNoDrops) {
+  const TreeTwinOutcome one =
+      RunTreeTwin(3, DistanceBackend::kDijkstra, /*cap=*/0);
+  EXPECT_EQ(one.divergences, 0u);
+  EXPECT_EQ(one.capped_drops, 0u);
+  EXPECT_EQ(one.capped_losses, 0u);
+}
+
+// Direct spot-check that the two representations expose identical matching
+// behavior on a hand-built world (independent of the fuzz harness).
+TEST(KineticTwinTest, HandBuiltCommitSequenceMatches) {
+  const RoadNetwork g = testing::MakeSmallGrid();
+  DistanceOracle oracle(&g);
+  const KineticTree::DistFn dist = [&oracle](VertexId a, VertexId b) {
+    return oracle.Dist(a, b);
+  };
+
+  LegacyKineticTree legacy(0, 0, 4);
+  KineticTree tree(0, 0, 4);
+
+  Request r1;
+  r1.id = 1;
+  r1.start = 1;
+  r1.destination = 8;
+  r1.riders = 1;
+  r1.max_wait_dist = 1000.0;
+  r1.epsilon = 1.0;
+  Request r2 = r1;
+  r2.id = 2;
+  r2.start = 3;
+  r2.destination = 5;
+
+  for (const Request& r : {r1, r2}) {
+    const Distance direct = dist(r.start, r.destination);
+    const auto legacy_cands =
+        legacy.EnumerateInsertions(r, direct, dist, InsertionHooks{});
+    const auto arena_cands =
+        tree.EnumerateInsertions(r, direct, dist, InsertionHooks{});
+    ASSERT_EQ(legacy_cands.size(), arena_cands.size());
+    for (std::size_t i = 0; i < legacy_cands.size(); ++i) {
+      EXPECT_TRUE(
+          legacy_cands[i].schedule.SameStops(arena_cands[i].schedule));
+      EXPECT_DOUBLE_EQ(legacy_cands[i].total_dist, arena_cands[i].total_dist);
+      EXPECT_DOUBLE_EQ(legacy_cands[i].pickup_dist,
+                       arena_cands[i].pickup_dist);
+    }
+    Distance planned = legacy_cands[0].pickup_dist;
+    for (const auto& c : legacy_cands) {
+      planned = std::min(planned, c.pickup_dist);
+    }
+    ASSERT_TRUE(legacy.Commit(r, direct, planned, dist).ok());
+    ASSERT_TRUE(tree.Commit(r, direct, planned, dist).ok());
+  }
+
+  const std::vector<Schedule>& lb = legacy.schedules();
+  const std::vector<Schedule> nb = tree.Schedules();
+  ASSERT_EQ(lb.size(), nb.size());
+  for (std::size_t b = 0; b < lb.size(); ++b) {
+    EXPECT_TRUE(lb[b].SameStops(nb[b]));
+    EXPECT_DOUBLE_EQ(lb[b].total(), nb[b].total());
+  }
+  EXPECT_DOUBLE_EQ(legacy.CurrentTotal(), tree.CurrentTotal());
+}
+
+}  // namespace
+}  // namespace ptar

@@ -52,6 +52,10 @@ TEST(RobustnessBenchTest, DeadlineHeldUnderSlowOracleFaults) {
   eopts.seed = 5;
   eopts.overload.deadline_ms = kDeadlineMs;
   eopts.audit_after_commit = false;
+  // Bound per-vehicle fan-out: the bench measures deadline adherence, and
+  // the engine's tree maintenance between requests is not deadline-armed,
+  // so an unbounded tree on an adversarial seed would dominate p99.
+  eopts.tree_max_branches = 64;
   Engine engine(world.graph.get(), world.grid.get(), eopts);
 
   check::FaultPlan plan;

@@ -27,6 +27,7 @@
 #include "check/replay_io.h"
 #include "check/scenario.h"
 #include "check/shrinker.h"
+#include "check/tree_twin.h"
 #include "common/flags.h"
 #include "obs/report.h"
 #include "prune/ellipse_prefilter.h"
@@ -68,6 +69,7 @@ int Help() {
       "                  [--shrink_ellipse=F]\n"
       "                  [--distance_backend=dijkstra|ch]\n"
       "                  [--request_budget=N] [--inject=SPEC] [--verbose]\n"
+      "                  [--tree_twin=N] [--tree_cap=N]\n"
       "                  [--help]\n\n"
       "  --seeds=N         randomized scenarios to fuzz (default 50)\n"
       "  --first_seed=N    first seed of the range (default 1)\n"
@@ -102,7 +104,16 @@ int Help() {
       "                    the reference): comma-separated key=value of\n"
       "                    fail_rate, seed, slow_us, stall_every, stall_us\n"
       "                    (e.g. fail_rate=0.05,seed=7); faulted results\n"
-      "                    must still be subsets of the clean reference\n");
+      "                    must still be subsets of the clean reference\n"
+      "  --tree_twin=N     kinetic-tree twin mode: fuzz N seeded op\n"
+      "                    sequences through the legacy (flat-vector) and\n"
+      "                    arena tree representations in lockstep; any\n"
+      "                    observable difference (branch sets, bookkeeping,\n"
+      "                    statuses, auditor findings) fails the run\n"
+      "  --tree_cap=N      with --tree_twin: also ride a capped arena tree\n"
+      "                    (--tree_max_branches=N) and check it stays a\n"
+      "                    branch-subset with every loss attributed to its\n"
+      "                    drop counters (default 8; 0 disables)\n");
   return 0;
 }
 
@@ -477,6 +488,62 @@ int PruneSelfTest(double shrink_factor, std::uint64_t seeds,
   return 1;
 }
 
+/// Tree-twin mode: drives the legacy (flat-vector) and arena kinetic trees
+/// through identical op sequences and fails on any observable difference.
+/// Exercised by differential-nightly on both distance backends.
+int TreeTwin(std::uint64_t first_seed, std::uint64_t seeds, std::size_t cap,
+             DistanceBackend backend, const std::string& report_out,
+             bool verbose) {
+  TreeTwinOutcome total;
+  for (std::uint64_t seed = first_seed; seed < first_seed + seeds; ++seed) {
+    const TreeTwinOutcome one = RunTreeTwin(seed, backend, cap);
+    if (verbose) {
+      std::printf("seed %llu: %llu ops, %llu commits, %llu arrivals%s\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(one.ops),
+                  static_cast<unsigned long long>(one.commits),
+                  static_cast<unsigned long long>(one.arrivals),
+                  one.ok() ? "" : " [DIVERGED]");
+    }
+    total.Fold(one);
+  }
+  for (const std::string& finding : total.findings) {
+    std::fprintf(stderr, "divergence: %s\n", finding.c_str());
+  }
+  if (!report_out.empty()) {
+    obs::RunReport report;
+    report.tool = "ptar_check";
+    report.metrics.AddCounter("tree_twin/seeds", seeds);
+    report.metrics.AddCounter("tree_twin/ops", total.ops);
+    report.metrics.AddCounter("tree_twin/commits", total.commits);
+    report.metrics.AddCounter("tree_twin/arrivals", total.arrivals);
+    report.metrics.AddCounter("tree_twin/divergences", total.divergences);
+    report.metrics.AddCounter("tree_twin/capped_losses", total.capped_losses);
+    report.metrics.AddCounter("tree_twin/capped_drops", total.capped_drops);
+    const Status status = obs::WriteRunReport(report, report_out);
+    if (!status.ok()) return Fail(status);
+  }
+  if (!total.ok()) {
+    std::fprintf(stderr,
+                 "FAIL: %llu divergence(s) across %llu seed(s) of the "
+                 "kinetic-tree twin\n",
+                 static_cast<unsigned long long>(total.divergences),
+                 static_cast<unsigned long long>(seeds));
+    return 1;
+  }
+  std::printf(
+      "PASS: legacy and arena kinetic trees agreed over %llu seed(s) "
+      "(%llu ops, %llu commits, %llu arrivals; capped twin: %llu attributed "
+      "loss(es), %llu dropped branch(es))\n",
+      static_cast<unsigned long long>(seeds),
+      static_cast<unsigned long long>(total.ops),
+      static_cast<unsigned long long>(total.commits),
+      static_cast<unsigned long long>(total.arrivals),
+      static_cast<unsigned long long>(total.capped_losses),
+      static_cast<unsigned long long>(total.capped_drops));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto parsed = FlagParser::Parse(argc, argv);
   if (!parsed.ok()) return FailUsage(parsed.status().message());
@@ -501,6 +568,8 @@ int Main(int argc, char** argv) {
   const std::string backend_name =
       flags.GetString("distance_backend", "dijkstra");
   const auto request_budget = flags.GetInt("request_budget", 0);
+  const auto tree_twin = flags.GetInt("tree_twin", 0);
+  const auto tree_cap = flags.GetInt("tree_cap", 8);
   const std::string inject = flags.GetString("inject", "");
   if (!seeds.ok()) return Fail(seeds.status());
   if (!first_seed.ok()) return Fail(first_seed.status());
@@ -514,6 +583,12 @@ int Main(int argc, char** argv) {
   if (*seeds < 1) return FailUsage("--seeds must be >= 1");
   if (*first_seed < 0) return FailUsage("--first_seed must be >= 0");
   if (*request_budget < 0) return FailUsage("--request_budget must be >= 0");
+  if (!tree_twin.ok()) return Fail(tree_twin.status());
+  if (!tree_cap.ok()) return Fail(tree_cap.status());
+  if (flags.Has("tree_twin") && *tree_twin < 1) {
+    return FailUsage("--tree_twin must be >= 1");
+  }
+  if (*tree_cap < 0) return FailUsage("--tree_cap must be >= 0");
   if (*shrink_ellipse <= 0.0 || *shrink_ellipse > 1.0) {
     return FailUsage("--shrink_ellipse must be in (0, 1]");
   }
@@ -534,6 +609,12 @@ int Main(int argc, char** argv) {
     config.faults = *plan;
   }
 
+  if (*tree_twin > 0) {
+    return TreeTwin(static_cast<std::uint64_t>(*first_seed),
+                    static_cast<std::uint64_t>(*tree_twin),
+                    static_cast<std::size_t>(*tree_cap), *backend, report_out,
+                    *verbose);
+  }
   if (*selftest) {
     if (*broken_lemma != 1 && *broken_lemma != 3 && *broken_lemma != 11) {
       return FailUsage("--broken_lemma must be 1, 3, or 11");

@@ -74,6 +74,7 @@ int Help() {
       "      [--threads=N] [--distance_backend=dijkstra|ch]\n"
       "      [--prune=none|ellipse]\n"
       "      [--request_budget=N] [--deadline_ms=MS] [--inject=SPEC]\n"
+      "      [--tree_max_branches=N]\n"
       "      [--engine_threads=N] [--wave_size=N] [--serial_check]\n"
       "      [--trace_out=FILE] [--report_out=FILE]\n"
       "      [--lifecycle_out=FILE] [--lifecycle_sample=F]\n"
@@ -232,6 +233,7 @@ int Simulate(const FlagParser& flags) {
       ParseDistanceBackend(flags.GetString("distance_backend", "dijkstra"));
   const auto request_budget = flags.GetInt("request_budget", 0);
   const auto deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  const auto tree_max_branches = flags.GetInt("tree_max_branches", 0);
   const std::string inject = flags.GetString("inject", "");
   const std::string prune_name = flags.GetString("prune", "none");
   const bool pipelined = flags.Has("engine_threads") ||
@@ -246,7 +248,8 @@ int Simulate(const FlagParser& flags) {
         request_budget.status(), deadline_ms.status(),
         engine_threads.status(), wave_size.status(),
         serial_check.status(), lifecycle_sample.status(),
-        slo_p99_us.status(), telemetry_window.status()}) {
+        slo_p99_us.status(), telemetry_window.status(),
+        tree_max_branches.status()}) {
     if (!st.ok()) return Fail(st);
   }
   if (const int rc = CheckUnused(flags); rc != 0) return rc;
@@ -261,6 +264,9 @@ int Simulate(const FlagParser& flags) {
   if (*request_budget < 0) return FailUsage("--request_budget must be >= 0");
   if (*deadline_ms < 0.0) return FailUsage("--deadline_ms must be >= 0");
   if (*engine_threads < 1) return FailUsage("--engine_threads must be >= 1");
+  if (flags.Has("tree_max_branches") && *tree_max_branches < 1) {
+    return FailUsage("--tree_max_branches must be >= 1");
+  }
   if (*wave_size < 0) return FailUsage("--wave_size must be >= 0");
   if (*lifecycle_sample < 0.0 || *lifecycle_sample > 1.0) {
     return FailUsage("--lifecycle_sample must be in [0, 1]");
@@ -303,6 +309,9 @@ int Simulate(const FlagParser& flags) {
   eopts.overload.slo_p99_us = *slo_p99_us;
   eopts.telemetry.window_seconds = *telemetry_window;
   eopts.prune = prune_mode;
+  if (flags.Has("tree_max_branches")) {
+    eopts.tree_max_branches = static_cast<std::size_t>(*tree_max_branches);
+  }
   Engine engine(&*graph, &*grid, eopts);
   // Timing fields in the lifecycle log are opt-in via the one mode that is
   // already documented as nondeterministic (a wall-clock deadline); the
